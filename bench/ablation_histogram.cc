@@ -1,0 +1,72 @@
+// Ablation (§3.7.1 "Histogram" discussion): can histograms serve as CDF
+// models? Equal-width buckets are O(1) to locate but collapse under skew;
+// equal-depth buckets bound the error but need a binary search over
+// boundaries — "the obvious solutions to this issue would yield a B-Tree".
+// The RMI gets the best of both: O(1) routing AND skew-adaptive error.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "data/datasets.h"
+#include "lif/measure.h"
+#include "models/histogram.h"
+#include "models/model.h"
+#include "rmi/rmi.h"
+
+using namespace li;
+
+int main() {
+  const size_t n = lif::BenchScaleKeys();
+  printf("Histogram-as-CDF ablation (%zu keys)\n", n);
+  lif::Table table({"Dataset", "Model", "RMSE (positions)", "predict ns",
+                    "size MB"});
+
+  for (const auto kind : {data::DatasetKind::kMaps,
+                          data::DatasetKind::kLognormal}) {
+    const auto keys = data::Generate(kind, n);
+    std::vector<double> xs, ys;
+    xs.reserve(n);
+    ys.reserve(n);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      xs.push_back(static_cast<double>(keys[i]));
+      ys.push_back(static_cast<double>(i));
+    }
+    const auto queries = data::SampleKeys(keys, 100'000);
+
+    auto report = [&](const char* name, auto& model, size_t size_bytes) {
+      const double rmse = std::sqrt(models::MeanSquaredError(model, xs, ys));
+      const double ns = lif::MeasureNsPerOp(queries, 2, [&](uint64_t q) {
+        return static_cast<uint64_t>(model.Predict(static_cast<double>(q)));
+      });
+      char c1[32], c2[32], c3[32];
+      snprintf(c1, sizeof(c1), "%.1f", rmse);
+      snprintf(c2, sizeof(c2), "%.0f", ns);
+      snprintf(c3, sizeof(c3), "%.3f", size_bytes / 1e6);
+      table.AddRow({data::DatasetName(kind), name, c1, c2, c3});
+    };
+
+    models::EquiWidthHistogram ew;
+    if (ew.Fit(xs, ys, 4096).ok()) report("equi-width 4096", ew, ew.SizeBytes());
+    models::EquiDepthHistogram ed;
+    if (ed.Fit(xs, ys, 4096).ok()) report("equi-depth 4096", ed, ed.SizeBytes());
+
+    // RMI "model" view: predict positions via the 2-stage hierarchy.
+    rmi::RmiConfig config;
+    config.num_leaf_models = 4096;
+    rmi::LinearRmi index;
+    if (index.Build(keys, config).ok()) {
+      struct RmiAsModel {
+        const rmi::LinearRmi* index;
+        double Predict(double x) const {
+          return static_cast<double>(
+              index->Predict(static_cast<uint64_t>(x)).pos);
+        }
+        size_t SizeBytes() const { return index->SizeBytes(); }
+      } wrapper{&index};
+      report("2-stage RMI 4096", wrapper, index.SizeBytes());
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation (§2.1 cost model + §3.7.1 grid search): top-model complexity
+// frontier. For each top-model family we report model ops, model ns, mean
+// leaf error, total lookup ns and index size — the precision-gain vs
+// arithmetic-cost trade the paper's back-of-envelope analysis (400 ops per
+// 1/100 precision gain) is about. Runs on the hardest dataset (weblog).
+
+#include <cstdio>
+#include <vector>
+
+#include "data/datasets.h"
+#include "lif/measure.h"
+#include "rmi/rmi.h"
+
+using namespace li;
+
+namespace {
+
+template <typename TopModel>
+void Run(const char* name, const std::vector<uint64_t>& keys,
+         const std::vector<uint64_t>& queries, const rmi::RmiConfig& config,
+         size_t ops, lif::Table* table) {
+  rmi::Rmi<TopModel> index;
+  if (!index.Build(keys, config).ok()) return;
+  const double model_ns = lif::MeasureNsPerOp(
+      queries, 2, [&](uint64_t q) { return index.Predict(q).pos; });
+  const double lookup_ns = lif::MeasureNsPerOp(
+      queries, 2, [&](uint64_t q) { return index.LowerBound(q); });
+  char c1[32], c2[32], c3[32], c4[32], c5[32];
+  snprintf(c1, sizeof(c1), "%zu", ops);
+  snprintf(c2, sizeof(c2), "%.0f", model_ns);
+  snprintf(c3, sizeof(c3), "%.1f", index.MeanStdError());
+  snprintf(c4, sizeof(c4), "%.0f", lookup_ns);
+  snprintf(c5, sizeof(c5), "%.2f", index.SizeBytes() / 1e6);
+  table->AddRow({name, c1, c2, c3, c4, c5});
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = lif::BenchScaleKeys();
+  printf("Top-model complexity ablation (weblog, %zu keys, 10k leaves)\n", n);
+  const std::vector<uint64_t> keys = data::GenWeblog(n);
+  const auto queries = data::SampleKeys(keys, 200'000);
+
+  lif::Table table({"Top model", "~ops", "model ns", "mean leaf std-err",
+                    "lookup ns", "size MB"});
+  rmi::RmiConfig base;
+  base.num_leaf_models = 10'000;
+
+  Run<models::LinearModel>("linear", keys, queries, base, 2, &table);
+  Run<models::MultivariateModel>("multivariate (auto features)", keys,
+                                 queries, base, 10, &table);
+  {
+    rmi::RmiConfig config = base;
+    config.train.nn.hidden = {8};
+    config.train.nn.epochs = 12;
+    Run<models::NeuralNet>("nn 1x8", keys, queries, config, 2 * 8 * 2, &table);
+  }
+  {
+    rmi::RmiConfig config = base;
+    config.train.nn.hidden = {16};
+    config.train.nn.epochs = 12;
+    Run<models::NeuralNet>("nn 1x16", keys, queries, config, 2 * 16 * 2,
+                           &table);
+  }
+  {
+    rmi::RmiConfig config = base;
+    config.train.nn.hidden = {16, 16};
+    config.train.nn.epochs = 12;
+    Run<models::NeuralNet>("nn 16x16", keys, queries, config,
+                           2 * (16 + 16 * 16 + 16), &table);
+  }
+  {
+    rmi::RmiConfig config = base;
+    config.train.nn.hidden = {32, 32};
+    config.train.nn.epochs = 12;
+    Run<models::NeuralNet>("nn 32x32", keys, queries, config,
+                           2 * (32 + 32 * 32 + 32), &table);
+  }
+  table.Print();
+  printf("(§2.1: a model beats a B-Tree page descent if it gains >1/100\n"
+         " precision per ~400 arithmetic ops)\n");
+  return 0;
+}

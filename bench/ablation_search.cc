@@ -1,0 +1,54 @@
+// Ablation (§3.4): search-strategy comparison at varying model error.
+// Fixes an RMI per leaf-count (which controls the error band) and compares
+// plain binary, model-biased binary, biased quaternary and exponential
+// search on total lookup latency — the analysis behind Figure 6's "the
+// different search strategies make a bigger difference [when search is
+// expensive]".
+
+#include <cstdio>
+#include <vector>
+
+#include "data/datasets.h"
+#include "lif/measure.h"
+#include "rmi/rmi.h"
+
+using namespace li;
+
+int main() {
+  const size_t n = lif::BenchScaleKeys();
+  printf("Search-strategy ablation (lognormal, %zu keys)\n", n);
+  const std::vector<uint64_t> keys = data::GenLognormal(n);
+  const auto queries = data::SampleKeys(keys, 200'000);
+
+  lif::Table table({"2nd-stage models", "mean std-err", "binary ns",
+                    "biased-binary ns", "biased-quaternary ns",
+                    "exponential ns"});
+
+  for (const size_t leaves : {1'000, 10'000, 100'000}) {
+    double ns[4] = {0, 0, 0, 0};
+    double err = 0;
+    const search::Strategy strategies[] = {
+        search::Strategy::kBinary, search::Strategy::kBiasedBinary,
+        search::Strategy::kBiasedQuaternary, search::Strategy::kExponential};
+    for (int s = 0; s < 4; ++s) {
+      rmi::RmiConfig config;
+      config.num_leaf_models = leaves;
+      config.strategy = strategies[s];
+      rmi::LinearRmi index;
+      if (!index.Build(keys, config).ok()) continue;
+      ns[s] = lif::MeasureNsPerOp(
+          queries, 2, [&](uint64_t q) { return index.LowerBound(q); });
+      err = index.MeanStdError();
+    }
+    char c0[32], c1[32], c2[32], c3[32], c4[32], c5[32];
+    snprintf(c0, sizeof(c0), "%zu", leaves);
+    snprintf(c1, sizeof(c1), "%.1f", err);
+    snprintf(c2, sizeof(c2), "%.0f", ns[0]);
+    snprintf(c3, sizeof(c3), "%.0f", ns[1]);
+    snprintf(c4, sizeof(c4), "%.0f", ns[2]);
+    snprintf(c5, sizeof(c5), "%.0f", ns[3]);
+    table.AddRow({c0, c1, c2, c3, c4, c5});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation (§3.2): RMI stage count. The paper evaluates 2-stage indexes;
+// the K-stage generalization shows why — extra stages buy little error at
+// real routing cost ("There is no search process required in-between the
+// stages" holds, but each stage adds a model evaluation + a dependent
+// memory access).
+
+#include <cstdio>
+#include <vector>
+
+#include "data/datasets.h"
+#include "lif/measure.h"
+#include "rmi/multistage.h"
+
+using namespace li;
+
+int main() {
+  const size_t n = lif::BenchScaleKeys();
+  printf("RMI stage-count ablation (weblog, %zu keys)\n", n);
+  const auto keys = data::GenWeblog(n);
+  const auto queries = data::SampleKeys(keys, 200'000);
+
+  lif::Table table({"Stages", "Layout", "Size (MB)", "max |err|",
+                    "Lookup (ns)"});
+  struct Config {
+    const char* label;
+    std::vector<size_t> sizes;
+  };
+  const size_t leaves = std::max<size_t>(256, n / 1000);
+  const Config configs[] = {
+      {"2", {leaves}},
+      {"3", {64, leaves}},
+      {"3-wide", {1024, leaves}},
+      {"4", {16, 512, leaves}},
+  };
+  for (const Config& c : configs) {
+    rmi::MultiStageConfig msc;
+    msc.stage_sizes = c.sizes;
+    rmi::MultiStageRmi index;
+    if (!index.Build(keys, msc).ok()) continue;
+    const double ns = lif::MeasureNsPerOp(
+        queries, 2, [&](uint64_t q) { return index.LowerBound(q); });
+    std::string layout = "1";
+    for (const size_t m : c.sizes) layout += "->" + std::to_string(m);
+    char c1[32], c2[32], c3[32];
+    snprintf(c1, sizeof(c1), "%.3f", index.SizeBytes() / 1e6);
+    snprintf(c2, sizeof(c2), "%lld",
+             static_cast<long long>(index.MaxAbsError()));
+    snprintf(c3, sizeof(c3), "%.0f", ns);
+    table.AddRow({c.label, layout, c1, c2, c3});
+  }
+  table.Print();
+  return 0;
+}

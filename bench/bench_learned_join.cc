@@ -1,0 +1,74 @@
+// §7 "Beyond Indexing" — joins: crossover between linear merge
+// intersection and learned-index probe/skip intersection as the size ratio
+// |small| / |big| shrinks. Merge is O(|A|+|B|); learned probing is
+// O(|A| * lookup), so the learned join wins when one side is small — the
+// same argument as an index nested-loop join, with the model replacing the
+// B-Tree.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "data/datasets.h"
+#include "lif/measure.h"
+#include "rmi/rmi.h"
+#include "sort/learned_join.h"
+
+using namespace li;
+
+int main() {
+  const size_t big_n = lif::BenchScaleKeys();
+  printf("Learned join crossover (big side: %zu lognormal keys)\n", big_n);
+  const auto big = data::GenLognormal(big_n);
+  rmi::RmiConfig config;
+  config.num_leaf_models = std::max<size_t>(1024, big_n / 100);
+  rmi::LinearRmi index;
+  if (!index.Build(big, config).ok()) {
+    fprintf(stderr, "index build failed\n");
+    return 1;
+  }
+
+  lif::Table table({"|small|", "ratio", "merge ms", "learned-probe ms",
+                    "learned-skip ms", "matches"});
+  Xorshift128Plus rng(7);
+  for (const size_t small_n :
+       {big_n / 1000, big_n / 100, big_n / 10, big_n / 2}) {
+    std::vector<uint64_t> small;
+    small.reserve(small_n);
+    for (size_t i = 0; i < small_n; ++i) {
+      if (rng.NextDouble() < 0.5) {
+        small.push_back(big[rng.NextBounded(big.size())]);
+      } else {
+        small.push_back(rng.NextBounded(big.back()));
+      }
+    }
+    std::sort(small.begin(), small.end());
+    small.erase(std::unique(small.begin(), small.end()), small.end());
+
+    Timer t1;
+    const size_t m1 = sort::LinearMergeIntersect(small, big);
+    const double merge_ms = t1.ElapsedMillis();
+    Timer t2;
+    const size_t m2 = sort::LearnedProbeIntersect(small, index);
+    const double probe_ms = t2.ElapsedMillis();
+    Timer t3;
+    const size_t m3 = sort::LearnedSkipIntersect(small, index);
+    const double skip_ms = t3.ElapsedMillis();
+    if (m1 != m2 || m1 != m3) {
+      printf("MISMATCH: %zu %zu %zu\n", m1, m2, m3);
+      return 1;
+    }
+    char c1[32], c2[32], c3[32], c4[32], c5[32], c6[32];
+    snprintf(c1, sizeof(c1), "%zu", small.size());
+    snprintf(c2, sizeof(c2), "1:%zu", big_n / std::max<size_t>(1, small.size()));
+    snprintf(c3, sizeof(c3), "%.2f", merge_ms);
+    snprintf(c4, sizeof(c4), "%.2f", probe_ms);
+    snprintf(c5, sizeof(c5), "%.2f", skip_ms);
+    snprintf(c6, sizeof(c6), "%zu", m1);
+    table.AddRow({c1, c2, c3, c4, c5, c6});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// §7 "Multi-Dimensional Indexes" (future work): learned z-order index vs
+// uniform grid on clustered 2-D points — point probes and rectangle
+// queries of varying selectivity.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "lif/measure.h"
+#include "mdim/mdim_index.h"
+
+using namespace li;
+
+namespace {
+
+/// Clustered points (city-like hotspots over a sparse background).
+std::vector<mdim::Point> ClusteredPoints(size_t n, uint64_t seed) {
+  Xorshift128Plus rng(seed);
+  std::vector<mdim::Point> pts;
+  pts.reserve(n);
+  struct Hotspot {
+    double x, y, spread;
+  };
+  std::vector<Hotspot> hotspots;
+  for (int i = 0; i < 24; ++i) {
+    hotspots.push_back({rng.NextDouble() * (1u << 24),
+                        rng.NextDouble() * (1u << 24),
+                        1000.0 + rng.NextDouble() * 60'000.0});
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.15) {
+      pts.push_back({static_cast<uint32_t>(rng.NextBounded(1u << 24)),
+                     static_cast<uint32_t>(rng.NextBounded(1u << 24))});
+    } else {
+      const auto& h = hotspots[rng.NextBounded(hotspots.size())];
+      const double x = h.x + h.spread * rng.NextGaussian();
+      const double y = h.y + h.spread * rng.NextGaussian();
+      pts.push_back(
+          {static_cast<uint32_t>(std::clamp(x, 0.0, double((1u << 24) - 1))),
+           static_cast<uint32_t>(std::clamp(y, 0.0, double((1u << 24) - 1)))});
+    }
+  }
+  return pts;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = lif::BenchScaleKeys() / 2;
+  printf("Multi-dimensional learned index vs grid (%zu clustered points)\n",
+         n);
+  const auto pts = ClusteredPoints(n, 3);
+
+  mdim::LearnedZIndex learned;
+  mdim::GridIndex grid;
+  if (!learned.Build(pts, std::max<size_t>(1024, n / 100)).ok() ||
+      !grid.Build(pts, 256).ok()) {
+    fprintf(stderr, "build failed\n");
+    return 1;
+  }
+  printf("index overhead: learned %.2f MB, grid %.2f MB\n",
+         learned.SizeBytes() / 1e6, grid.SizeBytes() / 1e6);
+
+  // Point probes.
+  std::vector<mdim::Point> probes;
+  {
+    Xorshift128Plus rng(5);
+    for (int i = 0; i < 100'000; ++i) {
+      probes.push_back(pts[rng.NextBounded(pts.size())]);
+    }
+  }
+  const double lp = lif::MeasureNsPerOp(
+      probes, 1, [&](const mdim::Point& p) { return learned.Contains(p); });
+  const double gp = lif::MeasureNsPerOp(
+      probes, 1, [&](const mdim::Point& p) { return grid.Contains(p); });
+  printf("point probe: learned %.0f ns, grid %.0f ns\n", lp, gp);
+
+  // Rectangle queries at three selectivities.
+  lif::Table table({"query half-width", "avg hits", "learned us/query",
+                    "grid us/query", "learned seeks"});
+  for (const uint32_t half : {1u << 12, 1u << 15, 1u << 18}) {
+    Xorshift128Plus rng(7);
+    std::vector<mdim::Rect> rects;
+    for (int i = 0; i < 50; ++i) {
+      const auto& c = pts[rng.NextBounded(pts.size())];
+      mdim::Rect r;
+      r.x0 = c.x > half ? c.x - half : 0;
+      r.y0 = c.y > half ? c.y - half : 0;
+      r.x1 = c.x + half;
+      r.y1 = c.y + half;
+      rects.push_back(r);
+    }
+    std::vector<mdim::Point> out;
+    size_t hits = 0, seeks = 0;
+    Timer t1;
+    for (const auto& r : rects) {
+      learned.RangeQuery(r, &out);
+      hits += out.size();
+      seeks += learned.last_query_seeks();
+    }
+    const double lus = t1.ElapsedMicros() / rects.size();
+    Timer t2;
+    for (const auto& r : rects) grid.RangeQuery(r, &out);
+    const double gus = t2.ElapsedMicros() / rects.size();
+    char c1[32], c2[32], c3[32], c4[32], c5[32];
+    snprintf(c1, sizeof(c1), "%u", half);
+    snprintf(c2, sizeof(c2), "%.0f", double(hits) / rects.size());
+    snprintf(c3, sizeof(c3), "%.1f", lus);
+    snprintf(c4, sizeof(c4), "%.1f", gus);
+    snprintf(c5, sizeof(c5), "%.1f", double(seeks) / rects.size());
+    table.AddRow({c1, c2, c3, c4, c5});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 6: learned index vs B-Tree over string document-IDs.
+//
+// Rows: string B-Tree at page sizes {32..256}; string RMI with 1 and 2
+// hidden layers; hybrid variants with B-Tree replacement thresholds
+// t = 128 and t = 64; and "Learned QS" — the best non-hybrid model with
+// biased quaternary search. All RMI rows use 10k second-stage models,
+// scaled down proportionally with dataset size.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "btree/string_btree.h"
+#include "data/datasets.h"
+#include "data/strings.h"
+#include "lif/measure.h"
+#include "rmi/string_rmi.h"
+
+using namespace li;
+
+namespace {
+
+struct Row {
+  std::string config;
+  double size_mb, lookup_ns, model_ns;
+};
+
+}  // namespace
+
+int main() {
+  // Strings are ~10x slower to handle; default to n/4 of the integer scale
+  // (paper used 10M doc-ids).
+  const size_t n = std::max<size_t>(200'000, lif::BenchScaleKeys() / 4);
+  printf("Figure 6 reproduction: string data (%zu doc-ids)\n", n);
+  const auto ids = data::GenDocIds(n);
+  std::vector<std::string> queries;
+  {
+    const auto probe_idx = data::GenUniform(50'000, 5, ids.size());
+    for (const auto i : probe_idx) queries.push_back(ids[i]);
+  }
+  const size_t stage2 = std::max<size_t>(1000, n / 1000);
+
+  std::vector<Row> rows;
+  double ref_size = 1.0, ref_lookup = 1.0;
+  lif::Table table({"Config", "Size (MB)", "Lookup (ns)", "Model (ns)"});
+  table.AddSection("Btree");
+
+  for (const size_t page : {32, 64, 128, 256}) {
+    btree::StringBTree tree;
+    if (!tree.Build(ids, page).ok()) continue;
+    Row r;
+    r.config = "page size: " + std::to_string(page);
+    r.size_mb = tree.SizeBytes() / 1e6;
+    r.model_ns = lif::MeasureNsPerOp(
+        queries, 1, [&](const std::string& q) { return tree.FindPage(q); });
+    r.lookup_ns = lif::MeasureNsPerOp(
+        queries, 1, [&](const std::string& q) { return tree.LowerBound(q); });
+    if (page == 128) {
+      ref_size = r.size_mb;
+      ref_lookup = r.lookup_ns;
+    }
+    rows.push_back(r);
+  }
+
+  auto run_rmi = [&](const char* label, int hidden_layers, int64_t threshold,
+                     search::Strategy strategy) {
+    rmi::StringRmiConfig config;
+    config.num_leaf_models = stage2;
+    config.strategy = strategy;
+    config.hybrid_threshold = threshold;
+    config.top_nn.epochs = 10;
+    if (hidden_layers >= 1) config.top_nn.hidden.push_back(24);
+    if (hidden_layers >= 2) config.top_nn.hidden.push_back(16);
+    rmi::StringRmi index;
+    if (!index.Build(ids, config).ok()) return;
+    Row r;
+    r.config = label;
+    r.size_mb = index.SizeBytes() / 1e6;
+    r.model_ns = lif::MeasureNsPerOp(
+        queries, 1, [&](const std::string& q) { return index.Predict(q).pos; });
+    r.lookup_ns = lif::MeasureNsPerOp(
+        queries, 1, [&](const std::string& q) { return index.LowerBound(q); });
+    rows.push_back(r);
+  };
+
+  run_rmi("1 hidden layer", 1, 0, search::Strategy::kBiasedBinary);
+  run_rmi("2 hidden layers", 2, 0, search::Strategy::kBiasedBinary);
+  run_rmi("t=128, 1 hidden layer", 1, 128, search::Strategy::kBiasedBinary);
+  run_rmi("t=128, 2 hidden layers", 2, 128, search::Strategy::kBiasedBinary);
+  run_rmi("t= 64, 1 hidden layer", 1, 64, search::Strategy::kBiasedBinary);
+  run_rmi("t= 64, 2 hidden layers", 2, 64, search::Strategy::kBiasedBinary);
+  run_rmi("Learned QS, 1 hidden layer", 1, 0,
+          search::Strategy::kBiasedQuaternary);
+
+  size_t i = 0;
+  for (const Row& r : rows) {
+    if (i == 4) table.AddSection("Learned Index");
+    if (i == 6) table.AddSection("Hybrid Index");
+    if (i == 10) table.AddSection("Learned QS");
+    table.AddRow({r.config, lif::Table::WithFactor(r.size_mb, r.size_mb / ref_size),
+                  lif::Table::WithFactor(r.lookup_ns, ref_lookup / r.lookup_ns, 0),
+                  lif::Table::WithPercent(r.model_ns,
+                                          100.0 * r.model_ns / r.lookup_ns)});
+    ++i;
+  }
+  table.Print();
+  return 0;
+}

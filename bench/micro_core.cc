@@ -1,0 +1,192 @@
+// google-benchmark microbenchmarks for the primitive operations the paper
+// reasons about in §2.1/§3.1: model inference kernels (linear,
+// multivariate, NNs of increasing width), B-Tree page descents, the search
+// strategies, and hash functions. These are the "30 ns-class model
+// execution" numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "btree/readonly_btree.h"
+#include "data/datasets.h"
+#include "hash/hash_fn.h"
+#include "models/linear.h"
+#include "models/multivariate.h"
+#include "models/nn.h"
+#include "rmi/rmi.h"
+#include "search/search.h"
+
+using namespace li;
+
+namespace {
+
+const std::vector<uint64_t>& Keys() {
+  static const std::vector<uint64_t> keys = data::GenLognormal(1'000'000);
+  return keys;
+}
+
+const std::vector<uint64_t>& Queries() {
+  static const std::vector<uint64_t> queries =
+      data::SampleKeys(Keys(), 1 << 16);
+  return queries;
+}
+
+void BM_LinearModelPredict(benchmark::State& state) {
+  models::LinearModel model(1e-6, 42.0);
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.Predict(static_cast<double>(qs[i++ & 0xFFFF])));
+  }
+}
+BENCHMARK(BM_LinearModelPredict);
+
+void BM_MultivariatePredict(benchmark::State& state) {
+  std::vector<double> xs, ys;
+  for (size_t i = 0; i < Keys().size(); i += 100) {
+    xs.push_back(static_cast<double>(Keys()[i]));
+    ys.push_back(static_cast<double>(i));
+  }
+  models::MultivariateModel model;
+  if (!model.FitAutoSelect(xs, ys).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.Predict(static_cast<double>(qs[i++ & 0xFFFF])));
+  }
+}
+BENCHMARK(BM_MultivariatePredict);
+
+void BM_NNPredict(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const int layers = static_cast<int>(state.range(1));
+  std::vector<double> xs, ys;
+  for (size_t i = 0; i < Keys().size(); i += 100) {
+    xs.push_back(static_cast<double>(Keys()[i]));
+    ys.push_back(static_cast<double>(i));
+  }
+  models::NNConfig config;
+  for (int l = 0; l < layers; ++l) config.hidden.push_back(width);
+  config.epochs = 2;
+  models::NeuralNet net;
+  if (!net.Fit(xs, ys, config).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.Predict(static_cast<double>(qs[i++ & 0xFFFF])));
+  }
+}
+BENCHMARK(BM_NNPredict)->Args({8, 1})->Args({16, 1})->Args({32, 2});
+
+void BM_RmiPredict(benchmark::State& state) {
+  rmi::RmiConfig config;
+  config.num_leaf_models = static_cast<size_t>(state.range(0));
+  static rmi::LinearRmi* index = nullptr;
+  rmi::LinearRmi local;
+  if (!local.Build(Keys(), config).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  index = &local;
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Predict(qs[i++ & 0xFFFF]).pos);
+  }
+}
+BENCHMARK(BM_RmiPredict)->Arg(10'000)->Arg(100'000);
+
+void BM_RmiLowerBound(benchmark::State& state) {
+  rmi::RmiConfig config;
+  config.num_leaf_models = static_cast<size_t>(state.range(0));
+  rmi::LinearRmi index;
+  if (!index.Build(Keys(), config).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.LowerBound(qs[i++ & 0xFFFF]));
+  }
+}
+BENCHMARK(BM_RmiLowerBound)->Arg(10'000)->Arg(100'000);
+
+void BM_BTreeFindPage(benchmark::State& state) {
+  btree::ReadOnlyBTree tree;
+  if (!tree.Build(Keys(), static_cast<size_t>(state.range(0))).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.FindPage(qs[i++ & 0xFFFF]));
+  }
+}
+BENCHMARK(BM_BTreeFindPage)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_BTreeLowerBound(benchmark::State& state) {
+  btree::ReadOnlyBTree tree;
+  if (!tree.Build(Keys(), static_cast<size_t>(state.range(0))).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.LowerBound(qs[i++ & 0xFFFF]));
+  }
+}
+BENCHMARK(BM_BTreeLowerBound)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_FullBinarySearch(benchmark::State& state) {
+  size_t i = 0;
+  const auto& keys = Keys();
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        search::BinarySearch(keys.data(), 0, keys.size(), qs[i++ & 0xFFFF]));
+  }
+}
+BENCHMARK(BM_FullBinarySearch);
+
+void BM_MurmurHash(benchmark::State& state) {
+  hash::RandomHash h(Keys().size(), 3);
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(qs[i++ & 0xFFFF]));
+  }
+}
+BENCHMARK(BM_MurmurHash);
+
+void BM_LearnedHash(benchmark::State& state) {
+  hash::LearnedHash<models::LinearModel> h;
+  rmi::RmiConfig config;
+  config.num_leaf_models = 100'000;
+  if (!h.Build(Keys(), Keys().size(), config).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(qs[i++ & 0xFFFF]));
+  }
+}
+BENCHMARK(BM_LearnedHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// §2.3: the naive learned index. The same 2x32 ReLU network is executed
+// two ways — through a framework-like interpreted op graph with heap
+// tensors and virtual dispatch (standing in for Tensorflow + Python
+// invocation overhead), and through the compiled LIF-style kernel — and
+// compared against a B-Tree traversal and full binary search. The paper's
+// numbers: ~80,000 ns (TF), ~300 ns (B-Tree), ~900 ns (binary search),
+// ~30 ns-class compiled models (§3.1).
+
+#include <cstdio>
+#include <vector>
+
+#include "btree/readonly_btree.h"
+#include "data/datasets.h"
+#include "lif/measure.h"
+#include "models/naive_executor.h"
+#include "models/nn.h"
+#include "search/search.h"
+
+using namespace li;
+
+int main() {
+  const size_t n = lif::BenchScaleKeys();
+  printf("Section 2.3 reproduction: naive learned index (%zu weblog keys)\n",
+         n);
+  const std::vector<uint64_t> keys = data::GenWeblog(n);
+  std::vector<double> xs, ys;
+  xs.reserve(n);
+  ys.reserve(n);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    xs.push_back(static_cast<double>(keys[i]));
+    ys.push_back(static_cast<double>(i));
+  }
+
+  models::NNConfig config;
+  config.hidden = {32, 32};  // the paper's two-layer, 32-wide net
+  config.epochs = 10;
+  models::NeuralNet net;
+  if (!net.Fit(xs, ys, config).ok()) {
+    fprintf(stderr, "training failed\n");
+    return 1;
+  }
+  models::NaiveGraphExecutor naive(net);
+
+  // The same contrast on a trivial model (0 hidden layers == linear
+  // regression): the framework overhead is constant, so it dominates
+  // completely — the §3.1 "30 ns compiled simple models" story.
+  models::NNConfig lin_config;
+  lin_config.epochs = 20;
+  models::NeuralNet linear_net;
+  if (!linear_net.Fit(xs, ys, lin_config).ok()) return 1;
+  models::NaiveGraphExecutor naive_linear(linear_net);
+
+  btree::ReadOnlyBTree btree;
+  if (!btree.Build(keys, 128).ok()) return 1;
+
+  const auto queries = data::SampleKeys(keys, 50'000);
+  const double naive_ns = lif::MeasureNsPerOp(queries, 1, [&](uint64_t q) {
+    return static_cast<uint64_t>(naive.Predict(static_cast<double>(q)));
+  });
+  const double compiled_ns = lif::MeasureNsPerOp(queries, 2, [&](uint64_t q) {
+    return static_cast<uint64_t>(net.Predict(static_cast<double>(q)));
+  });
+  const double naive_lin_ns = lif::MeasureNsPerOp(queries, 1, [&](uint64_t q) {
+    return static_cast<uint64_t>(naive_linear.Predict(static_cast<double>(q)));
+  });
+  const double compiled_lin_ns =
+      lif::MeasureNsPerOp(queries, 2, [&](uint64_t q) {
+        return static_cast<uint64_t>(
+            linear_net.Predict(static_cast<double>(q)));
+      });
+  const double btree_ns = lif::MeasureNsPerOp(
+      queries, 2, [&](uint64_t q) { return btree.LowerBound(q); });
+  const double binary_ns = lif::MeasureNsPerOp(queries, 2, [&](uint64_t q) {
+    return search::BinarySearch(keys.data(), 0, keys.size(), q);
+  });
+
+  lif::Table table({"Execution path", "ns / lookup", "vs compiled model"});
+  auto add = [&](const char* name, double ns) {
+    char c1[32], c2[32];
+    snprintf(c1, sizeof(c1), "%.0f", ns);
+    snprintf(c2, sizeof(c2), "%.1fx", ns / compiled_ns);
+    table.AddRow({name, c1, c2});
+  };
+  add("framework-interpreted 2x32 NN (naive, a la TF)", naive_ns);
+  add("compiled 2x32 NN (LIF codegen product)", compiled_ns);
+  add("framework-interpreted linear model", naive_lin_ns);
+  add("compiled linear model", compiled_lin_ns);
+  add("B-Tree traversal (page 128)", btree_ns);
+  add("binary search over all data", binary_ns);
+  table.Print();
+  printf("(model prediction alone does not include last-mile search; the\n"
+         " naive path is dominated by per-op dispatch + allocation, the\n"
+         " exact §2.3 failure mode)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Scenario example: a multi-dimensional learned index (§7 future work) —
+// map features indexed by (longitude, latitude) on a z-order curve with a
+// learned CDF model over curve offsets. Rectangle queries ("all coffee
+// shops in this bounding box") walk the curve with BIGMIN skipping.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/random.h"
+#include "mdim/mdim_index.h"
+
+int main(int argc, char** argv) {
+  using namespace li;
+  const size_t n =
+      (argc > 1 ? static_cast<size_t>(atol(argv[1])) : 1) * 1'000'000;
+
+  printf("== spatial learned index example ==\n");
+  // World-like feature set: dense cities, sparse countryside.
+  Xorshift128Plus rng(42);
+  std::vector<mdim::Point> features;
+  features.reserve(n);
+  const uint32_t kWorld = 1u << 24;
+  std::vector<std::pair<double, double>> cities;
+  for (int i = 0; i < 16; ++i) {
+    cities.emplace_back(rng.NextDouble() * kWorld, rng.NextDouble() * kWorld);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.2) {
+      features.push_back({static_cast<uint32_t>(rng.NextBounded(kWorld)),
+                          static_cast<uint32_t>(rng.NextBounded(kWorld))});
+    } else {
+      const auto& [cx, cy] = cities[rng.NextBounded(cities.size())];
+      const double x = cx + 30'000.0 * rng.NextGaussian();
+      const double y = cy + 30'000.0 * rng.NextGaussian();
+      features.push_back(
+          {static_cast<uint32_t>(std::clamp(x, 0.0, double(kWorld - 1))),
+           static_cast<uint32_t>(std::clamp(y, 0.0, double(kWorld - 1)))});
+    }
+  }
+
+  mdim::LearnedZIndex index;
+  if (const Status s = index.Build(features, n / 100); !s.ok()) {
+    fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("%zu features indexed; learned index overhead %.2f MB\n",
+         index.size(), index.SizeBytes() / 1e6);
+
+  // Bounding-box query around the first city.
+  const uint32_t cx = static_cast<uint32_t>(cities[0].first);
+  const uint32_t cy = static_cast<uint32_t>(cities[0].second);
+  const uint32_t r = 20'000;
+  mdim::Rect box{cx > r ? cx - r : 0, cy > r ? cy - r : 0, cx + r, cy + r};
+  std::vector<mdim::Point> hits;
+  index.RangeQuery(box, &hits);
+  printf("bounding box (%u,%u)-(%u,%u): %zu features, %zu learned seeks\n",
+         box.x0, box.y0, box.x1, box.y1, hits.size(),
+         index.last_query_seeks());
+
+  // Point probe.
+  printf("Contains(first feature) = %s\n",
+         index.Contains(features[0]) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Standard Bloom filter (§5): m-bit array, k hash functions via
+// Kirsch-Mitzenmacher double hashing. Sized from (n, target FPR) with the
+// textbook optimum m = -n ln p / (ln 2)^2, k = (m/n) ln 2 — the formula
+// behind the paper's "2.04 MB for 1% FPR over 1.7M keys" baseline.
+
+#ifndef LI_BLOOM_BLOOM_FILTER_H_
+#define LI_BLOOM_BLOOM_FILTER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace li::bloom {
+
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+
+  /// Sizes the filter for `expected_keys` at `target_fpr`.
+  Status Init(size_t expected_keys, double target_fpr) {
+    if (expected_keys == 0 || target_fpr <= 0.0 || target_fpr >= 1.0) {
+      return Status::InvalidArgument("BloomFilter: bad parameters");
+    }
+    const double ln2 = std::log(2.0);
+    const double m = -static_cast<double>(expected_keys) *
+                     std::log(target_fpr) / (ln2 * ln2);
+    num_bits_ = std::max<uint64_t>(64, static_cast<uint64_t>(std::ceil(m)));
+    num_hashes_ = std::max(
+        1, static_cast<int>(std::round(
+               m / static_cast<double>(expected_keys) * ln2)));
+    bits_.assign((num_bits_ + 63) / 64, 0);
+    return Status::OK();
+  }
+
+  /// Explicit geometry (used by the sandwiched model-hash construction).
+  Status InitExplicit(uint64_t num_bits, int num_hashes) {
+    if (num_bits == 0 || num_hashes < 1) {
+      return Status::InvalidArgument("BloomFilter: bad explicit geometry");
+    }
+    num_bits_ = num_bits;
+    num_hashes_ = num_hashes;
+    bits_.assign((num_bits_ + 63) / 64, 0);
+    return Status::OK();
+  }
+
+  void Add(uint64_t key) { AddHash(Murmur3Fmix64(key)); }
+  void Add(std::string_view key) {
+    AddHash(MurmurHash64(key.data(), key.size()));
+  }
+
+  bool MightContain(uint64_t key) const {
+    return TestHash(Murmur3Fmix64(key));
+  }
+  bool MightContain(std::string_view key) const {
+    return TestHash(MurmurHash64(key.data(), key.size()));
+  }
+
+  uint64_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+ private:
+  void AddHash(uint64_t h) {
+    const uint64_t h1 = h;
+    const uint64_t h2 = (h >> 33) | (h << 31) | 1;  // odd second hash
+    for (int i = 0; i < num_hashes_; ++i) {
+      const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+      bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+  }
+  bool TestHash(uint64_t h) const {
+    const uint64_t h1 = h;
+    const uint64_t h2 = (h >> 33) | (h << 31) | 1;
+    for (int i = 0; i < num_hashes_; ++i) {
+      const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+      if (!(bits_[bit >> 6] & (uint64_t{1} << (bit & 63)))) return false;
+    }
+    return true;
+  }
+
+  uint64_t num_bits_ = 0;
+  int num_hashes_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace li::bloom
+
+#endif  // LI_BLOOM_BLOOM_FILTER_H_

@@ -1,0 +1,120 @@
+// Learned Bloom filter (§5.1.1): a probabilistic classifier f plus an
+// overflow Bloom filter over f's false negatives.
+//
+//  * Threshold tau is tuned on a held-out non-key validation set so that
+//    FPR_tau = p*/2; the overflow filter is sized for FPR_B = p*/2, giving
+//    an overall FPR_O = FPR_tau + (1 - FPR_tau) FPR_B <= p* [53].
+//  * The no-false-negative guarantee is structural: every key with
+//    f(x) < tau is inserted into the overflow filter, so
+//    MightContain(key) is always true for keys.
+//
+// Templated on the classifier (GruClassifier, NgramLogistic, ...), which
+// must provide `double Predict(std::string_view)` and `SizeBytes()`.
+
+#ifndef LI_BLOOM_LEARNED_BLOOM_H_
+#define LI_BLOOM_LEARNED_BLOOM_H_
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/status.h"
+
+namespace li::bloom {
+
+template <typename Classifier>
+class LearnedBloomFilter {
+ public:
+  LearnedBloomFilter() = default;
+
+  /// `classifier` must already be trained. `keys` are inserted;
+  /// `validation_non_keys` calibrate tau for the target overall FPR.
+  Status Build(const Classifier* classifier,
+               std::span<const std::string> keys,
+               std::span<const std::string> validation_non_keys,
+               double target_fpr) {
+    if (classifier == nullptr) {
+      return Status::InvalidArgument("LearnedBloomFilter: null classifier");
+    }
+    if (target_fpr <= 0.0 || target_fpr >= 1.0) {
+      return Status::InvalidArgument("LearnedBloomFilter: bad target FPR");
+    }
+    if (validation_non_keys.empty()) {
+      return Status::InvalidArgument("LearnedBloomFilter: need validation set");
+    }
+    classifier_ = classifier;
+    target_fpr_ = target_fpr;
+
+    // ---- Tune tau: FPR_tau = p*/2 on the validation non-keys ----
+    std::vector<double> scores;
+    scores.reserve(validation_non_keys.size());
+    for (const auto& s : validation_non_keys) {
+      scores.push_back(classifier_->Predict(s));
+    }
+    std::sort(scores.begin(), scores.end());
+    const double half = target_fpr / 2.0;
+    // tau = (1 - p*/2) quantile of non-key scores; scores >= tau pass.
+    const size_t cut = static_cast<size_t>(
+        std::min<double>(static_cast<double>(scores.size() - 1),
+                         std::ceil((1.0 - half) *
+                                   static_cast<double>(scores.size()))));
+    tau_ = std::min(scores[cut] + 1e-12, 1.0 + 1e-12);
+
+    // ---- Overflow filter over the classifier's false negatives ----
+    std::vector<const std::string*> false_negatives;
+    for (const auto& k : keys) {
+      if (classifier_->Predict(k) < tau_) false_negatives.push_back(&k);
+    }
+    fnr_ = keys.empty() ? 0.0
+                        : static_cast<double>(false_negatives.size()) /
+                              static_cast<double>(keys.size());
+    if (!false_negatives.empty()) {
+      LI_RETURN_IF_ERROR(overflow_.Init(false_negatives.size(), half));
+      for (const auto* k : false_negatives) overflow_.Add(*k);
+      has_overflow_ = true;
+    } else {
+      has_overflow_ = false;
+    }
+    return Status::OK();
+  }
+
+  /// Figure-9(c): model first; below-threshold queries fall through to the
+  /// overflow filter. Never false-negative for inserted keys.
+  bool MightContain(std::string_view key) const {
+    if (classifier_->Predict(key) >= tau_) return true;
+    return has_overflow_ && overflow_.MightContain(key);
+  }
+
+  /// Measured FPR over a test set of non-keys.
+  double EmpiricalFpr(std::span<const std::string> test_non_keys) const {
+    if (test_non_keys.empty()) return 0.0;
+    size_t fp = 0;
+    for (const auto& s : test_non_keys) fp += MightContain(s);
+    return static_cast<double>(fp) / static_cast<double>(test_non_keys.size());
+  }
+
+  double tau() const { return tau_; }
+  double fnr() const { return fnr_; }
+  size_t SizeBytes() const {
+    return classifier_->SizeBytes() +
+           (has_overflow_ ? overflow_.SizeBytes() : 0);
+  }
+  size_t OverflowBytes() const {
+    return has_overflow_ ? overflow_.SizeBytes() : 0;
+  }
+
+ private:
+  const Classifier* classifier_ = nullptr;
+  double target_fpr_ = 0.01;
+  double tau_ = 0.5;
+  double fnr_ = 0.0;
+  bool has_overflow_ = false;
+  BloomFilter overflow_;
+};
+
+}  // namespace li::bloom
+
+#endif  // LI_BLOOM_LEARNED_BLOOM_H_

@@ -1,0 +1,258 @@
+#include "btree/dynamic_btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace li::btree {
+
+struct BTreeMap::Node {
+  bool is_leaf;
+  int count;
+};
+
+struct BTreeMap::LeafNode {
+  Node base;
+  Key keys[kLeafCap];
+  Value values[kLeafCap];
+  LeafNode* next;
+};
+
+struct BTreeMap::InnerNode {
+  Node base;
+  Key seps[kInnerCap];          // count separators
+  Node* children[kInnerCap + 1];  // count + 1 children
+};
+
+namespace {
+
+/// First index in keys[0..count) with keys[i] >= key.
+template <typename K>
+int LowerIdx(const K* keys, int count, K key) {
+  int lo = 0, hi = count;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First index with keys[i] > key (child selector for inner nodes).
+template <typename K>
+int UpperIdx(const K* keys, int count, K key) {
+  int lo = 0, hi = count;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (key < keys[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BTreeMap::BTreeMap() {
+  auto* leaf = new LeafNode();
+  leaf->base.is_leaf = true;
+  leaf->base.count = 0;
+  leaf->next = nullptr;
+  root_ = &leaf->base;
+  allocated_bytes_ = sizeof(LeafNode);
+}
+
+BTreeMap::~BTreeMap() { FreeRec(root_); }
+
+BTreeMap::BTreeMap(BTreeMap&& other) noexcept
+    : root_(other.root_),
+      size_(other.size_),
+      height_(other.height_),
+      allocated_bytes_(other.allocated_bytes_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+BTreeMap& BTreeMap::operator=(BTreeMap&& other) noexcept {
+  if (this != &other) {
+    FreeRec(root_);
+    root_ = std::exchange(other.root_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    height_ = other.height_;
+    allocated_bytes_ = other.allocated_bytes_;
+  }
+  return *this;
+}
+
+void BTreeMap::FreeRec(Node* node) {
+  if (node == nullptr) return;
+  if (node->is_leaf) {
+    delete reinterpret_cast<LeafNode*>(node);
+    return;
+  }
+  auto* inner = reinterpret_cast<InnerNode*>(node);
+  for (int i = 0; i <= inner->base.count; ++i) FreeRec(inner->children[i]);
+  delete inner;
+}
+
+BTreeMap::SplitResult BTreeMap::InsertRec(Node* node, Key key, Value value) {
+  if (node->is_leaf) {
+    auto* leaf = reinterpret_cast<LeafNode*>(node);
+    const int idx = LowerIdx(leaf->keys, leaf->base.count, key);
+    if (idx < leaf->base.count && leaf->keys[idx] == key) {
+      leaf->values[idx] = value;  // overwrite
+      return {};
+    }
+    ++size_;
+    if (leaf->base.count < kLeafCap) {
+      std::memmove(&leaf->keys[idx + 1], &leaf->keys[idx],
+                   sizeof(Key) * (leaf->base.count - idx));
+      std::memmove(&leaf->values[idx + 1], &leaf->values[idx],
+                   sizeof(Value) * (leaf->base.count - idx));
+      leaf->keys[idx] = key;
+      leaf->values[idx] = value;
+      ++leaf->base.count;
+      return {};
+    }
+    // Split the leaf, then insert into the proper half.
+    auto* right = new LeafNode();
+    allocated_bytes_ += sizeof(LeafNode);
+    right->base.is_leaf = true;
+    const int mid = kLeafCap / 2;
+    right->base.count = kLeafCap - mid;
+    std::memcpy(right->keys, &leaf->keys[mid], sizeof(Key) * right->base.count);
+    std::memcpy(right->values, &leaf->values[mid],
+                sizeof(Value) * right->base.count);
+    leaf->base.count = mid;
+    right->next = leaf->next;
+    leaf->next = right;
+    --size_;  // the recursive insert below will re-count
+    if (key < right->keys[0]) {
+      InsertRec(&leaf->base, key, value);
+    } else {
+      InsertRec(&right->base, key, value);
+    }
+    return {true, right->keys[0], &right->base};
+  }
+
+  auto* inner = reinterpret_cast<InnerNode*>(node);
+  const int child_idx = UpperIdx(inner->seps, inner->base.count, key);
+  const SplitResult child_split =
+      InsertRec(inner->children[child_idx], key, value);
+  if (!child_split.did_split) return {};
+
+  if (inner->base.count < kInnerCap) {
+    const int idx = child_idx;
+    std::memmove(&inner->seps[idx + 1], &inner->seps[idx],
+                 sizeof(Key) * (inner->base.count - idx));
+    std::memmove(&inner->children[idx + 2], &inner->children[idx + 1],
+                 sizeof(Node*) * (inner->base.count - idx));
+    inner->seps[idx] = child_split.separator;
+    inner->children[idx + 1] = child_split.right;
+    ++inner->base.count;
+    return {};
+  }
+  // Split the inner node: middle separator moves up.
+  auto* right = new InnerNode();
+  allocated_bytes_ += sizeof(InnerNode);
+  right->base.is_leaf = false;
+  const int mid = kInnerCap / 2;
+  const Key up_sep = inner->seps[mid];
+  right->base.count = kInnerCap - mid - 1;
+  std::memcpy(right->seps, &inner->seps[mid + 1],
+              sizeof(Key) * right->base.count);
+  std::memcpy(right->children, &inner->children[mid + 1],
+              sizeof(Node*) * (right->base.count + 1));
+  inner->base.count = mid;
+  // Insert the pending child into the correct half.
+  InnerNode* target = child_split.separator < up_sep ? inner : right;
+  const Key pending_sep = child_split.separator;
+  const int idx = UpperIdx(target->seps, target->base.count, pending_sep);
+  std::memmove(&target->seps[idx + 1], &target->seps[idx],
+               sizeof(Key) * (target->base.count - idx));
+  std::memmove(&target->children[idx + 2], &target->children[idx + 1],
+               sizeof(Node*) * (target->base.count - idx));
+  target->seps[idx] = pending_sep;
+  target->children[idx + 1] = child_split.right;
+  ++target->base.count;
+  return {true, up_sep, &right->base};
+}
+
+void BTreeMap::Insert(Key key, Value value) {
+  const SplitResult split = InsertRec(root_, key, value);
+  if (split.did_split) {
+    auto* new_root = new InnerNode();
+    allocated_bytes_ += sizeof(InnerNode);
+    new_root->base.is_leaf = false;
+    new_root->base.count = 1;
+    new_root->seps[0] = split.separator;
+    new_root->children[0] = root_;
+    new_root->children[1] = split.right;
+    root_ = &new_root->base;
+    ++height_;
+  }
+}
+
+std::optional<BTreeMap::Value> BTreeMap::Find(Key key) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const auto* inner = reinterpret_cast<const InnerNode*>(node);
+    node = inner->children[UpperIdx(inner->seps, inner->base.count, key)];
+  }
+  const auto* leaf = reinterpret_cast<const LeafNode*>(node);
+  const int idx = LowerIdx(leaf->keys, leaf->base.count, key);
+  if (idx < leaf->base.count && leaf->keys[idx] == key) {
+    return leaf->values[idx];
+  }
+  return std::nullopt;
+}
+
+BTreeMap::Iterator BTreeMap::LowerBound(Key key) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const auto* inner = reinterpret_cast<const InnerNode*>(node);
+    node = inner->children[UpperIdx(inner->seps, inner->base.count, key)];
+  }
+  const auto* leaf = reinterpret_cast<const LeafNode*>(node);
+  int idx = LowerIdx(leaf->keys, leaf->base.count, key);
+  Iterator it;
+  if (idx == leaf->base.count) {
+    // Key larger than everything in this leaf: move to the next leaf.
+    leaf = leaf->next;
+    idx = 0;
+    if (leaf != nullptr && leaf->base.count == 0) leaf = nullptr;
+  }
+  it.leaf_ = leaf;
+  it.idx_ = idx;
+  return it;
+}
+
+BTreeMap::Iterator BTreeMap::Begin() const { return LowerBound(0); }
+
+BTreeMap::Key BTreeMap::Iterator::key() const {
+  assert(Valid());
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  return leaf->keys[idx_];
+}
+
+BTreeMap::Value BTreeMap::Iterator::value() const {
+  assert(Valid());
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  return leaf->values[idx_];
+}
+
+void BTreeMap::Iterator::Next() {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  if (++idx_ >= leaf->base.count) {
+    leaf_ = leaf->next;
+    idx_ = 0;
+  }
+}
+
+}  // namespace li::btree

@@ -1,0 +1,81 @@
+// In-memory dynamic B+-Tree map (insertable) — the mutable counterpart of
+// ReadOnlyBTree. Used by the Appendix-D.1 delta-index example (buffered
+// inserts merged into a retrained learned index) and available as a
+// worst-case-bounded leaf for hybrid indexes. Classic design: linked leaf
+// nodes hold key/value pairs, inner nodes hold separators; splits propagate
+// upward; lookups/scans use lower_bound semantics like every range index in
+// this library.
+
+#ifndef LI_BTREE_DYNAMIC_BTREE_H_
+#define LI_BTREE_DYNAMIC_BTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace li::btree {
+
+class BTreeMap {
+ public:
+  static constexpr int kLeafCap = 64;
+  static constexpr int kInnerCap = 64;
+
+  using Key = uint64_t;
+  using Value = uint64_t;
+
+  BTreeMap();
+  ~BTreeMap();
+  BTreeMap(const BTreeMap&) = delete;
+  BTreeMap& operator=(const BTreeMap&) = delete;
+  BTreeMap(BTreeMap&& other) noexcept;
+  BTreeMap& operator=(BTreeMap&& other) noexcept;
+
+  /// Inserts or overwrites.
+  void Insert(Key key, Value value);
+
+  /// Exact-match lookup.
+  std::optional<Value> Find(Key key) const;
+
+  /// Forward iterator over entries >= key, in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    Key key() const;
+    Value value() const;
+    void Next();
+
+   private:
+    friend class BTreeMap;
+    const void* leaf_ = nullptr;
+    int idx_ = 0;
+  };
+  Iterator LowerBound(Key key) const;
+  Iterator Begin() const;
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+  size_t SizeBytes() const { return allocated_bytes_; }
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InnerNode;
+
+  struct SplitResult {
+    bool did_split = false;
+    Key separator = 0;
+    Node* right = nullptr;
+  };
+
+  SplitResult InsertRec(Node* node, Key key, Value value);
+  void FreeRec(Node* node);
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  size_t height_ = 1;
+  size_t allocated_bytes_ = 0;
+};
+
+}  // namespace li::btree
+
+#endif  // LI_BTREE_DYNAMIC_BTREE_H_

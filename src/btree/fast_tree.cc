@@ -1,0 +1,89 @@
+#include "btree/fast_tree.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "search/search.h"
+
+namespace li::btree {
+
+namespace {
+
+/// Branch-free count of keys in node[0..kNodeKeys) that are <= key.
+/// With -march=native the compiler lowers this to packed 64-bit compares.
+inline size_t CountLessEq(const uint64_t* node, uint64_t key) {
+  size_t c = 0;
+  for (size_t i = 0; i < FastTree::kNodeKeys; ++i) {
+    c += static_cast<size_t>(node[i] <= key);
+  }
+  return c;
+}
+
+}  // namespace
+
+Status FastTree::Build(std::span<const uint64_t> keys) {
+  if (!std::is_sorted(keys.begin(), keys.end())) {
+    return Status::InvalidArgument("FastTree: keys must be sorted");
+  }
+  data_ = keys;
+  levels_.clear();
+  level_entries_.clear();
+  allocated_bytes_ = 0;
+  if (keys.empty()) return Status::OK();
+
+  // Leaf-most separators: first key of every 16-key data block.
+  std::vector<uint64_t> level;
+  for (size_t i = 0; i < keys.size(); i += kNodeKeys) level.push_back(keys[i]);
+  levels_.push_back(std::move(level));
+  while (levels_.back().size() > kNodeKeys) {
+    const auto& below = levels_.back();
+    std::vector<uint64_t> next;
+    for (size_t i = 0; i < below.size(); i += kNodeKeys) {
+      next.push_back(below[i]);
+    }
+    levels_.push_back(std::move(next));
+  }
+  std::reverse(levels_.begin(), levels_.end());
+
+  // Pad each level: entries to a multiple of 16 with +inf sentinels (so
+  // branch-free compares never select padding), then the allocation to the
+  // next power of two — the FAST blow-up.
+  for (auto& lvl : levels_) {
+    level_entries_.push_back(lvl.size());
+    const size_t padded_entries = ((lvl.size() + kNodeKeys - 1) / kNodeKeys) *
+                                  kNodeKeys;
+    lvl.resize(padded_entries, UINT64_MAX);
+    const size_t wanted_bytes = lvl.size() * sizeof(uint64_t);
+    const size_t alloc_bytes = NextPow2(wanted_bytes);
+    lvl.resize(alloc_bytes / sizeof(uint64_t), UINT64_MAX);
+    allocated_bytes_ += alloc_bytes;
+  }
+  return Status::OK();
+}
+
+size_t FastTree::LowerBound(uint64_t key) const {
+  if (data_.empty()) return 0;
+  size_t node = 0;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    const uint64_t* base = levels_[l].data() + node * kNodeKeys;
+    const size_t cnt = CountLessEq(base, key);
+    // Child = index of last separator <= key (or 0 if none).
+    const size_t entry = node * kNodeKeys + (cnt == 0 ? 0 : cnt - 1);
+    node = std::min(entry, level_entries_[l] - 1);
+  }
+  // `node` is now the 16-key data block; branch-free scan inside it.
+  const size_t begin = node * kNodeKeys;
+  const size_t len = std::min(kNodeKeys, data_.size() - begin);
+  const size_t off = search::BranchFreeScan(data_.data() + begin, len, key);
+  return begin + off;
+}
+
+size_t FastTree::SizeBytes() const { return allocated_bytes_; }
+
+size_t FastTree::UsefulBytes() const {
+  size_t bytes = 0;
+  for (const size_t n : level_entries_) bytes += n * sizeof(uint64_t);
+  return bytes;
+}
+
+}  // namespace li::btree

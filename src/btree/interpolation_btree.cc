@@ -1,0 +1,60 @@
+#include "btree/interpolation_btree.h"
+
+#include <algorithm>
+
+#include "search/search.h"
+
+namespace li::btree {
+
+Status InterpolationBTree::Build(std::span<const uint64_t> keys,
+                                 size_t budget_bytes) {
+  if (budget_bytes < 64) {
+    return Status::InvalidArgument("InterpolationBTree: budget too small");
+  }
+  if (!std::is_sorted(keys.begin(), keys.end())) {
+    return Status::InvalidArgument("InterpolationBTree: keys must be sorted");
+  }
+  data_ = keys;
+  index_.clear();
+  top_.clear();
+  if (keys.empty()) {
+    page_ = 1;
+    return Status::OK();
+  }
+  // Budget is split between the page index and its (much smaller) top
+  // level: entries ~= budget/8; page = ceil(n / entries).
+  const size_t max_entries = budget_bytes / sizeof(uint64_t);
+  const size_t entries = std::max<size_t>(1, max_entries * kNodeKeys /
+                                                 (kNodeKeys + 1));
+  page_ = std::max<size_t>(1, (keys.size() + entries - 1) / entries);
+  for (size_t i = 0; i < keys.size(); i += page_) index_.push_back(keys[i]);
+  for (size_t i = 0; i < index_.size(); i += kNodeKeys) {
+    top_.push_back(index_[i]);
+  }
+  return Status::OK();
+}
+
+size_t InterpolationBTree::LowerBound(uint64_t key) const {
+  if (data_.empty()) return 0;
+  // Level 0: interpolation over the top separators.
+  size_t t = search::InterpolationSearch(top_.data(), 0, top_.size(), key);
+  // Convert lower_bound to "last separator <= key".
+  if (t == top_.size() || top_[t] > key) t = (t == 0) ? 0 : t - 1;
+
+  // Level 1: interpolation within one index node.
+  const size_t ibegin = t * kNodeKeys;
+  const size_t iend = std::min(ibegin + kNodeKeys, index_.size());
+  size_t s = search::InterpolationSearch(index_.data(), ibegin, iend, key);
+  if (s == iend || index_[s] > key) s = (s == ibegin) ? ibegin : s - 1;
+
+  // Level 2: interpolation within the data page.
+  const size_t begin = s * page_;
+  const size_t end = std::min(begin + page_, data_.size());
+  return search::InterpolationSearch(data_.data(), begin, end, key);
+}
+
+size_t InterpolationBTree::SizeBytes() const {
+  return (index_.size() + top_.size()) * sizeof(uint64_t);
+}
+
+}  // namespace li::btree

@@ -1,0 +1,47 @@
+// Fixed-size B-Tree with interpolation search — the Figure-5 baseline from
+// the "case for B-tree index structures" blog response [1]: "we created a
+// fixed-height B-Tree with interpolation search. The B-Tree height is set
+// so that the total size of the tree is 1.5MB, similar to our learned
+// model."
+//
+// Given a byte budget, the builder derives a sparse fanout so the whole
+// index (all levels) fits the budget; every node is searched with
+// interpolation instead of binary search, exploiting near-linear key
+// distributions the same way a learned model does.
+
+#ifndef LI_BTREE_INTERPOLATION_BTREE_H_
+#define LI_BTREE_INTERPOLATION_BTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace li::btree {
+
+class InterpolationBTree {
+ public:
+  InterpolationBTree() = default;
+
+  /// Builds over sorted `keys`, sizing the index to at most `budget_bytes`.
+  Status Build(std::span<const uint64_t> keys, size_t budget_bytes);
+
+  /// lower_bound over the data array.
+  size_t LowerBound(uint64_t key) const;
+
+  size_t SizeBytes() const;
+  size_t page_size() const { return page_; }
+
+ private:
+  std::span<const uint64_t> data_;
+  size_t page_ = 0;                    // data keys per sparse-index entry
+  std::vector<uint64_t> index_;        // first key of every data page
+  std::vector<uint64_t> top_;          // first key of every index node
+  static constexpr size_t kNodeKeys = 256;
+};
+
+}  // namespace li::btree
+
+#endif  // LI_BTREE_INTERPOLATION_BTREE_H_

@@ -1,0 +1,52 @@
+#include "btree/lookup_table.h"
+
+#include <algorithm>
+
+#include "search/search.h"
+
+namespace li::btree {
+
+Status LookupTable::Build(std::span<const uint64_t> keys) {
+  if (!std::is_sorted(keys.begin(), keys.end())) {
+    return Status::InvalidArgument("LookupTable: keys must be sorted");
+  }
+  data_ = keys;
+  second_.clear();
+  top_.clear();
+  if (keys.empty()) return Status::OK();
+
+  for (size_t i = 0; i < keys.size(); i += kStride) second_.push_back(keys[i]);
+  second_entries_ = second_.size();
+  // Pad to a multiple of 64 with +inf so the branch-free scan stays in
+  // whole blocks without selecting padding.
+  while (second_.size() % kStride != 0) second_.push_back(UINT64_MAX);
+  for (size_t i = 0; i < second_entries_; i += kStride) {
+    top_.push_back(second_[i]);
+  }
+  return Status::OK();
+}
+
+size_t LookupTable::LowerBound(uint64_t key) const {
+  if (data_.empty()) return 0;
+  if (key == UINT64_MAX) {
+    // The +inf padding sentinels would alias this key in the block scans.
+    return search::BinarySearch(data_.data(), 0, data_.size(), key);
+  }
+  // Stage 1: binary search on the top table for the last entry <= key.
+  const size_t ub = search::UpperBound(top_.data(), 0, top_.size(), key);
+  const size_t top_slot = (ub == 0) ? 0 : ub - 1;
+
+  // Stage 2: branch-free scan over one 64-entry block of the second table.
+  const size_t sec_begin = top_slot * kStride;
+  const size_t cnt =
+      search::BranchFreeScan(second_.data() + sec_begin, kStride, key + 1);
+  // cnt = #entries <= key in the block; pick the last such entry.
+  const size_t sec_slot = sec_begin + (cnt == 0 ? 0 : cnt - 1);
+
+  // Stage 3: branch-free scan over one 64-key block of the data.
+  const size_t begin = sec_slot * kStride;
+  const size_t len = std::min(kStride, data_.size() - begin);
+  return begin + search::BranchFreeScan(data_.data() + begin, len, key);
+}
+
+}  // namespace li::btree

@@ -1,0 +1,46 @@
+// Hierarchical lookup table with branch-free scans — the Figure-5 "Lookup
+// Table w/ AVX search" baseline, constructed exactly as §3.7.1 describes:
+// "taking every 64th key and putting it into an array including padding to
+// make it a multiple of 64. Then we repeat that process one more time over
+// the array without padding, creating two arrays in total. To lookup a key,
+// we use binary search on the top table followed by an AVX optimized
+// branch-free scan for the second table and the data itself."
+
+#ifndef LI_BTREE_LOOKUP_TABLE_H_
+#define LI_BTREE_LOOKUP_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace li::btree {
+
+class LookupTable {
+ public:
+  static constexpr size_t kStride = 64;
+
+  LookupTable() = default;
+
+  /// Builds both tables over sorted `keys` (caller owns the array).
+  Status Build(std::span<const uint64_t> keys);
+
+  /// lower_bound over the data array.
+  size_t LowerBound(uint64_t key) const;
+
+  size_t SizeBytes() const {
+    return (second_.size() + top_.size()) * sizeof(uint64_t);
+  }
+
+ private:
+  std::span<const uint64_t> data_;
+  std::vector<uint64_t> second_;  // every 64th key, padded to 64-multiple
+  std::vector<uint64_t> top_;     // every 64th key of `second_`, unpadded
+  size_t second_entries_ = 0;     // un-padded entry count of `second_`
+};
+
+}  // namespace li::btree
+
+#endif  // LI_BTREE_LOOKUP_TABLE_H_

@@ -1,0 +1,78 @@
+#include "btree/readonly_btree.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "search/search.h"
+
+namespace li::btree {
+
+Status ReadOnlyBTree::Build(std::span<const uint64_t> keys,
+                            size_t keys_per_page) {
+  if (keys_per_page < 2) {
+    return Status::InvalidArgument("ReadOnlyBTree: keys_per_page must be >= 2");
+  }
+  if (!std::is_sorted(keys.begin(), keys.end())) {
+    return Status::InvalidArgument("ReadOnlyBTree: keys must be sorted");
+  }
+  data_ = keys;
+  fanout_ = keys_per_page;
+  levels_.clear();
+  if (keys.empty()) return Status::OK();
+
+  // Leaf-most index level: the first key of every data page.
+  std::vector<uint64_t> level;
+  level.reserve((keys.size() + fanout_ - 1) / fanout_);
+  for (size_t i = 0; i < keys.size(); i += fanout_) level.push_back(keys[i]);
+  levels_.push_back(std::move(level));
+
+  // Stack further levels until the top fits within one node.
+  while (levels_.back().size() > fanout_) {
+    const auto& below = levels_.back();
+    std::vector<uint64_t> next;
+    next.reserve((below.size() + fanout_ - 1) / fanout_);
+    for (size_t i = 0; i < below.size(); i += fanout_) next.push_back(below[i]);
+    levels_.push_back(std::move(next));
+  }
+  std::reverse(levels_.begin(), levels_.end());
+  return Status::OK();
+}
+
+size_t ReadOnlyBTree::FindPage(uint64_t key) const {
+  if (levels_.empty()) return 0;
+  // At each level pick the last separator <= key (upper_bound - 1); the
+  // chosen entry index is the node index at the level below.
+  size_t node = 0;
+  for (const auto& level : levels_) {
+    const size_t begin = node * fanout_;
+    const size_t end = std::min(begin + fanout_, level.size());
+    const size_t ub = search::UpperBound(level.data(), begin, end, key);
+    node = (ub == begin) ? begin : ub - 1;
+  }
+  return node;
+}
+
+size_t ReadOnlyBTree::SearchInPage(size_t page, uint64_t key) const {
+  const size_t begin = page * fanout_;
+  const size_t end = std::min(begin + fanout_, data_.size());
+  const size_t pos = search::BinarySearch(data_.data(), begin, end, key);
+  return pos;
+}
+
+size_t ReadOnlyBTree::LowerBound(uint64_t key) const {
+  if (data_.empty()) return 0;
+  const size_t page = FindPage(key);
+  const size_t pos = SearchInPage(page, key);
+  // If the whole page is < key the answer is the first slot of the next
+  // page (which is the returned `end`), globally correct because pages are
+  // contiguous in the sorted array.
+  return pos;
+}
+
+size_t ReadOnlyBTree::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& level : levels_) bytes += level.size() * sizeof(uint64_t);
+  return bytes;
+}
+
+}  // namespace li::btree

@@ -1,0 +1,88 @@
+// Static read-only B+-Tree over sorted strings — the baseline for the
+// string-data experiment (Figure 6). Same bottom-up dense construction as
+// ReadOnlyBTree; separators are copies of the page-leading strings, and
+// reported size counts separator characters plus per-entry overhead so the
+// "Size (MB)" column scales with page size exactly as the paper's does.
+
+#ifndef LI_BTREE_STRING_BTREE_H_
+#define LI_BTREE_STRING_BTREE_H_
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "search/search.h"
+
+namespace li::btree {
+
+class StringBTree {
+ public:
+  StringBTree() = default;
+
+  Status Build(std::span<const std::string> keys, size_t keys_per_page) {
+    if (keys_per_page < 2) {
+      return Status::InvalidArgument("StringBTree: keys_per_page >= 2");
+    }
+    if (!std::is_sorted(keys.begin(), keys.end())) {
+      return Status::InvalidArgument("StringBTree: keys must be sorted");
+    }
+    data_ = keys;
+    fanout_ = keys_per_page;
+    levels_.clear();
+    if (keys.empty()) return Status::OK();
+    std::vector<std::string> level;
+    for (size_t i = 0; i < keys.size(); i += fanout_) level.push_back(keys[i]);
+    levels_.push_back(std::move(level));
+    while (levels_.back().size() > fanout_) {
+      const auto& below = levels_.back();
+      std::vector<std::string> next;
+      for (size_t i = 0; i < below.size(); i += fanout_) {
+        next.push_back(below[i]);
+      }
+      levels_.push_back(std::move(next));
+    }
+    std::reverse(levels_.begin(), levels_.end());
+    return Status::OK();
+  }
+
+  /// Data-page index for `key` (the traversal / "model" part).
+  size_t FindPage(const std::string& key) const {
+    size_t node = 0;
+    for (const auto& level : levels_) {
+      const size_t begin = node * fanout_;
+      const size_t end = std::min(begin + fanout_, level.size());
+      const size_t ub = search::UpperBound(level.data(), begin, end, key);
+      node = (ub == begin) ? begin : ub - 1;
+    }
+    return node;
+  }
+
+  size_t LowerBound(const std::string& key) const {
+    if (data_.empty()) return 0;
+    const size_t page = FindPage(key);
+    const size_t begin = page * fanout_;
+    const size_t end = std::min(begin + fanout_, data_.size());
+    return search::BinarySearch(data_.data(), begin, end, key);
+  }
+
+  size_t SizeBytes() const {
+    size_t bytes = 0;
+    for (const auto& level : levels_) {
+      for (const auto& s : level) {
+        bytes += s.size() + sizeof(void*) + sizeof(size_t);  // chars + header
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  std::span<const std::string> data_;
+  size_t fanout_ = 0;
+  std::vector<std::vector<std::string>> levels_;
+};
+
+}  // namespace li::btree
+
+#endif  // LI_BTREE_STRING_BTREE_H_

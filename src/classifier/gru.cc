@@ -1,0 +1,325 @@
+#include "classifier/gru.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace li::classifier {
+
+namespace {
+
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// y += W (HxD row-major) * x (D)
+inline void MatVecAcc(const double* w, const double* x, int rows, int cols,
+                      double* y) {
+  for (int r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    const double* row = w + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] += acc;
+  }
+}
+
+/// y += W^T (W is RxC) * d (R)  — i.e. y_c += sum_r W[r][c] * d[r]
+inline void MatTVecAcc(const double* w, const double* d, int rows, int cols,
+                       double* y) {
+  for (int r = 0; r < rows; ++r) {
+    const double dr = d[r];
+    if (dr == 0.0) continue;
+    const double* row = w + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) y[c] += row[c] * dr;
+  }
+}
+
+/// G += d (R) outer x (C)
+inline void OuterAcc(const double* d, const double* x, int rows, int cols,
+                     double* g) {
+  for (int r = 0; r < rows; ++r) {
+    const double dr = d[r];
+    if (dr == 0.0) continue;
+    double* row = g + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) row[c] += dr * x[c];
+  }
+}
+
+/// Adam state for one tensor.
+struct AdamTensor {
+  std::vector<double> m, v;
+  void Init(size_t n) {
+    m.assign(n, 0.0);
+    v.assign(n, 0.0);
+  }
+  void Step(std::vector<double>* p, const std::vector<double>& g, double lr,
+            double bias1, double bias2) {
+    constexpr double kB1 = 0.9, kB2 = 0.999, kEps = 1e-8;
+    for (size_t i = 0; i < p->size(); ++i) {
+      m[i] = kB1 * m[i] + (1.0 - kB1) * g[i];
+      v[i] = kB2 * v[i] + (1.0 - kB2) * g[i] * g[i];
+      const double mhat = m[i] / bias1;
+      const double vhat = v[i] / bias2;
+      (*p)[i] -= lr * mhat / (std::sqrt(vhat) + kEps);
+    }
+  }
+};
+
+}  // namespace
+
+struct GruClassifier::Gradients {
+  std::vector<double> embed, wz, wr, wh, uz, ur, uh, bz, br, bh, out_w;
+  double out_b = 0.0;
+
+  void InitLike(const GruClassifier& c, int e, int h) {
+    (void)c;
+    embed.assign(static_cast<size_t>(kVocab) * e, 0.0);
+    wz.assign(static_cast<size_t>(h) * e, 0.0);
+    wr = wz;
+    wh = wz;
+    uz.assign(static_cast<size_t>(h) * h, 0.0);
+    ur = uz;
+    uh = uz;
+    bz.assign(h, 0.0);
+    br = bz;
+    bh = bz;
+    out_w.assign(h, 0.0);
+    out_b = 0.0;
+  }
+  void Zero() {
+    auto z = [](std::vector<double>& v) { std::fill(v.begin(), v.end(), 0.0); };
+    z(embed); z(wz); z(wr); z(wh); z(uz); z(ur); z(uh);
+    z(bz); z(br); z(bh); z(out_w);
+    out_b = 0.0;
+  }
+};
+
+double GruClassifier::Forward(std::string_view s,
+                              std::vector<double>* trace) const {
+  const int len = std::min<int>(static_cast<int>(s.size()), config_.max_len);
+  // trace layout per timestep: [h_prev(H), z(H), r(H), hc(H)]
+  if (trace != nullptr) {
+    trace->assign(static_cast<size_t>(len) * 4 * h_, 0.0);
+  }
+  std::vector<double> hbuf(h_, 0.0);
+  double* h = hbuf.data();
+  std::vector<double> z(h_), r(h_), hc(h_), rh(h_);
+  for (int t = 0; t < len; ++t) {
+    const int c = static_cast<unsigned char>(s[t]) & 0x7F;
+    const double* x = &embed_[static_cast<size_t>(c) * e_];
+    if (trace != nullptr) {
+      std::copy(h, h + h_, trace->data() + (static_cast<size_t>(t) * 4) * h_);
+    }
+    // z and r gates.
+    std::copy(bz_.begin(), bz_.end(), z.begin());
+    MatVecAcc(wz_.data(), x, h_, e_, z.data());
+    MatVecAcc(uz_.data(), h, h_, h_, z.data());
+    std::copy(br_.begin(), br_.end(), r.begin());
+    MatVecAcc(wr_.data(), x, h_, e_, r.data());
+    MatVecAcc(ur_.data(), h, h_, h_, r.data());
+    for (int i = 0; i < h_; ++i) {
+      z[i] = Sigmoid(z[i]);
+      r[i] = Sigmoid(r[i]);
+      rh[i] = r[i] * h[i];
+    }
+    // Candidate state.
+    std::copy(bh_.begin(), bh_.end(), hc.begin());
+    MatVecAcc(wh_.data(), x, h_, e_, hc.data());
+    MatVecAcc(uh_.data(), rh.data(), h_, h_, hc.data());
+    for (int i = 0; i < h_; ++i) hc[i] = std::tanh(hc[i]);
+    // Blend.
+    for (int i = 0; i < h_; ++i) h[i] = (1.0 - z[i]) * h[i] + z[i] * hc[i];
+    if (trace != nullptr) {
+      double* row = trace->data() + (static_cast<size_t>(t) * 4) * h_;
+      std::copy(z.begin(), z.end(), row + h_);
+      std::copy(r.begin(), r.end(), row + 2 * h_);
+      std::copy(hc.begin(), hc.end(), row + 3 * h_);
+    }
+  }
+  double logit = out_b_;
+  for (int i = 0; i < h_; ++i) logit += out_w_[i] * h[i];
+  if (trace != nullptr) {
+    // Stash the final hidden state at the end of the trace.
+    trace->insert(trace->end(), h, h + h_);
+  }
+  return logit;
+}
+
+void GruClassifier::Backward(std::string_view s,
+                             const std::vector<double>& trace, double d_logit,
+                             Gradients* g) const {
+  const int len = std::min<int>(static_cast<int>(s.size()), config_.max_len);
+  const double* h_final = trace.data() + static_cast<size_t>(len) * 4 * h_;
+  for (int i = 0; i < h_; ++i) g->out_w[i] += d_logit * h_final[i];
+  g->out_b += d_logit;
+
+  std::vector<double> dh(h_);
+  for (int i = 0; i < h_; ++i) dh[i] = d_logit * out_w_[i];
+
+  std::vector<double> dz(h_), dr(h_), dhc(h_), drh(h_), dh_prev(h_), rh(h_),
+      dx(e_);
+  for (int t = len - 1; t >= 0; --t) {
+    const double* row = trace.data() + (static_cast<size_t>(t) * 4) * h_;
+    const double* h_prev = row;
+    const double* z = row + h_;
+    const double* r = row + 2 * h_;
+    const double* hc = row + 3 * h_;
+    const int c = static_cast<unsigned char>(s[t]) & 0x7F;
+    const double* x = &embed_[static_cast<size_t>(c) * e_];
+
+    std::fill(dh_prev.begin(), dh_prev.end(), 0.0);
+    std::fill(dx.begin(), dx.end(), 0.0);
+    for (int i = 0; i < h_; ++i) {
+      rh[i] = r[i] * h_prev[i];
+      dz[i] = dh[i] * (hc[i] - h_prev[i]) * z[i] * (1.0 - z[i]);
+      dhc[i] = dh[i] * z[i] * (1.0 - hc[i] * hc[i]);  // through tanh
+      dh_prev[i] += dh[i] * (1.0 - z[i]);
+    }
+    // Candidate-state path.
+    OuterAcc(dhc.data(), x, h_, e_, g->wh.data());
+    OuterAcc(dhc.data(), rh.data(), h_, h_, g->uh.data());
+    for (int i = 0; i < h_; ++i) g->bh[i] += dhc[i];
+    std::fill(drh.begin(), drh.end(), 0.0);
+    MatTVecAcc(uh_.data(), dhc.data(), h_, h_, drh.data());
+    MatTVecAcc(wh_.data(), dhc.data(), h_, e_, dx.data());
+    for (int i = 0; i < h_; ++i) {
+      dr[i] = drh[i] * h_prev[i] * r[i] * (1.0 - r[i]);
+      dh_prev[i] += drh[i] * r[i];
+    }
+    // Gate paths.
+    OuterAcc(dz.data(), x, h_, e_, g->wz.data());
+    OuterAcc(dz.data(), h_prev, h_, h_, g->uz.data());
+    for (int i = 0; i < h_; ++i) g->bz[i] += dz[i];
+    MatTVecAcc(uz_.data(), dz.data(), h_, h_, dh_prev.data());
+    MatTVecAcc(wz_.data(), dz.data(), h_, e_, dx.data());
+
+    OuterAcc(dr.data(), x, h_, e_, g->wr.data());
+    OuterAcc(dr.data(), h_prev, h_, h_, g->ur.data());
+    for (int i = 0; i < h_; ++i) g->br[i] += dr[i];
+    MatTVecAcc(ur_.data(), dr.data(), h_, h_, dh_prev.data());
+    MatTVecAcc(wr_.data(), dr.data(), h_, e_, dx.data());
+
+    // Embedding gradient.
+    double* ge = &g->embed[static_cast<size_t>(c) * e_];
+    for (int i = 0; i < e_; ++i) ge[i] += dx[i];
+
+    dh = dh_prev;
+  }
+}
+
+Status GruClassifier::Train(std::span<const std::string> positives,
+                            std::span<const std::string> negatives,
+                            const GruConfig& config) {
+  if (config.embed_dim < 1 || config.hidden_dim < 1 || config.max_len < 1) {
+    return Status::InvalidArgument("GruClassifier: bad config");
+  }
+  if (positives.empty() || negatives.empty()) {
+    return Status::InvalidArgument("GruClassifier: need both classes");
+  }
+  config_ = config;
+  e_ = config.embed_dim;
+  h_ = config.hidden_dim;
+
+  Xorshift128Plus rng(config.seed);
+  auto init = [&rng](std::vector<double>& v, size_t n, double scale) {
+    v.assign(n, 0.0);
+    for (auto& x : v) x = rng.NextGaussian() * scale;
+  };
+  init(embed_, static_cast<size_t>(kVocab) * e_, 0.1);
+  const double wscale = 1.0 / std::sqrt(static_cast<double>(e_));
+  const double uscale = 1.0 / std::sqrt(static_cast<double>(h_));
+  init(wz_, static_cast<size_t>(h_) * e_, wscale);
+  init(wr_, static_cast<size_t>(h_) * e_, wscale);
+  init(wh_, static_cast<size_t>(h_) * e_, wscale);
+  init(uz_, static_cast<size_t>(h_) * h_, uscale);
+  init(ur_, static_cast<size_t>(h_) * h_, uscale);
+  init(uh_, static_cast<size_t>(h_) * h_, uscale);
+  bz_.assign(h_, 0.0);
+  br_.assign(h_, 0.0);
+  bh_.assign(h_, 0.0);
+  init(out_w_, h_, uscale);
+  out_b_ = 0.0;
+
+  // Balanced training set, capped per class.
+  const size_t per_class = std::min(
+      {config.max_train_per_class, positives.size(), negatives.size()});
+  std::vector<std::pair<const std::string*, double>> examples;
+  examples.reserve(2 * per_class);
+  const double pstride =
+      static_cast<double>(positives.size()) / static_cast<double>(per_class);
+  const double nstride =
+      static_cast<double>(negatives.size()) / static_cast<double>(per_class);
+  for (size_t i = 0; i < per_class; ++i) {
+    examples.emplace_back(&positives[static_cast<size_t>(i * pstride)], 1.0);
+    examples.emplace_back(&negatives[static_cast<size_t>(i * nstride)], 0.0);
+  }
+
+  Gradients grad;
+  grad.InitLike(*this, e_, h_);
+  AdamTensor a_embed, a_wz, a_wr, a_wh, a_uz, a_ur, a_uh, a_bz, a_br, a_bh,
+      a_ow;
+  a_embed.Init(embed_.size());
+  a_wz.Init(wz_.size());
+  a_wr.Init(wr_.size());
+  a_wh.Init(wh_.size());
+  a_uz.Init(uz_.size());
+  a_ur.Init(ur_.size());
+  a_uh.Init(uh_.size());
+  a_bz.Init(bz_.size());
+  a_br.Init(br_.size());
+  a_bh.Init(bh_.size());
+  a_ow.Init(out_w_.size());
+  double m_ob = 0.0, v_ob = 0.0;
+
+  const size_t kBatch = 16;
+  std::vector<double> trace;
+  double beta1_t = 1.0, beta2_t = 1.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (size_t i = examples.size(); i > 1; --i) {
+      std::swap(examples[i - 1], examples[rng.NextBounded(i)]);
+    }
+    for (size_t start = 0; start < examples.size(); start += kBatch) {
+      const size_t end = std::min(start + kBatch, examples.size());
+      grad.Zero();
+      for (size_t i = start; i < end; ++i) {
+        const double logit = Forward(*examples[i].first, &trace);
+        const double p = Sigmoid(logit);
+        const double d_logit =
+            (p - examples[i].second) / static_cast<double>(end - start);
+        Backward(*examples[i].first, trace, d_logit, &grad);
+      }
+      beta1_t *= 0.9;
+      beta2_t *= 0.999;
+      const double b1 = 1.0 - beta1_t, b2 = 1.0 - beta2_t;
+      const double lr = config.learning_rate;
+      a_embed.Step(&embed_, grad.embed, lr, b1, b2);
+      a_wz.Step(&wz_, grad.wz, lr, b1, b2);
+      a_wr.Step(&wr_, grad.wr, lr, b1, b2);
+      a_wh.Step(&wh_, grad.wh, lr, b1, b2);
+      a_uz.Step(&uz_, grad.uz, lr, b1, b2);
+      a_ur.Step(&ur_, grad.ur, lr, b1, b2);
+      a_uh.Step(&uh_, grad.uh, lr, b1, b2);
+      a_bz.Step(&bz_, grad.bz, lr, b1, b2);
+      a_br.Step(&br_, grad.br, lr, b1, b2);
+      a_bh.Step(&bh_, grad.bh, lr, b1, b2);
+      a_ow.Step(&out_w_, grad.out_w, lr, b1, b2);
+      m_ob = 0.9 * m_ob + 0.1 * grad.out_b;
+      v_ob = 0.999 * v_ob + 0.001 * grad.out_b * grad.out_b;
+      out_b_ -= lr * (m_ob / b1) / (std::sqrt(v_ob / b2) + 1e-8);
+    }
+  }
+  return Status::OK();
+}
+
+double GruClassifier::Predict(std::string_view s) const {
+  return Sigmoid(Forward(s, nullptr));
+}
+
+size_t GruClassifier::SizeBytes() const {
+  const size_t params = embed_.size() + wz_.size() + wr_.size() + wh_.size() +
+                        uz_.size() + ur_.size() + uh_.size() + bz_.size() +
+                        br_.size() + bh_.size() + out_w_.size() + 1;
+  return params * sizeof(float);  // paper reports float32 model sizes
+}
+
+}  // namespace li::classifier

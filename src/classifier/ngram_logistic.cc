@@ -1,0 +1,85 @@
+#include "classifier/ngram_logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace li::classifier {
+
+namespace {
+inline double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+void NgramLogistic::Featurize(std::string_view s,
+                              std::vector<uint32_t>* idx) const {
+  idx->clear();
+  const int n = config_.ngram;
+  if (static_cast<int>(s.size()) < n) {
+    if (!s.empty()) {
+      idx->push_back(static_cast<uint32_t>(
+          MurmurHash64(s.data(), s.size()) % config_.num_buckets));
+    }
+    return;
+  }
+  for (size_t i = 0; i + n <= s.size(); ++i) {
+    idx->push_back(static_cast<uint32_t>(MurmurHash64(s.data() + i, n) %
+                                         config_.num_buckets));
+  }
+}
+
+Status NgramLogistic::Train(std::span<const std::string> positives,
+                            std::span<const std::string> negatives,
+                            const NgramConfig& config) {
+  if (positives.empty() || negatives.empty()) {
+    return Status::InvalidArgument("NgramLogistic: need both classes");
+  }
+  config_ = config;
+  w_.assign(config.num_buckets, 0.0);
+  b_ = 0.0;
+
+  const size_t per_class = std::min(
+      {config.max_train_per_class, positives.size(), negatives.size()});
+  std::vector<std::pair<const std::string*, double>> examples;
+  examples.reserve(2 * per_class);
+  const double pstride =
+      static_cast<double>(positives.size()) / static_cast<double>(per_class);
+  const double nstride =
+      static_cast<double>(negatives.size()) / static_cast<double>(per_class);
+  for (size_t i = 0; i < per_class; ++i) {
+    examples.emplace_back(&positives[static_cast<size_t>(i * pstride)], 1.0);
+    examples.emplace_back(&negatives[static_cast<size_t>(i * nstride)], 0.0);
+  }
+
+  Xorshift128Plus rng(config.seed);
+  std::vector<uint32_t> idx;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (size_t i = examples.size(); i > 1; --i) {
+      std::swap(examples[i - 1], examples[rng.NextBounded(i)]);
+    }
+    // Decaying step size stabilizes the tail of training.
+    const double lr = config.learning_rate / (1.0 + 0.5 * epoch);
+    for (const auto& [s, y] : examples) {
+      Featurize(*s, &idx);
+      if (idx.empty()) continue;
+      double logit = b_;
+      for (const uint32_t j : idx) logit += w_[j];
+      const double g = Sigmoid(logit) - y;
+      for (const uint32_t j : idx) {
+        w_[j] -= lr * (g + config.l2 * w_[j]);
+      }
+      b_ -= lr * g;
+    }
+  }
+  return Status::OK();
+}
+
+double NgramLogistic::Predict(std::string_view s) const {
+  std::vector<uint32_t> idx;
+  Featurize(s, &idx);
+  double logit = b_;
+  for (const uint32_t j : idx) logit += w_[j];
+  return Sigmoid(logit);
+}
+
+}  // namespace li::classifier

@@ -1,0 +1,136 @@
+// Deterministic, fast PRNGs used by dataset generators, training shufflers
+// and benchmarks. All generators are seedable so every experiment in this
+// repository is reproducible bit-for-bit.
+
+#ifndef LI_COMMON_RANDOM_H_
+#define LI_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace li {
+
+/// xorshift128+ — fast, good-quality 64-bit generator for workloads.
+class Xorshift128Plus {
+ public:
+  explicit Xorshift128Plus(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to avoid correlated low-entropy states.
+    uint64_t z = seed;
+    for (int i = 0; i < 2; ++i) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = x ^ (x >> 31);
+    }
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, bound). Uses multiply-shift rejection-free mapping;
+  /// bias is negligible for bound << 2^64.
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  double NextGaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1, u2;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Exponential with rate lambda.
+  double NextExponential(double lambda) {
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 1e-300);
+    return -std::log(u) / lambda;
+  }
+
+ private:
+  uint64_t s_[2];
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+/// Murmur3 finalizer — used as the "sufficiently randomized" baseline hash
+/// function throughout the point-index experiments (the paper's
+/// "MurmurHash3-like" baseline).
+inline uint64_t Murmur3Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Murmur-style hash for byte strings (used for string keys / n-grams).
+inline uint64_t MurmurHash64(const void* data, size_t len,
+                             uint64_t seed = 0xc70f6907ULL) {
+  const uint64_t m = 0xc6a4a7935bd1e995ULL;
+  const int r = 47;
+  uint64_t h = seed ^ (len * m);
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto* end = p + (len & ~size_t{7});
+  while (p != end) {
+    uint64_t k;
+    __builtin_memcpy(&k, p, 8);
+    p += 8;
+    k *= m;
+    k ^= k >> r;
+    k *= m;
+    h ^= k;
+    h *= m;
+  }
+  uint64_t tail = 0;
+  switch (len & 7) {
+    case 7: tail ^= uint64_t{p[6]} << 48; [[fallthrough]];
+    case 6: tail ^= uint64_t{p[5]} << 40; [[fallthrough]];
+    case 5: tail ^= uint64_t{p[4]} << 32; [[fallthrough]];
+    case 4: tail ^= uint64_t{p[3]} << 24; [[fallthrough]];
+    case 3: tail ^= uint64_t{p[2]} << 16; [[fallthrough]];
+    case 2: tail ^= uint64_t{p[1]} << 8; [[fallthrough]];
+    case 1:
+      tail ^= uint64_t{p[0]};
+      h ^= tail;
+      h *= m;
+      break;
+    default: break;
+  }
+  h ^= h >> r;
+  h *= m;
+  h ^= h >> r;
+  return h;
+}
+
+}  // namespace li
+
+#endif  // LI_COMMON_RANDOM_H_

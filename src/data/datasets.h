@@ -1,0 +1,71 @@
+// Synthetic dataset generators reproducing the distributional shape of the
+// paper's evaluation data (§3.7.1):
+//
+//  * Weblog  — timestamps of requests to a university web server: complex
+//              superimposed daily/weekly/semester periodicity plus bursts;
+//              "almost a worst-case scenario for the learned index".
+//  * Maps    — longitudes of world map features: "relatively linear",
+//              clustered around populated longitude bands.
+//  * Lognormal — 190M values from Lognormal(0, 2) scaled to integers up to
+//              1B; heavy-tailed and highly non-linear.
+//
+// All generators return a strictly increasing (deduplicated) sorted vector
+// of 64-bit keys and are deterministic in the seed.
+
+#ifndef LI_DATA_DATASETS_H_
+#define LI_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace li::data {
+
+using Key = uint64_t;
+
+/// Which synthetic dataset to generate; used by benches to loop over the
+/// three Figure-4 datasets.
+enum class DatasetKind { kMaps, kWeblog, kLognormal };
+
+const char* DatasetName(DatasetKind kind);
+
+/// Lognormal(mu, sigma) scaled so the bulk of the mass lands in [0, scale].
+/// Matches the paper: mu = 0, sigma = 2, values scaled up to ~1B.
+std::vector<Key> GenLognormal(size_t n, uint64_t seed = 42, double mu = 0.0,
+                              double sigma = 2.0, double scale = 1e9);
+
+/// Longitude-like mixture: dense clusters at populated longitudes over a
+/// uniform background, fixed-point-mapped from [-180, 180] to uint64.
+std::vector<Key> GenMaps(size_t n, uint64_t seed = 42);
+
+/// Non-homogeneous Poisson arrival timestamps (microseconds) with diurnal,
+/// weekly and semester seasonality plus random bursts.
+std::vector<Key> GenWeblog(size_t n, uint64_t seed = 42);
+
+/// Uniform keys in [0, max).
+std::vector<Key> GenUniform(size_t n, uint64_t seed = 42,
+                            Key max = uint64_t{1} << 62);
+
+/// Dense sequential keys [base, base + n) — the paper's O(1) motivating
+/// example (keys 1..100M).
+std::vector<Key> GenSequential(size_t n, Key base = 0);
+
+/// Dispatch by kind.
+std::vector<Key> Generate(DatasetKind kind, size_t n, uint64_t seed = 42);
+
+/// Turns a sorted multiset into a strictly increasing key set by bumping
+/// duplicates; exposed for reuse by custom generators and tests.
+void MakeStrictlyIncreasing(std::vector<Key>* keys);
+
+/// Draws `count` existing keys uniformly from `keys` (lookup workload).
+std::vector<Key> SampleKeys(const std::vector<Key>& keys, size_t count,
+                            uint64_t seed = 7);
+
+/// Draws `count` keys uniformly from the key *range* (mostly non-existing;
+/// used to exercise lower-bound semantics for absent keys).
+std::vector<Key> SampleRange(const std::vector<Key>& keys, size_t count,
+                             uint64_t seed = 7);
+
+}  // namespace li::data
+
+#endif  // LI_DATA_DATASETS_H_

@@ -1,0 +1,192 @@
+#include "data/strings.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace li::data {
+
+namespace {
+
+// Skewed categorical draw: probability ~ 1/(rank+1) over `n` options.
+size_t ZipfPick(Xorshift128Plus& rng, size_t n) {
+  // Inverse-CDF on harmonic weights, approximated via exp draw; cheap and
+  // adequately skewed for fan-out modelling.
+  const double u = rng.NextDouble();
+  const double h = std::log(static_cast<double>(n) + 1.0);
+  const size_t k = static_cast<size_t>(std::exp(u * h)) - 1;
+  return std::min(k, n - 1);
+}
+
+const char* kTopLevels[] = {"ads",  "blog", "docs", "img",  "mail",
+                            "news", "shop", "site", "user", "wiki"};
+const char* kCategories[] = {"archive", "assets", "content", "data",
+                             "media",   "pages",  "public",  "static"};
+
+std::string RandomToken(Xorshift128Plus& rng, size_t min_len, size_t max_len) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  const size_t len = min_len + rng.NextBounded(max_len - min_len + 1);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(kAlpha[rng.NextBounded(sizeof(kAlpha) - 1)]);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> GenDocIds(size_t n, uint64_t seed) {
+  Xorshift128Plus rng(seed);
+  std::vector<std::string> ids;
+  ids.reserve(n + n / 8);
+  char buf[32];
+  while (ids.size() < n + n / 8) {
+    const char* top = kTopLevels[ZipfPick(rng, std::size(kTopLevels))];
+    const char* cat = kCategories[ZipfPick(rng, std::size(kCategories))];
+    // Skewed numeric shard + dense doc number => long shared prefixes.
+    const unsigned shard = static_cast<unsigned>(ZipfPick(rng, 64));
+    const uint64_t doc = rng.NextBounded(10'000'000);
+    snprintf(buf, sizeof(buf), "%02u/%09llu", shard,
+             static_cast<unsigned long long>(doc));
+    std::string id;
+    id.reserve(40);
+    id += top;
+    id += '/';
+    id += cat;
+    id += '/';
+    id += buf;
+    ids.push_back(std::move(id));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.size() > n) ids.resize(n);
+  return ids;
+}
+
+namespace {
+
+const char* kBenignDomains[] = {
+    "google",  "youtube", "facebook", "amazon",  "wikipedia", "reddit",
+    "twitter", "github",  "nytimes",  "cnn",     "bbc",       "stack",
+    "linkedin", "apple",  "netflix",  "spotify", "dropbox",   "adobe"};
+const char* kBenignTlds[] = {".com", ".org", ".net", ".edu", ".io", ".gov"};
+const char* kBenignPaths[] = {"index",   "home",  "about",   "news",
+                              "article", "watch", "profile", "search"};
+
+const char* kPhishTargets[] = {"paypal",  "apple",   "amazon", "bank",
+                               "netflix", "account", "chase",  "office",
+                               "micros0ft", "g00gle", "faceb00k", "secure"};
+const char* kPhishTokens[] = {"login",  "verify", "secure",  "update",
+                              "signin", "confirm", "webscr", "support",
+                              "alert",  "billing", "recover", "wallet"};
+const char* kPhishTlds[] = {".xyz", ".top", ".tk",   ".ru",
+                            ".cn",  ".info", ".club", ".live"};
+
+std::string BenignUrl(Xorshift128Plus& rng) {
+  std::string url = "www.";
+  url += kBenignDomains[ZipfPick(rng, std::size(kBenignDomains))];
+  if (rng.NextDouble() < 0.3) url += RandomToken(rng, 2, 5);
+  url += kBenignTlds[ZipfPick(rng, std::size(kBenignTlds))];
+  url += '/';
+  url += kBenignPaths[ZipfPick(rng, std::size(kBenignPaths))];
+  if (rng.NextDouble() < 0.5) {
+    url += '/';
+    url += RandomToken(rng, 4, 10);
+  }
+  return url;
+}
+
+std::string PhishUrl(Xorshift128Plus& rng) {
+  std::string url;
+  const double style = rng.NextDouble();
+  if (style < 0.18) {
+    // Compromised legitimate site: lexically benign host, phishing path
+    // buried deep. These are the classifier's irreducible false negatives
+    // (the paper's 1.7M-key set had FNR 55% at tau for 0.5% FPR — real
+    // blacklists are not linearly separable).
+    url = "www.";
+    url += kBenignDomains[ZipfPick(rng, std::size(kBenignDomains))];
+    if (rng.NextDouble() < 0.5) url += RandomToken(rng, 2, 5);
+    url += kBenignTlds[ZipfPick(rng, std::size(kBenignTlds))];
+    url += '/';
+    url += kBenignPaths[ZipfPick(rng, std::size(kBenignPaths))];
+    url += '/';
+    url += RandomToken(rng, 4, 10);
+    return url;
+  }
+  if (style < 0.33) {
+    // Raw IPv4 host.
+    char buf[24];
+    snprintf(buf, sizeof(buf), "%u.%u.%u.%u",
+             unsigned(rng.NextBounded(223) + 1), unsigned(rng.NextBounded(256)),
+             unsigned(rng.NextBounded(256)), unsigned(rng.NextBounded(256)));
+    url = buf;
+    url += '/';
+    url += kPhishTokens[rng.NextBounded(std::size(kPhishTokens))];
+    url += '-';
+    url += kPhishTargets[rng.NextBounded(std::size(kPhishTargets))];
+  } else {
+    // Hyphenated typosquat host: target-token-token.badtld
+    url = kPhishTargets[rng.NextBounded(std::size(kPhishTargets))];
+    const int extra = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < extra; ++i) {
+      url += '-';
+      url += kPhishTokens[rng.NextBounded(std::size(kPhishTokens))];
+    }
+    if (rng.NextDouble() < 0.4) {
+      url += '-';
+      url += RandomToken(rng, 3, 8);
+    }
+    url += kPhishTlds[rng.NextBounded(std::size(kPhishTlds))];
+    url += '/';
+    url += kPhishTokens[rng.NextBounded(std::size(kPhishTokens))];
+    if (rng.NextDouble() < 0.5) {
+      url += '.';
+      url += RandomToken(rng, 2, 4);
+    }
+  }
+  return url;
+}
+
+// Benign-owned but phishing-looking: legitimate security/login pages.
+std::string WhitelistedUrl(Xorshift128Plus& rng) {
+  std::string url = "www.";
+  url += kBenignDomains[ZipfPick(rng, std::size(kBenignDomains))];
+  url += kBenignTlds[ZipfPick(rng, std::size(kBenignTlds))];
+  url += '/';
+  url += kPhishTokens[rng.NextBounded(std::size(kPhishTokens))];
+  if (rng.NextDouble() < 0.6) {
+    url += '/';
+    url += kPhishTokens[rng.NextBounded(std::size(kPhishTokens))];
+  }
+  return url;
+}
+
+}  // namespace
+
+UrlCorpus GenUrls(size_t num_keys, size_t num_negatives, uint64_t seed) {
+  Xorshift128Plus rng(seed);
+  UrlCorpus corpus;
+  corpus.keys.reserve(num_keys);
+  for (size_t i = 0; i < num_keys; ++i) corpus.keys.push_back(PhishUrl(rng));
+  std::sort(corpus.keys.begin(), corpus.keys.end());
+  corpus.keys.erase(std::unique(corpus.keys.begin(), corpus.keys.end()),
+                    corpus.keys.end());
+
+  // Negative mix mirrors §5.2: random valid URLs + whitelisted URLs that
+  // "could be mistaken for phishing pages".
+  corpus.random_negatives.reserve(num_negatives);
+  corpus.whitelisted.reserve(num_negatives / 2);
+  for (size_t i = 0; i < num_negatives; ++i) {
+    corpus.random_negatives.push_back(BenignUrl(rng));
+  }
+  for (size_t i = 0; i < num_negatives / 2; ++i) {
+    corpus.whitelisted.push_back(WhitelistedUrl(rng));
+  }
+  return corpus;
+}
+
+}  // namespace li::data

@@ -1,0 +1,38 @@
+// String dataset generators:
+//
+//  * GenDocIds — hierarchical document identifiers standing in for the
+//    paper's "10M non-continuous document-ids of a large web index"
+//    (§3.7.2): lexicographically sortable strings with long shared
+//    prefixes and skewed fan-out.
+//  * GenUrls  — benign and phishing-style URLs standing in for Google's
+//    transparency-report blacklist (§5.2). Phishing URLs carry learnable
+//    lexical structure (typosquats, IP hosts, suspicious tokens) so a
+//    character-level classifier can separate the classes — the property
+//    the learned Bloom filter exploits.
+
+#ifndef LI_DATA_STRINGS_H_
+#define LI_DATA_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace li::data {
+
+/// Sorted, deduplicated document-id strings.
+std::vector<std::string> GenDocIds(size_t n, uint64_t seed = 42);
+
+/// A labelled URL corpus: keys (phishing, in the set) and non-keys
+/// (benign, outside the set) plus a separate "whitelisted but
+/// suspicious-looking" pool to reproduce the covariate-shift experiment.
+struct UrlCorpus {
+  std::vector<std::string> keys;              // blacklisted phishing URLs
+  std::vector<std::string> random_negatives;  // random valid URLs
+  std::vector<std::string> whitelisted;       // benign but phishing-like
+};
+
+UrlCorpus GenUrls(size_t num_keys, size_t num_negatives, uint64_t seed = 42);
+
+}  // namespace li::data
+
+#endif  // LI_DATA_STRINGS_H_

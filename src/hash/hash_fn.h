@@ -1,0 +1,99 @@
+// Hash functions for the point-index experiments (§4).
+//
+//  * RandomHash  — the "MurmurHash3-like" baseline: a finalizer-strength
+//    mix mapped to [0, M) with a multiply-shift (no modulo on the hot
+//    path).
+//  * LearnedHash — the Hash-Model Index (§4.1): h(K) = F(K) * M, where F
+//    is a 2-stage RMI over the key CDF ("100k models on the 2nd stage and
+//    without any hidden layers", §4.2). If the model learned the empirical
+//    CDF perfectly, no conflicts would exist.
+
+#ifndef LI_HASH_HASH_FN_H_
+#define LI_HASH_HASH_FN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/random.h"
+#include "rmi/rmi.h"
+
+namespace li::hash {
+
+/// Uniformly randomizing baseline hash into [0, num_slots).
+class RandomHash {
+ public:
+  RandomHash() = default;
+  explicit RandomHash(uint64_t num_slots, uint64_t seed = 0)
+      : num_slots_(num_slots), seed_(seed) {}
+
+  uint64_t operator()(uint64_t key) const {
+    const uint64_t h = Murmur3Fmix64(key ^ seed_);
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(h) * num_slots_) >> 64);
+  }
+
+  uint64_t num_slots() const { return num_slots_; }
+  size_t SizeBytes() const { return 2 * sizeof(uint64_t); }
+
+ private:
+  uint64_t num_slots_ = 1;
+  uint64_t seed_ = 0;
+};
+
+/// CDF-model hash: scales the RMI position estimate to the table size.
+template <typename TopModel = models::LinearModel>
+class LearnedHash {
+ public:
+  LearnedHash() = default;
+
+  /// Trains the CDF model over `keys` (sorted); hashes into
+  /// [0, num_slots). The caller owns `keys` during Build only — the hash
+  /// function itself does not touch the data afterwards.
+  Status Build(std::span<const uint64_t> keys, uint64_t num_slots,
+               const rmi::RmiConfig& config) {
+    num_slots_ = num_slots;
+    num_keys_ = keys.size();
+    return rmi_.Build(keys, config);
+  }
+
+  uint64_t operator()(uint64_t key) const {
+    const size_t pos = rmi_.Predict(key).pos;
+    // pos is in [0, N); rescale to [0, M).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(pos) * num_slots_) / num_keys_);
+  }
+
+  uint64_t num_slots() const { return num_slots_; }
+  size_t SizeBytes() const { return rmi_.SizeBytes(); }
+
+ private:
+  uint64_t num_slots_ = 1;
+  uint64_t num_keys_ = 1;
+  rmi::Rmi<TopModel> rmi_;
+};
+
+/// Fraction of keys that land in an already-occupied slot — the Figure-8
+/// metric ("% Conflicts"). Uses a bitmap over `num_slots`.
+template <typename HashFn>
+double ConflictRate(std::span<const uint64_t> keys, const HashFn& fn,
+                    uint64_t num_slots) {
+  std::vector<uint64_t> bitmap((num_slots + 63) / 64, 0);
+  size_t conflicts = 0;
+  for (const uint64_t key : keys) {
+    const uint64_t slot = fn(key);
+    uint64_t& word = bitmap[slot >> 6];
+    const uint64_t bit = uint64_t{1} << (slot & 63);
+    if (word & bit) {
+      ++conflicts;
+    } else {
+      word |= bit;
+    }
+  }
+  return keys.empty()
+             ? 0.0
+             : static_cast<double>(conflicts) / static_cast<double>(keys.size());
+}
+
+}  // namespace li::hash
+
+#endif  // LI_HASH_HASH_FN_H_

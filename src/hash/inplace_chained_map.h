@@ -1,0 +1,124 @@
+// In-place chained hash map with learned hash functions (Appendix C):
+// "a chained Hash-map which uses a two pass algorithm: in the first pass,
+// the learned hash function is used to put items into slots. If a slot is
+// already taken, the item is skipped. Afterwards we use a separate chaining
+// approach for every skipped item except that we use the remaining free
+// slots with offsets as pointers for them. As a result the utilization can
+// be 100% ... the quality of the learned hash function can only make an
+// impact on the performance not the size: the fewer conflicts, the fewer
+// cache misses."
+//
+// Exactly n slots for n records; slot = record + chain offset + home flag.
+
+#ifndef LI_HASH_INPLACE_CHAINED_MAP_H_
+#define LI_HASH_INPLACE_CHAINED_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "hash/record.h"
+
+namespace li::hash {
+
+template <typename HashFn>
+class InplaceChainedMap {
+ public:
+  InplaceChainedMap() = default;
+
+  /// `hash_fn` must map into [0, records.size()). Keys must be unique.
+  Status Build(std::span<const Record> records, HashFn hash_fn) {
+    hash_fn_ = std::move(hash_fn);
+    const size_t n = records.size();
+    slots_.assign(n, Slot{});
+    if (n == 0) return Status::OK();
+
+    // Pass 1: place records whose home slot is free.
+    std::vector<uint32_t> skipped;
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t slot = hash_fn_(records[i].key);
+      Slot& s = slots_[slot];
+      if (s.flags & kOccupied) {
+        skipped.push_back(i);
+      } else {
+        s.record = records[i];
+        s.flags = kOccupied | kHome;
+        s.next = kNull;
+      }
+    }
+    // Pass 2: stream skipped records into the remaining free slots and
+    // link them from their home slot's chain.
+    size_t free_cursor = 0;
+    for (const uint32_t i : skipped) {
+      while (free_cursor < n && (slots_[free_cursor].flags & kOccupied)) {
+        ++free_cursor;
+      }
+      if (free_cursor >= n) {
+        return Status::Internal("InplaceChainedMap: no free slot (dup keys?)");
+      }
+      Slot& dst = slots_[free_cursor];
+      dst.record = records[i];
+      dst.flags = kOccupied;  // not home
+      dst.next = kNull;
+      // Append to the home chain.
+      uint32_t cursor = static_cast<uint32_t>(hash_fn_(records[i].key));
+      while (slots_[cursor].next != kNull) cursor = slots_[cursor].next - 1;
+      slots_[cursor].next = static_cast<uint32_t>(free_cursor) + 1;
+    }
+    return Status::OK();
+  }
+
+  const Record* Find(uint64_t key) const {
+    uint32_t cursor = static_cast<uint32_t>(hash_fn_(key));
+    const Slot* s = &slots_[cursor];
+    // A non-home occupant means no record hashes here — absent key.
+    if (!(s->flags & kHome)) return nullptr;
+    while (true) {
+      if (s->record.key == key) return &s->record;
+      if (s->next == kNull) return nullptr;
+      s = &slots_[s->next - 1];
+    }
+  }
+
+  size_t num_slots() const { return slots_.size(); }
+  double utilization() const { return slots_.empty() ? 0.0 : 1.0; }
+  size_t SizeBytes() const { return slots_.size() * sizeof(Slot); }
+
+  /// Average probe-chain length over all stored records (cache-miss proxy).
+  double MeanChainLength() const {
+    if (slots_.empty()) return 0.0;
+    double total = 0.0;
+    size_t count = 0;
+    for (const Slot& s : slots_) {
+      if (!(s.flags & kHome)) continue;
+      size_t len = 1;
+      const Slot* cursor = &s;
+      while (cursor->next != kNull) {
+        ++len;
+        cursor = &slots_[cursor->next - 1];
+      }
+      total += len;
+      ++count;
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+  }
+
+ private:
+  static constexpr uint32_t kNull = 0;
+  static constexpr uint8_t kOccupied = 1;
+  static constexpr uint8_t kHome = 2;
+
+  struct Slot {
+    Record record;
+    uint32_t next = kNull;  // 1-based slot index
+    uint8_t flags = 0;
+  };
+
+  HashFn hash_fn_{};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace li::hash
+
+#endif  // LI_HASH_INPLACE_CHAINED_MAP_H_

@@ -1,0 +1,22 @@
+// The record layout used across all hash-map experiments (Appendix B/C):
+// "our records are 20 Bytes large and consist of a 64bit key, 64bit
+// payload, and a 32bit meta-data field as commonly found in real
+// applications (e.g., for delete flags, version numbers, etc.)".
+
+#ifndef LI_HASH_RECORD_H_
+#define LI_HASH_RECORD_H_
+
+#include <cstdint>
+
+namespace li::hash {
+
+struct Record {
+  uint64_t key = 0;
+  uint64_t payload = 0;
+  uint32_t meta = 0;
+};
+static_assert(sizeof(Record) <= 24, "Record must stay compact");
+
+}  // namespace li::hash
+
+#endif  // LI_HASH_RECORD_H_

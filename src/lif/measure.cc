@@ -1,0 +1,77 @@
+#include "lif/measure.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace li::lif {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{false, "", std::move(cells)});
+}
+
+void Table::AddSection(std::string label) {
+  rows_.push_back(Row{true, std::move(label), {}});
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.is_section) continue;
+    for (size_t c = 0; c < row.cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  auto rule = [&] {
+    size_t total = 1;
+    for (const size_t w : widths) total += w + 3;
+    for (size_t i = 0; i < total; ++i) putchar('-');
+    putchar('\n');
+  };
+  rule();
+  printf("|");
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    printf(" %-*s |", static_cast<int>(widths[c]), headers_[c].c_str());
+  }
+  printf("\n");
+  rule();
+  for (const Row& row : rows_) {
+    if (row.is_section) {
+      printf("| %s\n", row.section.c_str());
+      continue;
+    }
+    printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.cells.size() ? row.cells[c] : "";
+      printf(" %*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    printf("\n");
+  }
+  rule();
+}
+
+std::string Table::WithFactor(double value, double factor, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f (%.2fx)", precision, value, factor);
+  return buf;
+}
+
+std::string Table::WithPercent(double value, double pct, int precision) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f (%.1f%%)", precision, value, pct);
+  return buf;
+}
+
+size_t BenchScaleKeys(size_t default_millions) {
+  size_t millions = default_millions;
+  if (const char* env = std::getenv("REPRO_SCALE_M")) {
+    const long v = atol(env);
+    if (v > 0) millions = static_cast<size_t>(v);
+  }
+  return millions * 1'000'000;
+}
+
+}  // namespace li::lif

@@ -1,0 +1,65 @@
+// Measurement harness (the "tests them automatically" half of LIF, §3.1):
+// latency per lookup over a query workload, with warm-up and repetition,
+// plus the paper-style table printer used by every figure bench.
+
+#ifndef LI_LIF_MEASURE_H_
+#define LI_LIF_MEASURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace li::lif {
+
+/// Runs `fn(query)` over all queries `repeats` times and returns average
+/// nanoseconds per call. `fn` must return something accumulable so the
+/// compiler cannot elide the work.
+template <typename Fn, typename Q>
+double MeasureNsPerOp(const std::vector<Q>& queries, int repeats, Fn&& fn) {
+  if (queries.empty()) return 0.0;
+  uint64_t sink = 0;
+  // Warm-up pass (caches, branch predictors).
+  for (const auto& q : queries) sink += static_cast<uint64_t>(fn(q));
+  Timer timer;
+  for (int r = 0; r < repeats; ++r) {
+    for (const auto& q : queries) sink += static_cast<uint64_t>(fn(q));
+  }
+  const double ns = timer.ElapsedNanos();
+  DoNotOptimize(sink);
+  return ns / (static_cast<double>(queries.size()) * repeats);
+}
+
+/// Fixed-width table printer echoing the layout of the paper's figures
+/// (config column, then metric columns, factors in parentheses).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Adds a full-width section label row (e.g. "Btree" / "Learned Index").
+  void AddSection(std::string label);
+  void Print() const;
+
+  /// "12.34 (1.50x)" helpers used across benches.
+  static std::string WithFactor(double value, double factor, int precision = 2);
+  static std::string WithPercent(double value, double pct, int precision = 0);
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    bool is_section = false;
+    std::string section;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Benchmark scale: number of keys in millions, overridable with the
+/// REPRO_SCALE_M environment variable (paper scale would be 200).
+size_t BenchScaleKeys(size_t default_millions = 2);
+
+}  // namespace li::lif
+
+#endif  // LI_LIF_MEASURE_H_

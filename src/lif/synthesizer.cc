@@ -1,0 +1,102 @@
+#include "lif/synthesizer.h"
+
+#include <algorithm>
+
+#include "data/datasets.h"
+#include "lif/measure.h"
+
+namespace li::lif {
+
+namespace {
+
+template <typename TopModel>
+Status EvaluateCandidate(std::span<const uint64_t> keys,
+                         const SynthesisSpec& spec, const rmi::RmiConfig& rc,
+                         const std::string& description,
+                         const std::vector<uint64_t>& queries,
+                         rmi::Rmi<TopModel>* out, CandidateReport* report) {
+  LI_RETURN_IF_ERROR(out->Build(keys, rc));
+  report->description = description;
+  report->stage2 = rc.num_leaf_models;
+  report->size_bytes = out->SizeBytes();
+  report->max_abs_err = out->MaxAbsError();
+  report->within_budget = report->size_bytes <= spec.size_budget_bytes;
+  report->model_ns = MeasureNsPerOp(
+      queries, 1, [&](uint64_t q) { return out->Predict(q).pos; });
+  report->lookup_ns =
+      MeasureNsPerOp(queries, 1, [&](uint64_t q) { return out->LowerBound(q); });
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SynthesizedIndex::Synthesize(std::span<const uint64_t> keys,
+                                    const SynthesisSpec& spec) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("Synthesize: empty key set");
+  }
+  reports_.clear();
+  const std::vector<uint64_t> key_vec(keys.begin(), keys.end());
+  const std::vector<uint64_t> queries =
+      data::SampleKeys(key_vec, spec.eval_queries, spec.seed);
+
+  double best_ns = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  auto consider = [&](auto&& idx, const CandidateReport& report) {
+    reports_.push_back(report);
+    if (!report.within_budget) return;
+    if (report.lookup_ns < best_ns) {
+      best_ns = report.lookup_ns;
+      index_ = std::move(idx);
+      description_ = report.description;
+      found = true;
+    }
+  };
+
+  for (const size_t m : spec.stage2_sizes) {
+    rmi::RmiConfig rc;
+    rc.num_leaf_models = m;
+    rc.strategy = spec.strategy;
+
+    if (spec.try_linear_top) {
+      rmi::Rmi<models::LinearModel> idx;
+      CandidateReport report;
+      LI_RETURN_IF_ERROR(EvaluateCandidate(
+          keys, spec, rc, "linear top / " + std::to_string(m) + " leaves",
+          queries, &idx, &report));
+      consider(std::move(idx), report);
+    }
+    if (spec.try_multivariate_top) {
+      rmi::Rmi<models::MultivariateModel> idx;
+      CandidateReport report;
+      LI_RETURN_IF_ERROR(EvaluateCandidate(
+          keys, spec, rc,
+          "multivariate top / " + std::to_string(m) + " leaves", queries,
+          &idx, &report));
+      consider(std::move(idx), report);
+    }
+    for (const auto& hidden : spec.nn_hidden) {
+      rmi::RmiConfig nn_rc = rc;
+      nn_rc.train.nn.hidden = hidden;
+      nn_rc.train.nn.epochs = spec.nn_epochs;
+      std::string desc = "nn[";
+      for (size_t i = 0; i < hidden.size(); ++i) {
+        if (i) desc += 'x';
+        desc += std::to_string(hidden[i]);
+      }
+      desc += "] top / " + std::to_string(m) + " leaves";
+      rmi::Rmi<models::NeuralNet> idx;
+      CandidateReport report;
+      LI_RETURN_IF_ERROR(
+          EvaluateCandidate(keys, spec, nn_rc, desc, queries, &idx, &report));
+      consider(std::move(idx), report);
+    }
+  }
+  if (!found) {
+    return Status::NotFound("Synthesize: no candidate fits the size budget");
+  }
+  return Status::OK();
+}
+
+}  // namespace li::lif

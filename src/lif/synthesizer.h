@@ -1,0 +1,80 @@
+// The Learning Index Framework (LIF, §3.1): "an index synthesis system;
+// given an index specification, LIF generates different index
+// configurations, optimizes them, and tests them automatically."
+//
+// The synthesizer grid-searches over top-model families (linear,
+// multivariate with auto feature selection, NNs with 0-2 hidden layers and
+// widths 4..32 — the §3.7.1 search space) crossed with second-stage model
+// counts, builds each candidate, measures real lookup latency on a sampled
+// workload, and returns the fastest index that fits the size budget.
+
+#ifndef LI_LIF_SYNTHESIZER_H_
+#define LI_LIF_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "rmi/rmi.h"
+
+namespace li::lif {
+
+struct SynthesisSpec {
+  std::vector<size_t> stage2_sizes = {10'000, 50'000, 100'000, 200'000};
+  bool try_linear_top = true;
+  bool try_multivariate_top = true;
+  std::vector<std::vector<int>> nn_hidden = {{8}, {16}, {16, 16}};
+  int nn_epochs = 20;
+  search::Strategy strategy = search::Strategy::kBiasedBinary;
+  size_t size_budget_bytes = std::numeric_limits<size_t>::max();
+  size_t eval_queries = 20'000;  // lookups timed per candidate
+  uint64_t seed = 99;
+};
+
+/// One evaluated candidate (every grid point is reported so benches can
+/// print the full sweep, not just the winner).
+struct CandidateReport {
+  std::string description;
+  size_t stage2 = 0;
+  size_t size_bytes = 0;
+  double lookup_ns = 0.0;
+  double model_ns = 0.0;
+  int64_t max_abs_err = 0;
+  bool within_budget = true;
+};
+
+/// Type-erased synthesized index: holds whichever Rmi<TopModel> won.
+class SynthesizedIndex {
+ public:
+  using Variant = std::variant<rmi::Rmi<models::LinearModel>,
+                               rmi::Rmi<models::MultivariateModel>,
+                               rmi::Rmi<models::NeuralNet>>;
+
+  SynthesizedIndex() = default;
+
+  size_t LowerBound(uint64_t key) const {
+    return std::visit([key](const auto& idx) { return idx.LowerBound(key); },
+                      index_);
+  }
+  size_t SizeBytes() const {
+    return std::visit([](const auto& idx) { return idx.SizeBytes(); }, index_);
+  }
+  const std::string& description() const { return description_; }
+  const std::vector<CandidateReport>& reports() const { return reports_; }
+
+  /// Runs the grid search over `keys` (sorted; caller owns the data).
+  Status Synthesize(std::span<const uint64_t> keys, const SynthesisSpec& spec);
+
+ private:
+  Variant index_;
+  std::string description_;
+  std::vector<CandidateReport> reports_;
+};
+
+}  // namespace li::lif
+
+#endif  // LI_LIF_SYNTHESIZER_H_

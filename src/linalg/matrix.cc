@@ -1,0 +1,91 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+
+namespace li::linalg {
+
+bool CholeskyFactor(Matrix* a) {
+  const size_t n = a->rows();
+  assert(a->cols() == n);
+  Matrix& m = *a;
+  for (size_t j = 0; j < n; ++j) {
+    double d = m(j, j);
+    for (size_t k = 0; k < j; ++k) d -= m(j, k) * m(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    m(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = m(i, j);
+      for (size_t k = 0; k < j; ++k) s -= m(i, k) * m(j, k);
+      m(i, j) = s / ljj;
+    }
+  }
+  // Zero the strict upper triangle so the factor is clean L.
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i + 1; j < n; ++j) m(i, j) = 0.0;
+  return true;
+}
+
+Status CholeskySolve(Matrix a, std::vector<double> b,
+                     std::vector<double>* x) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve: dimension mismatch");
+  }
+  // Retry with growing ridge if the matrix is near-singular; feature maps
+  // like [1, x, x^2] over narrow key ranges are often ill-conditioned.
+  double ridge = 0.0;
+  Matrix factor = a;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    factor = a;
+    if (ridge > 0.0) {
+      for (size_t i = 0; i < n; ++i) factor(i, i) += ridge;
+    }
+    if (CholeskyFactor(&factor)) break;
+    ridge = ridge == 0.0 ? 1e-9 : ridge * 100.0;
+    if (attempt == 7) {
+      return Status::Internal("CholeskySolve: matrix not positive definite");
+    }
+  }
+  // Forward substitution: L z = b.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= factor(i, k) * z[k];
+    z[i] = s / factor(i, i);
+  }
+  // Backward substitution: L^T x = z.
+  x->assign(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = z[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= factor(k, ii) * (*x)[k];
+    (*x)[ii] = s / factor(ii, ii);
+  }
+  return Status::OK();
+}
+
+Status LeastSquares(const Matrix& x, const std::vector<double>& y,
+                    std::vector<double>* w, double ridge) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("LeastSquares: rows(X) != len(y)");
+  }
+  if (x.rows() < x.cols()) {
+    return Status::InvalidArgument("LeastSquares: underdetermined system");
+  }
+  const size_t d = x.cols();
+  Matrix gram = x.Gram();
+  // Scale-aware ridge keeps conditioning stable across key magnitudes.
+  double diag_max = 0.0;
+  for (size_t i = 0; i < d; ++i) diag_max = std::max(diag_max, gram(i, i));
+  const double lambda = ridge * std::max(diag_max, 1.0);
+  for (size_t i = 0; i < d; ++i) gram(i, i) += lambda;
+
+  std::vector<double> xty(d, 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double yi = y[r];
+    for (size_t c = 0; c < d; ++c) xty[c] += x(r, c) * yi;
+  }
+  return CholeskySolve(std::move(gram), std::move(xty), w);
+}
+
+}  // namespace li::linalg

@@ -1,0 +1,79 @@
+// Small dense matrix / vector types plus the Cholesky-based normal-equation
+// solver used to fit multivariate linear regression models in closed form
+// (paper §3.7.1 "multivariate linear regression ... learned optimally").
+//
+// These are deliberately tiny (feature dimensionality <= ~16); no BLAS
+// dependency is needed or wanted.
+
+#ifndef LI_LINALG_MATRIX_H_
+#define LI_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace li::linalg {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// this^T * this, producing a cols x cols Gram matrix.
+  Matrix Gram() const {
+    Matrix g(cols_, cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+      const double* row = &data_[r * cols_];
+      for (size_t i = 0; i < cols_; ++i) {
+        const double ri = row[i];
+        if (ri == 0.0) continue;
+        for (size_t j = i; j < cols_; ++j) {
+          g(i, j) += ri * row[j];
+        }
+      }
+    }
+    for (size_t i = 0; i < cols_; ++i)
+      for (size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+    return g;
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// In-place Cholesky factorization of a symmetric positive-definite matrix.
+/// Returns false if the matrix is not (numerically) positive definite.
+bool CholeskyFactor(Matrix* a);
+
+/// Solves A x = b for SPD A via Cholesky, with diagonal ridge regularization
+/// retried on failure. `b` has one entry per row of A.
+Status CholeskySolve(Matrix a, std::vector<double> b, std::vector<double>* x);
+
+/// Ordinary least squares: finds w minimizing ||X w - y||^2 via the normal
+/// equations (X^T X + ridge I) w = X^T y.
+Status LeastSquares(const Matrix& x, const std::vector<double>& y,
+                    std::vector<double>* w, double ridge = 1e-9);
+
+}  // namespace li::linalg
+
+#endif  // LI_LINALG_MATRIX_H_

@@ -1,0 +1,128 @@
+#include "mdim/mdim_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace li::mdim {
+
+Status LearnedZIndex::Build(std::span<const Point> points,
+                            size_t num_leaf_models) {
+  codes_.clear();
+  codes_.reserve(points.size());
+  for (const Point& p : points) codes_.push_back(MortonEncode(p.x, p.y));
+  std::sort(codes_.begin(), codes_.end());
+  codes_.erase(std::unique(codes_.begin(), codes_.end()), codes_.end());
+  rmi::RmiConfig config;
+  config.num_leaf_models = std::max<size_t>(16, num_leaf_models);
+  return rmi_.Build(codes_, config);
+}
+
+bool LearnedZIndex::Contains(Point p) const {
+  const uint64_t code = MortonEncode(p.x, p.y);
+  return rmi_.Contains(code);
+}
+
+void LearnedZIndex::RangeQuery(const Rect& rect, std::vector<Point>* out) const {
+  out->clear();
+  last_seeks_ = 0;
+  if (codes_.empty()) return;
+  const uint64_t zmin = MortonEncode(rect.x0, rect.y0);
+  const uint64_t zmax = MortonEncode(rect.x1, rect.y1);
+
+  uint64_t cursor = zmin;
+  while (true) {
+    // Learned seek: first curve offset >= cursor.
+    size_t idx = rmi_.LowerBound(cursor);
+    ++last_seeks_;
+    // Consume the in-rectangle run; on the first code outside the
+    // rectangle, BIGMIN-jump past the excursion.
+    bool jumped = false;
+    for (; idx < codes_.size() && codes_[idx] <= zmax; ++idx) {
+      const uint64_t code = codes_[idx];
+      if (MortonInRect(code, zmin, zmax)) {
+        Point p;
+        MortonDecode(code, &p.x, &p.y);
+        out->push_back(p);
+      } else {
+        bool valid = false;
+        const uint64_t next = BigMin(code, zmin, zmax, &valid);
+        if (!valid) return;  // nothing inside the rect beyond this point
+        cursor = next;
+        jumped = true;
+        break;
+      }
+    }
+    if (!jumped) return;  // ran past zmax or off the end
+  }
+}
+
+uint32_t GridIndex::CellOf(uint32_t x, uint32_t y) const {
+  const uint32_t cx = std::min(
+      cells_per_dim_ - 1, static_cast<uint32_t>(x * scale_x_));
+  const uint32_t cy = std::min(
+      cells_per_dim_ - 1, static_cast<uint32_t>(y * scale_y_));
+  return cy * cells_per_dim_ + cx;
+}
+
+Status GridIndex::Build(std::span<const Point> points,
+                        uint32_t cells_per_dim) {
+  if (cells_per_dim == 0) {
+    return Status::InvalidArgument("GridIndex: cells_per_dim == 0");
+  }
+  cells_per_dim_ = cells_per_dim;
+  max_x_ = max_y_ = 0;
+  for (const Point& p : points) {
+    max_x_ = std::max(max_x_, p.x);
+    max_y_ = std::max(max_y_, p.y);
+  }
+  scale_x_ = static_cast<double>(cells_per_dim_) /
+             (static_cast<double>(max_x_) + 1.0);
+  scale_y_ = static_cast<double>(cells_per_dim_) /
+             (static_cast<double>(max_y_) + 1.0);
+
+  const size_t num_cells = static_cast<size_t>(cells_per_dim_) * cells_per_dim_;
+  std::vector<uint32_t> counts(num_cells + 1, 0);
+  for (const Point& p : points) ++counts[CellOf(p.x, p.y) + 1];
+  for (size_t c = 0; c < num_cells; ++c) counts[c + 1] += counts[c];
+  offsets_ = counts;
+  points_.resize(points.size());
+  std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
+  for (const Point& p : points) points_[cursor[CellOf(p.x, p.y)]++] = p;
+  return Status::OK();
+}
+
+bool GridIndex::Contains(Point p) const {
+  if (offsets_.empty()) return false;
+  const uint32_t cell = CellOf(p.x, p.y);
+  for (uint32_t i = offsets_[cell]; i < offsets_[cell + 1]; ++i) {
+    if (points_[i].x == p.x && points_[i].y == p.y) return true;
+  }
+  return false;
+}
+
+void GridIndex::RangeQuery(const Rect& rect, std::vector<Point>* out) const {
+  out->clear();
+  if (offsets_.empty()) return;
+  const uint32_t cx0 = std::min(cells_per_dim_ - 1,
+                                static_cast<uint32_t>(rect.x0 * scale_x_));
+  const uint32_t cx1 = std::min(cells_per_dim_ - 1,
+                                static_cast<uint32_t>(rect.x1 * scale_x_));
+  const uint32_t cy0 = std::min(cells_per_dim_ - 1,
+                                static_cast<uint32_t>(rect.y0 * scale_y_));
+  const uint32_t cy1 = std::min(cells_per_dim_ - 1,
+                                static_cast<uint32_t>(rect.y1 * scale_y_));
+  for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+    for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+      const uint32_t cell = cy * cells_per_dim_ + cx;
+      for (uint32_t i = offsets_[cell]; i < offsets_[cell + 1]; ++i) {
+        const Point& p = points_[i];
+        if (p.x >= rect.x0 && p.x <= rect.x1 && p.y >= rect.y0 &&
+            p.y <= rect.y1) {
+          out->push_back(p);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace li::mdim

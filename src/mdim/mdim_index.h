@@ -1,0 +1,85 @@
+// Multi-dimensional learned index (§7 "Multi-Dimensional Indexes", future
+// work): 2-D points are linearized along a z-order curve, a 2-stage RMI
+// learns the CDF of the curve offsets, and rectangle queries walk the
+// curve with BIGMIN skipping — each seek served by the learned index
+// instead of a tree descent. A uniform-grid index provides the
+// conventional baseline.
+
+#ifndef LI_MDIM_MDIM_INDEX_H_
+#define LI_MDIM_MDIM_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "mdim/morton.h"
+#include "rmi/rmi.h"
+
+namespace li::mdim {
+
+struct Point {
+  uint32_t x = 0;
+  uint32_t y = 0;
+};
+
+struct Rect {  // inclusive bounds
+  uint32_t x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+};
+
+/// Learned z-order index over 2-D points.
+class LearnedZIndex {
+ public:
+  LearnedZIndex() = default;
+
+  /// Sorts points in z-order internally; the caller's vector is copied.
+  Status Build(std::span<const Point> points, size_t num_leaf_models = 4096);
+
+  /// All points inside `rect` (inclusive), in z-order.
+  void RangeQuery(const Rect& rect, std::vector<Point>* out) const;
+
+  /// Point-existence probe.
+  bool Contains(Point p) const;
+
+  size_t size() const { return codes_.size(); }
+  size_t SizeBytes() const { return rmi_.SizeBytes(); }
+  /// Number of learned-index seeks performed by the last RangeQuery (the
+  /// query-cost metric a tree baseline would count node traversals for).
+  size_t last_query_seeks() const { return last_seeks_; }
+
+ private:
+  std::vector<uint64_t> codes_;  // z-order sorted
+  rmi::Rmi<models::LinearModel> rmi_;
+  mutable size_t last_seeks_ = 0;
+};
+
+/// Conventional uniform-grid spatial index baseline.
+class GridIndex {
+ public:
+  GridIndex() = default;
+
+  Status Build(std::span<const Point> points, uint32_t cells_per_dim = 256);
+
+  void RangeQuery(const Rect& rect, std::vector<Point>* out) const;
+  bool Contains(Point p) const;
+
+  size_t size() const { return points_.size(); }
+  /// Directory + bucket-offset overhead (points themselves excluded, like
+  /// the range-index size accounting).
+  size_t SizeBytes() const {
+    return offsets_.size() * sizeof(uint32_t) + 2 * sizeof(double);
+  }
+
+ private:
+  uint32_t CellOf(uint32_t x, uint32_t y) const;
+
+  uint32_t cells_per_dim_ = 0;
+  double scale_x_ = 0.0, scale_y_ = 0.0;
+  uint32_t max_x_ = 0, max_y_ = 0;
+  std::vector<uint32_t> offsets_;  // cell -> start in points_
+  std::vector<Point> points_;      // grouped by cell
+};
+
+}  // namespace li::mdim
+
+#endif  // LI_MDIM_MDIM_INDEX_H_

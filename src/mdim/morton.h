@@ -1,0 +1,110 @@
+// 2-D Morton (z-order) encoding and the LITMAX/BIGMIN range-splitting
+// primitives — the substrate for the multi-dimensional learned index
+// (§7 "Multi-Dimensional Indexes"): mapping points onto a space-filling
+// curve linearizes them so a CDF model over the curve offsets can predict
+// positions, and BIGMIN lets range scans skip the curve's excursions
+// outside the query rectangle.
+
+#ifndef LI_MDIM_MORTON_H_
+#define LI_MDIM_MORTON_H_
+
+#include <cstdint>
+
+namespace li::mdim {
+
+/// Spreads the 32 bits of x into the even bit positions of a 64-bit word.
+inline uint64_t SpreadBits(uint32_t x) {
+  uint64_t v = x;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+/// Inverse of SpreadBits.
+inline uint32_t CompactBits(uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v >> 4)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v >> 8)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(v);
+}
+
+/// Interleaves (x, y) into a z-order code: x in even bits, y in odd bits.
+inline uint64_t MortonEncode(uint32_t x, uint32_t y) {
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+inline void MortonDecode(uint64_t code, uint32_t* x, uint32_t* y) {
+  *x = CompactBits(code);
+  *y = CompactBits(code >> 1);
+}
+
+/// True iff the point encoded by `code` lies inside the rectangle
+/// [min_code, max_code] interpreted dimension-wise.
+inline bool MortonInRect(uint64_t code, uint64_t min_code, uint64_t max_code) {
+  const uint64_t kEven = 0x5555555555555555ULL;
+  const uint64_t kOdd = ~kEven;
+  return (code & kEven) >= (min_code & kEven) &&
+         (code & kEven) <= (max_code & kEven) &&
+         (code & kOdd) >= (min_code & kOdd) &&
+         (code & kOdd) <= (max_code & kOdd);
+}
+
+/// BIGMIN (Tropf & Herzog): the smallest z-code > `code` that lies inside
+/// the query rectangle [min_code, max_code]. Used to skip curve segments
+/// that left the rectangle. Returns 0 and sets *valid=false when no such
+/// code exists.
+inline uint64_t BigMin(uint64_t code, uint64_t min_code, uint64_t max_code,
+                       bool* valid) {
+  uint64_t bigmin = 0;
+  *valid = false;
+  // Walk bits from the most significant; maintain working copies of the
+  // rectangle bounds that are refined as decisions fix high bits.
+  uint64_t wmin = min_code, wmax = max_code;
+  for (int bit = 63; bit >= 0; --bit) {
+    const uint64_t mask = uint64_t{1} << bit;
+    // Dimension-local masks for loading/storing partial bounds: for bit b,
+    // the same dimension occupies b, b-2, b-4, ...
+    const uint64_t dim_mask = (bit % 2 == 0) ? 0x5555555555555555ULL
+                                             : 0xAAAAAAAAAAAAAAAAULL;
+    const uint64_t low_dim_bits = dim_mask & (mask - 1);
+    const unsigned z_bit = (code & mask) ? 1 : 0;
+    const unsigned min_bit = (wmin & mask) ? 1 : 0;
+    const unsigned max_bit = (wmax & mask) ? 1 : 0;
+    const unsigned state = (z_bit << 2) | (min_bit << 1) | max_bit;
+    switch (state) {
+      case 0b000:  // equal everywhere: continue
+        break;
+      case 0b001:  // z=0, min=0, max=1
+        bigmin = (wmin & ~(mask | low_dim_bits)) | mask;
+        *valid = true;
+        // max := 0111... in this dimension below `bit`
+        wmax = (wmax & ~(mask | low_dim_bits)) | low_dim_bits;
+        break;
+      case 0b011:  // z=0, min=1: the whole remaining range is > code
+        *valid = true;
+        return wmin;
+      case 0b100:  // z=1, min=0, max=0: range exhausted below code
+        return *valid ? bigmin : 0;
+      case 0b101:  // z=1, min=0, max=1
+        // min := 1000... in this dimension at `bit`
+        wmin = (wmin & ~(mask | low_dim_bits)) | mask;
+        break;
+      case 0b111:  // all ones: continue
+        break;
+      default:
+        // min=1, max=0 within a dimension cannot happen for a valid rect.
+        return *valid ? bigmin : 0;
+    }
+  }
+  return *valid ? bigmin : 0;
+}
+
+}  // namespace li::mdim
+
+#endif  // LI_MDIM_MORTON_H_

@@ -1,0 +1,138 @@
+// Histogram CDF models — the §3.7.1 "Histogram" baseline the paper
+// discusses and dismisses: "In principle the answer is yes, but to enable
+// fast data access, the histogram must be a low-error approximation of the
+// CDF. Typically this requires a large number of buckets, which makes it
+// expensive to search the histogram itself ... the obvious solutions to
+// this issue would yield a B-Tree."
+//
+// Both variants are provided so `ablation_histogram` can demonstrate that
+// trade-off empirically:
+//  * EquiWidthHistogram — O(1) bucket lookup but unbounded per-bucket
+//    error under skew.
+//  * EquiDepthHistogram — bounded per-bucket error but requires a binary
+//    search over bucket boundaries (the degeneration into a B-Tree).
+
+#ifndef LI_MODELS_HISTOGRAM_H_
+#define LI_MODELS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace li::models {
+
+class EquiWidthHistogram {
+ public:
+  EquiWidthHistogram() = default;
+
+  /// Builds cumulative counts over `num_buckets` equal key-range buckets.
+  Status Fit(std::span<const double> xs, std::span<const double> ys,
+             size_t num_buckets = 1024) {
+    if (xs.size() != ys.size()) {
+      return Status::InvalidArgument("EquiWidthHistogram: size mismatch");
+    }
+    if (num_buckets < 1) {
+      return Status::InvalidArgument("EquiWidthHistogram: no buckets");
+    }
+    cum_.assign(num_buckets + 1, 0.0);
+    if (xs.empty()) {
+      lo_ = 0.0;
+      inv_width_ = 0.0;
+      return Status::OK();
+    }
+    lo_ = xs.front();
+    const double hi = xs.back();
+    inv_width_ = hi > lo_ ? static_cast<double>(num_buckets) / (hi - lo_) : 0.0;
+    // xs sorted: cum_[b] = highest position of any key in buckets < b.
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const size_t b = BucketOf(xs[i]);
+      cum_[b + 1] = std::max(cum_[b + 1], ys[i] + 1.0);
+    }
+    for (size_t b = 1; b <= num_buckets; ++b) {
+      cum_[b] = std::max(cum_[b], cum_[b - 1]);
+    }
+    return Status::OK();
+  }
+
+  /// Linear interpolation inside the bucket — one multiply to locate it.
+  double Predict(double x) const {
+    if (cum_.size() < 2) return 0.0;
+    const size_t b = BucketOf(x);
+    const double base = cum_[b];
+    return base + 0.5 * (cum_[b + 1] - base);  // bucket-midpoint estimate
+  }
+
+  size_t SizeBytes() const {
+    return cum_.size() * sizeof(double) + 2 * sizeof(double);
+  }
+  static const char* Name() { return "equi-width-histogram"; }
+
+ private:
+  size_t BucketOf(double x) const {
+    const double t = (x - lo_) * inv_width_;
+    if (!(t > 0.0)) return 0;
+    return std::min(static_cast<size_t>(t), cum_.size() - 2);
+  }
+
+  double lo_ = 0.0;
+  double inv_width_ = 0.0;
+  std::vector<double> cum_;
+};
+
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Boundaries at key quantiles; every bucket covers ~n/num_buckets keys.
+  Status Fit(std::span<const double> xs, std::span<const double> ys,
+             size_t num_buckets = 1024) {
+    if (xs.size() != ys.size()) {
+      return Status::InvalidArgument("EquiDepthHistogram: size mismatch");
+    }
+    if (num_buckets < 1) {
+      return Status::InvalidArgument("EquiDepthHistogram: no buckets");
+    }
+    bounds_.clear();
+    positions_.clear();
+    if (xs.empty()) return Status::OK();
+    const size_t buckets = std::min(num_buckets, xs.size());
+    bounds_.reserve(buckets + 1);
+    positions_.reserve(buckets + 1);
+    for (size_t b = 0; b <= buckets; ++b) {
+      const size_t idx = std::min(b * xs.size() / buckets, xs.size() - 1);
+      bounds_.push_back(xs[idx]);
+      positions_.push_back(ys[idx]);
+    }
+    return Status::OK();
+  }
+
+  /// Binary search over the quantile boundaries (the cost the paper calls
+  /// out), then interpolate.
+  double Predict(double x) const {
+    if (bounds_.size() < 2) return positions_.empty() ? 0.0 : positions_[0];
+    const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+    size_t hi = static_cast<size_t>(it - bounds_.begin());
+    hi = std::clamp<size_t>(hi, 1, bounds_.size() - 1);
+    const size_t lo = hi - 1;
+    const double x0 = bounds_[lo], x1 = bounds_[hi];
+    const double frac = x1 > x0 ? (x - x0) / (x1 - x0) : 0.0;
+    return positions_[lo] +
+           std::clamp(frac, 0.0, 1.0) * (positions_[hi] - positions_[lo]);
+  }
+
+  size_t SizeBytes() const {
+    return (bounds_.size() + positions_.size()) * sizeof(double);
+  }
+  static const char* Name() { return "equi-depth-histogram"; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<double> positions_;
+};
+
+}  // namespace li::models
+
+#endif  // LI_MODELS_HISTOGRAM_H_

@@ -1,0 +1,84 @@
+#include "models/isotonic.h"
+
+#include <algorithm>
+
+namespace li::models {
+
+Status IsotonicModel::Fit(std::span<const double> xs,
+                          std::span<const double> ys, size_t max_knots) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("IsotonicModel::Fit: size mismatch");
+  }
+  if (max_knots < 2) {
+    return Status::InvalidArgument("IsotonicModel::Fit: need >= 2 knots");
+  }
+  knot_x_.clear();
+  knot_y_.clear();
+  if (xs.empty()) return Status::OK();
+  if (!std::is_sorted(xs.begin(), xs.end())) {
+    return Status::InvalidArgument("IsotonicModel::Fit: xs must be sorted");
+  }
+
+  // Pool-Adjacent-Violators: merge blocks whose means violate monotonicity.
+  struct Block {
+    double sum;
+    size_t count;
+    size_t last;  // index of last element covered
+    double mean() const { return sum / static_cast<double>(count); }
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(xs.size());
+  for (size_t i = 0; i < ys.size(); ++i) {
+    blocks.push_back({ys[i], 1, i});
+    while (blocks.size() > 1 &&
+           blocks[blocks.size() - 2].mean() > blocks.back().mean()) {
+      Block top = blocks.back();
+      blocks.pop_back();
+      blocks.back().sum += top.sum;
+      blocks.back().count += top.count;
+      blocks.back().last = top.last;
+    }
+  }
+
+  // Materialize knots at block ends, subsampled to the knot budget.
+  std::vector<double> kx, ky;
+  kx.reserve(blocks.size());
+  ky.reserve(blocks.size());
+  for (const Block& b : blocks) {
+    kx.push_back(xs[b.last]);
+    ky.push_back(b.mean());
+  }
+  if (kx.size() <= max_knots) {
+    knot_x_ = std::move(kx);
+    knot_y_ = std::move(ky);
+  } else {
+    knot_x_.reserve(max_knots);
+    knot_y_.reserve(max_knots);
+    const double stride = static_cast<double>(kx.size() - 1) /
+                          static_cast<double>(max_knots - 1);
+    for (size_t i = 0; i < max_knots; ++i) {
+      const size_t idx = static_cast<size_t>(i * stride);
+      knot_x_.push_back(kx[idx]);
+      knot_y_.push_back(ky[idx]);
+    }
+    knot_x_.back() = kx.back();
+    knot_y_.back() = ky.back();
+  }
+  // The subsample preserves monotonicity (ky is non-decreasing), but
+  // duplicate x knots would make interpolation ill-defined; dedupe.
+  size_t w = 1;
+  for (size_t i = 1; i < knot_x_.size(); ++i) {
+    if (knot_x_[i] == knot_x_[w - 1]) {
+      knot_y_[w - 1] = std::max(knot_y_[w - 1], knot_y_[i]);
+    } else {
+      knot_x_[w] = knot_x_[i];
+      knot_y_[w] = knot_y_[i];
+      ++w;
+    }
+  }
+  knot_x_.resize(w);
+  knot_y_.resize(w);
+  return Status::OK();
+}
+
+}  // namespace li::models

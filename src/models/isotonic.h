@@ -1,0 +1,64 @@
+// Monotonic CDF models (§3.4): "one option is to force our RMI model to be
+// monotonic, as has been studied in machine learning [41, 71]."
+//
+// IsotonicModel fits a non-decreasing step/interpolated function via the
+// Pool-Adjacent-Violators Algorithm (PAVA) over (key, position) pairs and
+// predicts by linear interpolation between pooled knots. A monotonic model
+// guarantees the §3.4 min/max-error bounds hold for *absent* lookup keys
+// too, eliminating the boundary fix-up entirely.
+
+#ifndef LI_MODELS_ISOTONIC_H_
+#define LI_MODELS_ISOTONIC_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace li::models {
+
+class IsotonicModel {
+ public:
+  IsotonicModel() = default;
+
+  /// Fits a non-decreasing function to (xs, ys); xs must be sorted
+  /// ascending. `max_knots` caps memory by subsampling the pooled solution.
+  Status Fit(std::span<const double> xs, std::span<const double> ys,
+             size_t max_knots = 256);
+
+  /// Piecewise-linear interpolation between pooled knots; clamps outside
+  /// the fitted range. Non-decreasing by construction.
+  double Predict(double x) const {
+    if (knot_x_.empty()) return 0.0;
+    if (x <= knot_x_.front()) return knot_y_.front();
+    if (x >= knot_x_.back()) return knot_y_.back();
+    // Binary search for the segment.
+    size_t lo = 0, hi = knot_x_.size() - 1;
+    while (hi - lo > 1) {
+      const size_t mid = (lo + hi) / 2;
+      if (knot_x_[mid] <= x) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const double x0 = knot_x_[lo], x1 = knot_x_[hi];
+    const double y0 = knot_y_[lo], y1 = knot_y_[hi];
+    const double frac = x1 > x0 ? (x - x0) / (x1 - x0) : 0.0;
+    return y0 + frac * (y1 - y0);
+  }
+
+  size_t SizeBytes() const {
+    return (knot_x_.size() + knot_y_.size()) * sizeof(double);
+  }
+  size_t num_knots() const { return knot_x_.size(); }
+  static const char* Name() { return "isotonic"; }
+
+ private:
+  std::vector<double> knot_x_, knot_y_;
+};
+
+}  // namespace li::models
+
+#endif  // LI_MODELS_ISOTONIC_H_

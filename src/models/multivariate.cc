@@ -1,0 +1,93 @@
+#include "models/multivariate.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "linalg/matrix.h"
+#include "models/model.h"
+
+namespace li::models {
+
+Status MultivariateModel::Fit(std::span<const double> xs,
+                              std::span<const double> ys, uint32_t features) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("MultivariateModel::Fit: size mismatch");
+  }
+  features_ = features;
+  num_features_ = std::popcount(features);
+  w_.fill(0.0);
+  if (xs.empty()) return Status::OK();
+
+  // Normalize x into ~[0, 1]: log/sqrt/x^3 features are unusable on raw
+  // 1e18-scale keys.
+  double xmin = xs[0], xmax = xs[0];
+  for (const double x : xs) {
+    xmin = std::min(xmin, x);
+    xmax = std::max(xmax, x);
+  }
+  x_shift_ = xmin;
+  x_scale_ = (xmax > xmin) ? 1.0 / (xmax - xmin) : 1.0;
+
+  const size_t d = static_cast<size_t>(num_features_) + 1;
+  if (xs.size() < d) {
+    // Underdetermined: constant model at the mean position.
+    double mean = 0.0;
+    for (const double y : ys) mean += y;
+    w_[0] = mean / static_cast<double>(ys.size());
+    features_ = 0;
+    num_features_ = 0;
+    return Status::OK();
+  }
+
+  linalg::Matrix design(xs.size(), d);
+  for (size_t r = 0; r < xs.size(); ++r) {
+    const double xn = (xs[r] - x_shift_) * x_scale_;
+    design(r, 0) = 1.0;
+    uint32_t m = features_;
+    size_t c = 1;
+    while (m) {
+      const uint32_t f = m & (~m + 1);
+      design(r, c++) = Eval(f, xn);
+      m ^= f;
+    }
+  }
+  std::vector<double> y(ys.begin(), ys.end());
+  std::vector<double> w;
+  LI_RETURN_IF_ERROR(linalg::LeastSquares(design, y, &w));
+  for (size_t i = 0; i < w.size(); ++i) w_[i] = w[i];
+  return Status::OK();
+}
+
+Status MultivariateModel::FitAutoSelect(std::span<const double> xs,
+                                        std::span<const double> ys) {
+  static const uint32_t kCandidates[] = {
+      kFeatX,
+      kFeatX | kFeatLog,
+      kFeatX | kFeatSq,
+      kFeatX | kFeatSqrt,
+      kFeatX | kFeatLog | kFeatLogSq,
+      kFeatX | kFeatSq | kFeatCube,
+      kDefaultFeatures,
+      kFeatX | kFeatLog | kFeatSq | kFeatSqrt | kFeatCube | kFeatLogSq,
+  };
+  double best_mse = std::numeric_limits<double>::infinity();
+  MultivariateModel best;
+  bool any = false;
+  for (const uint32_t mask : kCandidates) {
+    MultivariateModel candidate;
+    if (!candidate.Fit(xs, ys, mask).ok()) continue;
+    const double mse = MeanSquaredError(candidate, xs, ys);
+    if (mse < best_mse) {
+      best_mse = mse;
+      best = candidate;
+      any = true;
+    }
+  }
+  if (!any) {
+    return Status::Internal("MultivariateModel: all feature sets failed");
+  }
+  *this = best;
+  return Status::OK();
+}
+
+}  // namespace li::models

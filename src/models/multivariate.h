@@ -1,0 +1,98 @@
+// Multivariate linear regression over engineered key features — the top
+// model of the Figure-5 "learned index without overhead": "simple automatic
+// feature engineering ... key, log(key), key^2, etc. Multivariate linear
+// regression is an interesting alternative to NN as it is particularly well
+// suited to fit nonlinear patterns with only a few operations" (§3.7.1).
+//
+// Fit is closed form via the normal equations (Cholesky); feature subsets
+// are selected automatically by validation MSE.
+
+#ifndef LI_MODELS_MULTIVARIATE_H_
+#define LI_MODELS_MULTIVARIATE_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace li::models {
+
+/// Bitmask of candidate features; bias is always included.
+enum Feature : uint32_t {
+  kFeatX = 1u << 0,      // x
+  kFeatLog = 1u << 1,    // log(1 + x)
+  kFeatSq = 1u << 2,     // x^2
+  kFeatSqrt = 1u << 3,   // sqrt(x)
+  kFeatCube = 1u << 4,   // x^3
+  kFeatLogSq = 1u << 5,  // log(1 + x)^2
+};
+
+class MultivariateModel {
+ public:
+  static constexpr uint32_t kDefaultFeatures =
+      kFeatX | kFeatLog | kFeatSq | kFeatSqrt;
+  static constexpr size_t kMaxFeatures = 7;  // bias + 6 candidates
+
+  MultivariateModel() = default;
+
+  /// Fits with an explicit feature set.
+  Status Fit(std::span<const double> xs, std::span<const double> ys,
+             uint32_t features = kDefaultFeatures);
+
+  /// Tries each single feature plus the default combo and a few curated
+  /// subsets; keeps the one with lowest training MSE ("automatically
+  /// creating and selecting features", §3.7.1).
+  Status FitAutoSelect(std::span<const double> xs, std::span<const double> ys);
+
+  double Predict(double x) const {
+    // Feature evaluation is branch-light: weights for unused features are
+    // zero, so we evaluate only the features in the fitted mask.
+    double acc = w_[0];
+    uint32_t m = features_;
+    int wi = 1;
+    const double xn = (x - x_shift_) * x_scale_;
+    while (m) {
+      const uint32_t f = m & (~m + 1);  // lowest set bit
+      acc += w_[wi++] * Eval(f, xn);
+      m ^= f;
+    }
+    return acc;
+  }
+
+  size_t SizeBytes() const {
+    return sizeof(double) * (1 + num_features_) + sizeof(uint32_t) +
+           2 * sizeof(double);
+  }
+
+  uint32_t features() const { return features_; }
+  static const char* Name() { return "multivariate"; }
+
+ private:
+  static double Eval(uint32_t feature, double xn) {
+    switch (feature) {
+      case kFeatX: return xn;
+      case kFeatLog: return std::log1p(std::fabs(xn));
+      case kFeatSq: return xn * xn;
+      case kFeatSqrt: return std::sqrt(std::fabs(xn));
+      case kFeatCube: return xn * xn * xn;
+      case kFeatLogSq: {
+        const double l = std::log1p(std::fabs(xn));
+        return l * l;
+      }
+      default: return 0.0;
+    }
+  }
+
+  uint32_t features_ = 0;
+  int num_features_ = 0;
+  double x_shift_ = 0.0;
+  double x_scale_ = 1.0;
+  std::array<double, kMaxFeatures> w_{};  // w_[0] is the bias
+};
+
+}  // namespace li::models
+
+#endif  // LI_MODELS_MULTIVARIATE_H_

@@ -1,0 +1,140 @@
+#include "models/naive_executor.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace li::models {
+
+namespace {
+
+class MatMulOp : public NaiveOp {
+ public:
+  std::string name() const override { return "MatMul"; }
+  std::shared_ptr<DynTensor> Execute(
+      const std::vector<std::shared_ptr<DynTensor>>& inputs) const override {
+    const auto& w = *inputs[0];  // [out, in]
+    const auto& x = *inputs[1];  // [in]
+    if (w.shape.size() != 2 || x.shape.size() != 1 ||
+        w.shape[1] != x.shape[0]) {
+      throw std::runtime_error("MatMul: shape mismatch");
+    }
+    auto out = std::make_shared<DynTensor>();
+    out->shape = {w.shape[0]};
+    out->values.resize(w.shape[0]);
+    for (size_t o = 0; o < w.shape[0]; ++o) {
+      double acc = 0.0;
+      for (size_t i = 0; i < w.shape[1]; ++i) {
+        acc += w.values[o * w.shape[1] + i] * x.values[i];
+      }
+      out->values[o] = acc;
+    }
+    return out;
+  }
+};
+
+class AddOp : public NaiveOp {
+ public:
+  std::string name() const override { return "Add"; }
+  std::shared_ptr<DynTensor> Execute(
+      const std::vector<std::shared_ptr<DynTensor>>& inputs) const override {
+    const auto& a = *inputs[0];
+    const auto& b = *inputs[1];
+    if (a.shape != b.shape) throw std::runtime_error("Add: shape mismatch");
+    auto out = std::make_shared<DynTensor>();
+    out->shape = a.shape;
+    out->values.resize(a.values.size());
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      out->values[i] = a.values[i] + b.values[i];
+    }
+    return out;
+  }
+};
+
+class ReluOp : public NaiveOp {
+ public:
+  std::string name() const override { return "Relu"; }
+  std::shared_ptr<DynTensor> Execute(
+      const std::vector<std::shared_ptr<DynTensor>>& inputs) const override {
+    const auto& a = *inputs[0];
+    auto out = std::make_shared<DynTensor>();
+    out->shape = a.shape;
+    out->values.resize(a.values.size());
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      out->values[i] = a.values[i] > 0.0 ? a.values[i] : 0.0;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+NaiveGraphExecutor::NaiveGraphExecutor(const NeuralNet& net) : net_(net) {
+  // Materialize named weight/bias constants and the named op sequence.
+  for (int l = 0; l < net.num_layers(); ++l) {
+    const auto layer = net.layer(l);
+    const std::string suffix = "_" + std::to_string(l);
+    auto w = std::make_shared<DynTensor>();
+    w->shape = {static_cast<size_t>(layer.out_dim),
+                static_cast<size_t>(layer.in_dim)};
+    w->values.assign(layer.weights,
+                     layer.weights + layer.out_dim * layer.in_dim);
+    auto b = std::make_shared<DynTensor>();
+    b->shape = {static_cast<size_t>(layer.out_dim)};
+    b->values.assign(layer.biases, layer.biases + layer.out_dim);
+    constants_["weights" + suffix] = std::move(w);
+    constants_["biases" + suffix] = std::move(b);
+
+    const std::string matmul = "matmul" + suffix;
+    registry_[matmul] = std::make_unique<MatMulOp>();
+    op_sequence_.push_back(matmul);
+    op_inputs_.push_back({"weights" + suffix, ""});
+    const std::string add = "add" + suffix;
+    registry_[add] = std::make_unique<AddOp>();
+    op_sequence_.push_back(add);
+    op_inputs_.push_back({"", "biases" + suffix});
+    if (layer.relu) {
+      const std::string relu = "relu" + suffix;
+      registry_[relu] = std::make_unique<ReluOp>();
+      op_sequence_.push_back(relu);
+      op_inputs_.push_back({""});
+    }
+  }
+}
+
+double NaiveGraphExecutor::Predict(double x) const {
+  // Session-run emulation: a feed dict keyed by tensor name, per-op
+  // name-resolution through the registry, shape re-validation, and a heap
+  // tensor per intermediate result.
+  std::map<std::string, std::shared_ptr<DynTensor>> feed;
+  {
+    auto input = std::make_shared<DynTensor>();
+    input->shape = {1};
+    input->values = {(x - net_.x_mean(0)) * net_.x_inv_std(0)};
+    feed["input"] = std::move(input);
+  }
+
+  std::shared_ptr<DynTensor> cursor = feed.at("input");
+  std::vector<std::shared_ptr<DynTensor>> inputs;
+  for (size_t i = 0; i < op_sequence_.size(); ++i) {
+    const auto op_it = registry_.find(op_sequence_[i]);
+    if (op_it == registry_.end()) {
+      throw std::runtime_error("unknown op: " + op_sequence_[i]);
+    }
+    inputs.clear();
+    for (const std::string& src : op_inputs_[i]) {
+      if (src.empty()) {
+        inputs.push_back(cursor);
+      } else {
+        inputs.push_back(constants_.at(src));
+      }
+    }
+    // Shape pre-validation pass (frameworks re-check shapes per run).
+    size_t checked = 0;
+    for (const auto& t : inputs) checked += t->NumElements();
+    if (checked == 0) throw std::runtime_error("empty tensor");
+    cursor = op_it->second->Execute(inputs);
+  }
+  return cursor->values[0] * net_.y_scale() + net_.y_mean();
+}
+
+}  // namespace li::models

@@ -1,0 +1,262 @@
+#include "models/nn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace li::models {
+
+Status NeuralNet::Init(const NNConfig& config) {
+  if (config.input_dim < 1 || config.input_dim > kMaxWidth) {
+    return Status::InvalidArgument("NeuralNet: input_dim out of range");
+  }
+  if (config.hidden.size() > 2) {
+    return Status::InvalidArgument("NeuralNet: at most 2 hidden layers");
+  }
+  for (const int h : config.hidden) {
+    if (h < 1 || h > kMaxWidth) {
+      return Status::InvalidArgument("NeuralNet: hidden width out of range");
+    }
+  }
+  config_ = config;
+  num_layers_ = static_cast<int>(config.hidden.size()) + 1;
+  dims_[0] = config.input_dim;
+  for (size_t i = 0; i < config.hidden.size(); ++i) {
+    dims_[i + 1] = config.hidden[i];
+  }
+  dims_[num_layers_] = 1;
+
+  Xorshift128Plus rng(config.seed);
+  for (int l = 0; l < num_layers_; ++l) {
+    const int in = dims_[l];
+    const int out = dims_[l + 1];
+    w_[l].assign(static_cast<size_t>(in) * out, 0.0);
+    b_[l].assign(out, 0.0);
+    // He initialization for ReLU layers.
+    const double scale = std::sqrt(2.0 / in);
+    for (auto& v : w_[l]) v = rng.NextGaussian() * scale;
+  }
+  x_mean_.assign(config.input_dim, 0.0);
+  x_inv_std_.assign(config.input_dim, 1.0);
+  return Status::OK();
+}
+
+double NeuralNet::Forward(const double* xn) const {
+  double act[2][kMaxWidth];
+  const double* in = xn;
+  double* out = act[0];
+  for (int l = 0; l < num_layers_; ++l) {
+    const int in_dim = dims_[l];
+    const int out_dim = dims_[l + 1];
+    const double* w = w_[l].data();
+    const double* b = b_[l].data();
+    const bool relu = l + 1 < num_layers_;
+    for (int o = 0; o < out_dim; ++o) {
+      double acc = b[o];
+      const double* wrow = w + static_cast<size_t>(o) * in_dim;
+      for (int i = 0; i < in_dim; ++i) acc += wrow[i] * in[i];
+      out[o] = relu && acc < 0.0 ? 0.0 : acc;
+    }
+    in = out;
+    out = (out == act[0]) ? act[1] : act[0];
+  }
+  return in[0];
+}
+
+double NeuralNet::PredictVec(std::span<const double> x) const {
+  assert(static_cast<int>(x.size()) == config_.input_dim);
+  double xn[kMaxWidth];
+  for (int d = 0; d < config_.input_dim; ++d) {
+    xn[d] = (x[d] - x_mean_[d]) * x_inv_std_[d];
+  }
+  return Forward(xn) * y_scale_ + y_mean_;
+}
+
+size_t NeuralNet::SizeBytes() const {
+  size_t bytes = 0;
+  for (int l = 0; l < num_layers_; ++l) {
+    bytes += (w_[l].size() + b_[l].size()) * sizeof(double);
+  }
+  bytes += (x_mean_.size() + x_inv_std_.size() + 2) * sizeof(double);
+  return bytes;
+}
+
+size_t NeuralNet::OpsPerInference() const {
+  size_t ops = 0;
+  for (int l = 0; l < num_layers_; ++l) {
+    ops += 2 * w_[l].size() + b_[l].size();
+  }
+  return ops;
+}
+
+NeuralNet::LayerView NeuralNet::layer(int l) const {
+  assert(l >= 0 && l < num_layers_);
+  return LayerView{w_[l].data(), b_[l].data(), dims_[l], dims_[l + 1],
+                   l + 1 < num_layers_};
+}
+
+Status NeuralNet::Fit(std::span<const double> xs, std::span<const double> ys,
+                      const NNConfig& config) {
+  NNConfig c = config;
+  c.input_dim = 1;
+  LI_RETURN_IF_ERROR(Init(c));
+  return TrainAdam(xs, xs.size(), ys);
+}
+
+Status NeuralNet::FitVec(std::span<const double> features, size_t n,
+                         std::span<const double> ys, const NNConfig& config) {
+  LI_RETURN_IF_ERROR(Init(config));
+  if (features.size() != n * static_cast<size_t>(config.input_dim)) {
+    return Status::InvalidArgument("NeuralNet::FitVec: bad feature matrix");
+  }
+  return TrainAdam(features, n, ys);
+}
+
+Status NeuralNet::TrainAdam(std::span<const double> features, size_t n,
+                            std::span<const double> ys) {
+  if (ys.size() != n) {
+    return Status::InvalidArgument("NeuralNet: |ys| != n");
+  }
+  if (n == 0) return Status::OK();
+  const int d = config_.input_dim;
+
+  // Subsample for training speed; evenly strided so the sample spans the
+  // key range (the data is typically sorted by caller).
+  std::vector<size_t> sample;
+  const size_t train_n = std::min(n, config_.max_train_samples);
+  sample.reserve(train_n);
+  const double stride = static_cast<double>(n) / static_cast<double>(train_n);
+  for (size_t i = 0; i < train_n; ++i) {
+    sample.push_back(static_cast<size_t>(i * stride));
+  }
+
+  // Input standardization per dimension + target normalization.
+  for (int k = 0; k < d; ++k) {
+    double mean = 0.0;
+    for (const size_t i : sample) mean += features[i * d + k];
+    mean /= static_cast<double>(train_n);
+    double var = 0.0;
+    for (const size_t i : sample) {
+      const double dx = features[i * d + k] - mean;
+      var += dx * dx;
+    }
+    var /= static_cast<double>(train_n);
+    x_mean_[k] = mean;
+    x_inv_std_[k] = var > 1e-30 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+  double ymin = ys[sample[0]], ymax = ys[sample[0]];
+  for (const size_t i : sample) {
+    ymin = std::min(ymin, ys[i]);
+    ymax = std::max(ymax, ys[i]);
+  }
+  y_mean_ = ymin;
+  y_scale_ = (ymax > ymin) ? (ymax - ymin) : 1.0;
+
+  // Adam state.
+  std::vector<double> mw[kMaxLayers], vw[kMaxLayers], mb[kMaxLayers],
+      vb[kMaxLayers];
+  for (int l = 0; l < num_layers_; ++l) {
+    mw[l].assign(w_[l].size(), 0.0);
+    vw[l].assign(w_[l].size(), 0.0);
+    mb[l].assign(b_[l].size(), 0.0);
+    vb[l].assign(b_[l].size(), 0.0);
+  }
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  double beta1_t = 1.0, beta2_t = 1.0;
+
+  Xorshift128Plus rng(config_.seed + 17);
+  std::vector<size_t> order(sample);
+
+  // Per-example gradient buffers.
+  double act[kMaxLayers + 1][kMaxWidth];   // activations per layer
+  double delta[kMaxLayers + 1][kMaxWidth]; // backprop errors
+  std::vector<double> gw[kMaxLayers], gb[kMaxLayers];
+  for (int l = 0; l < num_layers_; ++l) {
+    gw[l].assign(w_[l].size(), 0.0);
+    gb[l].assign(b_[l].size(), 0.0);
+  }
+
+  const size_t batch = std::max<size_t>(1, config_.batch_size);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Fisher-Yates shuffle (randomized SGD passes, §3.6).
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    for (size_t start = 0; start < order.size(); start += batch) {
+      const size_t end = std::min(start + batch, order.size());
+      for (int l = 0; l < num_layers_; ++l) {
+        std::fill(gw[l].begin(), gw[l].end(), 0.0);
+        std::fill(gb[l].begin(), gb[l].end(), 0.0);
+      }
+      for (size_t bi = start; bi < end; ++bi) {
+        const size_t idx = order[bi];
+        // Forward with stored activations.
+        for (int k = 0; k < d; ++k) {
+          act[0][k] = (features[idx * d + k] - x_mean_[k]) * x_inv_std_[k];
+        }
+        for (int l = 0; l < num_layers_; ++l) {
+          const int in_dim = dims_[l], out_dim = dims_[l + 1];
+          const bool relu = l + 1 < num_layers_;
+          for (int o = 0; o < out_dim; ++o) {
+            double acc = b_[l][o];
+            const double* wrow = &w_[l][static_cast<size_t>(o) * in_dim];
+            for (int i = 0; i < in_dim; ++i) acc += wrow[i] * act[l][i];
+            act[l + 1][o] = relu && acc < 0.0 ? 0.0 : acc;
+          }
+        }
+        const double target = (ys[idx] - y_mean_) / y_scale_;
+        delta[num_layers_][0] = act[num_layers_][0] - target;  // dMSE/2
+        // Backward.
+        for (int l = num_layers_ - 1; l >= 0; --l) {
+          const int in_dim = dims_[l], out_dim = dims_[l + 1];
+          if (l > 0) {
+            for (int i = 0; i < in_dim; ++i) delta[l][i] = 0.0;
+          }
+          for (int o = 0; o < out_dim; ++o) {
+            const double dl = delta[l + 1][o];
+            if (dl == 0.0) continue;
+            double* grow = &gw[l][static_cast<size_t>(o) * in_dim];
+            const double* wrow = &w_[l][static_cast<size_t>(o) * in_dim];
+            for (int i = 0; i < in_dim; ++i) {
+              grow[i] += dl * act[l][i];
+              if (l > 0) delta[l][i] += dl * wrow[i];
+            }
+            gb[l][o] += dl;
+          }
+          if (l > 0) {
+            // ReLU derivative of the previous layer's activation.
+            for (int i = 0; i < in_dim; ++i) {
+              if (act[l][i] <= 0.0) delta[l][i] = 0.0;
+            }
+          }
+        }
+      }
+      // Adam update.
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      beta1_t *= beta1;
+      beta2_t *= beta2;
+      const double corr =
+          config_.learning_rate * std::sqrt(1.0 - beta2_t) / (1.0 - beta1_t);
+      for (int l = 0; l < num_layers_; ++l) {
+        for (size_t i = 0; i < w_[l].size(); ++i) {
+          const double g = gw[l][i] * inv_batch;
+          mw[l][i] = beta1 * mw[l][i] + (1.0 - beta1) * g;
+          vw[l][i] = beta2 * vw[l][i] + (1.0 - beta2) * g * g;
+          w_[l][i] -= corr * mw[l][i] / (std::sqrt(vw[l][i]) + eps);
+        }
+        for (size_t i = 0; i < b_[l].size(); ++i) {
+          const double g = gb[l][i] * inv_batch;
+          mb[l][i] = beta1 * mb[l][i] + (1.0 - beta1) * g;
+          vb[l][i] = beta2 * vb[l][i] + (1.0 - beta2) * g * g;
+          b_[l][i] -= corr * mb[l][i] / (std::sqrt(vb[l][i]) + eps);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace li::models

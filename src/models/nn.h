@@ -1,0 +1,104 @@
+// Fully-connected ReLU networks with zero to two hidden layers — the model
+// family the paper evaluates ("simple neural nets with zero to two
+// fully-connected hidden layers and ReLU activation functions and a layer
+// width of up to 32 neurons", §3.3).
+//
+// Training uses minibatch Adam on normalized inputs/targets (§3.6: "simple
+// NNs can be efficiently trained using stochastic gradient descent and can
+// converge in less than one to a few passes over the randomized data").
+// Inference is a compiled fixed-bound loop over flat weight arrays,
+// standing in for LIF's code generation (§3.1): no framework, no
+// allocation, no virtual dispatch.
+//
+// The same class handles scalar keys (input_dim == 1) and tokenized string
+// keys (input_dim == N, §3.5).
+
+#ifndef LI_MODELS_NN_H_
+#define LI_MODELS_NN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace li::models {
+
+struct NNConfig {
+  int input_dim = 1;
+  std::vector<int> hidden;       // 0, 1 or 2 entries; width <= kMaxWidth
+  int epochs = 30;
+  double learning_rate = 1e-3;
+  size_t batch_size = 64;
+  size_t max_train_samples = 100'000;  // top models converge on a subsample
+  uint64_t seed = 1;
+};
+
+class NeuralNet {
+ public:
+  static constexpr int kMaxWidth = 64;
+  static constexpr int kMaxLayers = 3;  // up to 2 hidden + output
+
+  NeuralNet() = default;
+
+  /// Trains on scalar inputs. `xs` and `ys` must have equal length.
+  Status Fit(std::span<const double> xs, std::span<const double> ys,
+             const NNConfig& config);
+
+  /// Trains on row-major feature matrix (n rows x input_dim columns).
+  Status FitVec(std::span<const double> features, size_t n,
+                std::span<const double> ys, const NNConfig& config);
+
+  /// Scalar fast path (input_dim must be 1).
+  double Predict(double x) const {
+    const double xn = (x - x_mean_[0]) * x_inv_std_[0];
+    return Forward(&xn) * y_scale_ + y_mean_;
+  }
+
+  /// Vector input (length input_dim).
+  double PredictVec(std::span<const double> x) const;
+
+  size_t SizeBytes() const;
+  int input_dim() const { return config_.input_dim; }
+  int num_layers() const { return num_layers_; }
+  const NNConfig& config() const { return config_; }
+
+  /// Approximate multiply-add count per inference (for the §2.1 cost model).
+  size_t OpsPerInference() const;
+
+  static const char* Name() { return "nn"; }
+
+  // Exposed for the naive-executor benchmark (§2.3): raw layer weights.
+  struct LayerView {
+    const double* weights;  // out_dim x in_dim, row-major
+    const double* biases;   // out_dim
+    int in_dim, out_dim;
+    bool relu;
+  };
+  LayerView layer(int l) const;
+  double y_scale() const { return y_scale_; }
+  double y_mean() const { return y_mean_; }
+  double x_mean(int d) const { return x_mean_[d]; }
+  double x_inv_std(int d) const { return x_inv_std_[d]; }
+
+ private:
+  /// Raw forward pass on normalized input; returns normalized output.
+  double Forward(const double* xn) const;
+
+  Status Init(const NNConfig& config);
+  Status TrainAdam(std::span<const double> features, size_t n,
+                   std::span<const double> ys);
+
+  NNConfig config_;
+  int num_layers_ = 0;
+  int dims_[kMaxLayers + 1] = {0};       // dims_[0] = input_dim, ... 1
+  std::vector<double> w_[kMaxLayers];    // per-layer out x in
+  std::vector<double> b_[kMaxLayers];    // per-layer out
+  std::vector<double> x_mean_, x_inv_std_;
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+};
+
+}  // namespace li::models
+
+#endif  // LI_MODELS_NN_H_

@@ -1,0 +1,40 @@
+#include "models/vec_linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/matrix.h"
+
+namespace li::models {
+
+Status VecLinearModel::Fit(std::span<const double> features, size_t n,
+                           size_t dim, std::span<const double> ys) {
+  if (features.size() != n * dim || ys.size() != n) {
+    return Status::InvalidArgument("VecLinearModel::Fit: shape mismatch");
+  }
+  w_.assign(dim, 0.0);
+  bias_ = 0.0;
+  if (n == 0) return Status::OK();
+  if (n <= dim + 1) {
+    // Underdetermined: constant model at the mean target.
+    double mean = 0.0;
+    for (const double y : ys) mean += y;
+    bias_ = mean / static_cast<double>(n);
+    return Status::OK();
+  }
+  linalg::Matrix design(n, dim + 1);
+  for (size_t r = 0; r < n; ++r) {
+    design(r, 0) = 1.0;
+    for (size_t c = 0; c < dim; ++c) design(r, c + 1) = features[r * dim + c];
+  }
+  std::vector<double> y(ys.begin(), ys.end());
+  std::vector<double> coef;
+  // Stronger ridge than the scalar case: ASCII feature columns are highly
+  // collinear within a leaf (shared prefixes).
+  LI_RETURN_IF_ERROR(linalg::LeastSquares(design, y, &coef, 1e-7));
+  bias_ = coef[0];
+  for (size_t c = 0; c < dim; ++c) w_[c] = coef[c + 1];
+  return Status::OK();
+}
+
+}  // namespace li::models

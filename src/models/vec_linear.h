@@ -1,0 +1,43 @@
+// Linear model over feature vectors: w . x + b. The second-stage model for
+// string RMIs (§3.5: "Linear models w*x+b scale the number of
+// multiplications and additions linearly with the input length N").
+// Fit is closed-form ridge least squares via the shared Cholesky kernel.
+
+#ifndef LI_MODELS_VEC_LINEAR_H_
+#define LI_MODELS_VEC_LINEAR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace li::models {
+
+class VecLinearModel {
+ public:
+  VecLinearModel() = default;
+
+  /// `features`: row-major n x dim matrix.
+  Status Fit(std::span<const double> features, size_t n, size_t dim,
+             std::span<const double> ys);
+
+  double PredictVec(std::span<const double> x) const {
+    double acc = bias_;
+    const size_t d = w_.size();
+    for (size_t i = 0; i < d; ++i) acc += w_[i] * x[i];
+    return acc;
+  }
+
+  size_t SizeBytes() const { return (w_.size() + 1) * sizeof(double); }
+  size_t dim() const { return w_.size(); }
+  static const char* Name() { return "vec-linear"; }
+
+ private:
+  std::vector<double> w_;
+  double bias_ = 0.0;
+};
+
+}  // namespace li::models
+
+#endif  // LI_MODELS_VEC_LINEAR_H_

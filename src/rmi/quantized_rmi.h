@@ -1,0 +1,95 @@
+// RMI with a quantized second stage (§3.7.1's quantization discussion):
+// builds a standard 2-stage linear RMI, then re-encodes the leaf table at
+// float32 or int16 precision, folding quantization drift into the error
+// bounds so lower_bound semantics are preserved bit-for-bit.
+
+#ifndef LI_RMI_QUANTIZED_RMI_H_
+#define LI_RMI_QUANTIZED_RMI_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "models/quantized.h"
+#include "rmi/rmi.h"
+
+namespace li::rmi {
+
+class QuantizedRmi {
+ public:
+  QuantizedRmi() = default;
+
+  Status Build(std::span<const uint64_t> keys, const RmiConfig& config,
+               models::QuantLevel level) {
+    data_ = keys;
+    LI_RETURN_IF_ERROR(rmi_.Build(keys, config));
+    if (keys.empty()) {
+      return table_.Encode({}, level);
+    }
+    // Recover each leaf's anchor key and span by routing every key once.
+    const auto leaves = rmi_.leaves();
+    const size_t m = leaves.size();
+    std::vector<double> first_x(m, 0.0), last_x(m, 0.0);
+    std::vector<bool> seen(m, false);
+    for (const uint64_t key : keys) {
+      const uint32_t j = rmi_.Predict(key).leaf;
+      const double x = static_cast<double>(key);
+      if (!seen[j]) {
+        seen[j] = true;
+        first_x[j] = x;
+      }
+      last_x[j] = x;
+    }
+    std::vector<models::QuantizedLeafTable::LeafRef> refs(m);
+    for (size_t j = 0; j < m; ++j) {
+      refs[j].slope = leaves[j].model.slope();
+      refs[j].intercept = leaves[j].model.intercept();
+      refs[j].min_err = leaves[j].min_err;
+      refs[j].max_err = leaves[j].max_err;
+      refs[j].anchor_x = first_x[j];
+      refs[j].key_span = std::max(0.0, last_x[j] - first_x[j]);
+    }
+    return table_.Encode(refs, level);
+  }
+
+  size_t LowerBound(uint64_t key) const {
+    if (data_.empty()) return 0;
+    const double x = static_cast<double>(key);
+    const uint32_t j = rmi_.Predict(key).leaf;  // top routing is unquantized
+    const double raw = table_.Predict(j, x);
+    size_t pos = 0;
+    if (raw > 0.0) {
+      pos = std::min(static_cast<size_t>(raw + 0.5), data_.size() - 1);
+    }
+    const int32_t min_e = table_.min_err(j);
+    const int32_t max_e = table_.max_err(j);
+    const size_t lo = min_e < 0 && pos < static_cast<size_t>(-min_e)
+                          ? 0
+                          : pos + min_e;
+    const size_t hi = std::min(
+        data_.size(), pos + static_cast<size_t>(std::max(max_e, 0)) + 1);
+    size_t result = search::BiasedBinarySearch(
+        data_.data(), std::min(lo, data_.size()), hi, key, pos);
+    if (LI_UNLIKELY((result == lo && lo > 0) ||
+                    (result == hi && hi < data_.size()))) {
+      result = search::ExponentialSearch(data_.data(), data_.size(), key,
+                                         result);
+    }
+    return result;
+  }
+
+  /// Top model + quantized leaf table bytes.
+  size_t SizeBytes() const {
+    return rmi_.top().SizeBytes() + table_.SizeBytes();
+  }
+  const models::QuantizedLeafTable& table() const { return table_; }
+
+ private:
+  std::span<const uint64_t> data_;
+  Rmi<models::LinearModel> rmi_;
+  models::QuantizedLeafTable table_;
+};
+
+}  // namespace li::rmi
+
+#endif  // LI_RMI_QUANTIZED_RMI_H_

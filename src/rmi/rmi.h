@@ -1,0 +1,278 @@
+// The Recursive Model Index (§3.2) — the paper's primary contribution.
+//
+// A two-stage model hierarchy: the top model learns the overall CDF shape
+// and routes each key to one of M second-stage models via
+// leaf = clamp(M * f0(key) / N); every leaf model (simple linear — "for
+// the second stage, simple linear models had the best performance",
+// §3.7.1) predicts the absolute position, and per-leaf worst-case error
+// bounds turn the prediction into a B-Tree-grade guarantee: the true
+// position of any *stored* key lies in [pred + min_err, pred + max_err]
+// (§3.4). For absent lookup keys with a non-monotonic model the bound can
+// miss, so lookups finish with a boundary fix-up (exponential search) —
+// the §3.4 "automatically adjust the search area" escape hatch.
+//
+// Training is stage-wise per Algorithm 1: fit the top model on all
+// (key, position) pairs, route every key by the top prediction, fit each
+// leaf on its routed subset, then record min/max/std error per leaf.
+
+#ifndef LI_RMI_RMI_H_
+#define LI_RMI_RMI_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "models/linear.h"
+#include "models/model.h"
+#include "rmi/trainers.h"
+#include "search/search.h"
+
+namespace li::rmi {
+
+struct RmiConfig {
+  size_t num_leaf_models = 10'000;       // "2nd stage models" in Figure 4
+  search::Strategy strategy = search::Strategy::kBiasedBinary;
+  TrainOptions train;
+  /// Cap on keys used to train the *top* model (§3.6: the top model
+  /// converges before a single scan of the data). Leaves always see all
+  /// their routed keys. 0 = no cap.
+  size_t top_train_sample = 100'000;
+};
+
+/// Per-leaf metadata: the linear model plus its error band.
+struct Leaf {
+  models::LinearModel model;
+  int32_t min_err = 0;  // most negative (actual - predicted), floored
+  int32_t max_err = 0;  // most positive (actual - predicted), ceiled
+  float std_err = 0.0f;
+};
+
+template <typename TopModel>
+class Rmi {
+ public:
+  Rmi() = default;
+
+  /// Builds over sorted, strictly-increasing `keys` (caller owns the data).
+  Status Build(std::span<const uint64_t> keys, const RmiConfig& config) {
+    if (config.num_leaf_models == 0) {
+      return Status::InvalidArgument("Rmi: need at least one leaf model");
+    }
+    data_ = keys;
+    config_ = config;
+    leaves_.assign(config.num_leaf_models, Leaf{});
+    if (keys.empty()) return Status::OK();
+    const size_t n = keys.size();
+
+    // ---- Stage 1: train the top model on (key, position) ----
+    std::vector<double> xs, ys;
+    const size_t cap = config.top_train_sample;
+    const size_t top_n = (cap == 0 || cap >= n) ? n : cap;
+    xs.reserve(top_n);
+    ys.reserve(top_n);
+    const double stride = static_cast<double>(n) / static_cast<double>(top_n);
+    for (size_t i = 0; i < top_n; ++i) {
+      const size_t idx = static_cast<size_t>(i * stride);
+      xs.push_back(static_cast<double>(keys[idx]));
+      ys.push_back(static_cast<double>(idx));
+    }
+    LI_RETURN_IF_ERROR(TrainModel(&top_, xs, ys, config.train));
+
+    // ---- Route every key to its leaf (Algorithm 1, lines 8-10) ----
+    const size_t m = config.num_leaf_models;
+    std::vector<uint32_t> leaf_of(n);
+    std::vector<uint32_t> counts(m, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t leaf = RouteFromTop(static_cast<double>(keys[i]));
+      leaf_of[i] = leaf;
+      ++counts[leaf];
+    }
+    std::vector<uint32_t> offsets(m + 1, 0);
+    for (size_t j = 0; j < m; ++j) offsets[j + 1] = offsets[j] + counts[j];
+    std::vector<uint32_t> routed(n);  // key indices grouped by leaf
+    {
+      std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (size_t i = 0; i < n; ++i) routed[cursor[leaf_of[i]]++] = i;
+    }
+
+    // ---- Stage 2: fit each leaf + error bounds (Alg. 1 lines 11-12) ----
+    std::vector<double> lx, ly;
+    double fill_pos = 0.0;  // last seen position, for empty leaves
+    for (size_t j = 0; j < m; ++j) {
+      Leaf& leaf = leaves_[j];
+      const uint32_t begin = offsets[j], end = offsets[j + 1];
+      if (begin == end) {
+        // Empty leaf: constant model at the running position so absent
+        // keys routed here land near the right region.
+        leaf.model = models::LinearModel(0.0, fill_pos);
+        continue;
+      }
+      lx.clear();
+      ly.clear();
+      lx.reserve(end - begin);
+      ly.reserve(end - begin);
+      for (uint32_t r = begin; r < end; ++r) {
+        lx.push_back(static_cast<double>(keys[routed[r]]));
+        ly.push_back(static_cast<double>(routed[r]));
+      }
+      LI_RETURN_IF_ERROR(leaf.model.Fit(lx, ly));
+      // Error bounds must be computed against the *clamped integer*
+      // prediction the lookup path will actually use.
+      double min_e = 0.0, max_e = 0.0, sum = 0.0, sum_sq = 0.0;
+      bool first = true;
+      for (size_t i = 0; i < lx.size(); ++i) {
+        const double pred =
+            static_cast<double>(ClampPos(leaf.model.Predict(lx[i])));
+        const double e = ly[i] - pred;
+        if (first) {
+          min_e = max_e = e;
+          first = false;
+        } else {
+          min_e = std::min(min_e, e);
+          max_e = std::max(max_e, e);
+        }
+        sum += e;
+        sum_sq += e * e;
+      }
+      const double cnt = static_cast<double>(lx.size());
+      const double mean = sum / cnt;
+      leaf.min_err = static_cast<int32_t>(std::floor(min_e));
+      leaf.max_err = static_cast<int32_t>(std::ceil(max_e));
+      leaf.std_err = static_cast<float>(
+          std::sqrt(std::max(0.0, sum_sq / cnt - mean * mean)));
+      fill_pos = ly.back();
+    }
+    return Status::OK();
+  }
+
+  /// The pure model-execution path (what Figure 4's "Model (ns)" column
+  /// times): two model evaluations, no search.
+  struct Prediction {
+    size_t pos;   // clamped position estimate
+    size_t lo;    // inclusive search window start
+    size_t hi;    // exclusive search window end
+    uint32_t leaf;
+    float std_err;
+  };
+
+  Prediction Predict(uint64_t key) const {
+    const double x = static_cast<double>(key);
+    const uint32_t j = RouteFromTop(x);
+    const Leaf& leaf = leaves_[j];
+    const size_t pos = ClampPos(leaf.model.Predict(x));
+    const size_t lo =
+        leaf.min_err < 0 && pos < static_cast<size_t>(-leaf.min_err)
+            ? 0
+            : pos + leaf.min_err;
+    const size_t hi =
+        std::min(data_.size(), pos + static_cast<size_t>(std::max(
+                                         leaf.max_err, int32_t{0})) + 1);
+    return Prediction{pos, std::min(lo, data_.size()), hi, j, leaf.std_err};
+  }
+
+  /// Full lookup: model + bounded search + boundary fix-up. Returns
+  /// lower_bound semantics over the data array for *any* key.
+  size_t LowerBound(uint64_t key) const {
+    if (data_.empty()) return 0;
+    const Prediction p = Predict(key);
+    size_t pos;
+    switch (config_.strategy) {
+      case search::Strategy::kBinary:
+        pos = search::BinarySearch(data_.data(), p.lo, p.hi, key);
+        break;
+      case search::Strategy::kBiasedBinary:
+        pos = search::BiasedBinarySearch(data_.data(), p.lo, p.hi, key, p.pos);
+        break;
+      case search::Strategy::kBiasedQuaternary:
+        pos = search::BiasedQuaternarySearch(
+            data_.data(), p.lo, p.hi, key, p.pos,
+            static_cast<size_t>(p.std_err) + 1);
+        break;
+      case search::Strategy::kExponential:
+        // Window-free: gallops from the prediction (needs no stored error).
+        return search::ExponentialSearch(data_.data(), data_.size(), key,
+                                         p.pos);
+      case search::Strategy::kInterpolation:
+        pos = search::InterpolationSearch(data_.data(), p.lo, p.hi, key);
+        break;
+      default:
+        pos = search::BinarySearch(data_.data(), p.lo, p.hi, key);
+    }
+    // §3.4 adjustment: if the result sits on the window boundary the true
+    // answer may lie outside (absent key + non-monotonic model); gallop.
+    if (LI_UNLIKELY((pos == p.lo && p.lo > 0) ||
+                    (pos == p.hi && p.hi < data_.size()))) {
+      return search::ExponentialSearch(data_.data(), data_.size(), key, pos);
+    }
+    return pos;
+  }
+
+  /// True iff `key` is present in the data.
+  bool Contains(uint64_t key) const {
+    const size_t pos = LowerBound(key);
+    return pos < data_.size() && data_[pos] == key;
+  }
+
+  /// Index overhead in bytes (top model + leaf table), excluding the data
+  /// array — the paper's Figure-4 size accounting.
+  size_t SizeBytes() const {
+    return top_.SizeBytes() + leaves_.size() * sizeof(Leaf);
+  }
+
+  const TopModel& top() const { return top_; }
+  std::span<const Leaf> leaves() const { return leaves_; }
+  std::span<const uint64_t> data() const { return data_; }
+  const RmiConfig& config() const { return config_; }
+
+  /// Worst |error| across leaves — the hybrid-threshold diagnostic.
+  int64_t MaxAbsError() const {
+    int64_t worst = 0;
+    for (const Leaf& l : leaves_) {
+      worst = std::max<int64_t>(worst, -int64_t{l.min_err});
+      worst = std::max<int64_t>(worst, int64_t{l.max_err});
+    }
+    return worst;
+  }
+
+  /// Mean of per-leaf max absolute error, weighted uniformly.
+  double MeanStdError() const {
+    if (leaves_.empty()) return 0.0;
+    double s = 0.0;
+    for (const Leaf& l : leaves_) s += l.std_err;
+    return s / static_cast<double>(leaves_.size());
+  }
+
+ private:
+  uint32_t RouteFromTop(double x) const {
+    const double scaled = top_.Predict(x) *
+                          static_cast<double>(leaves_.size()) /
+                          static_cast<double>(data_.size());
+    if (!(scaled > 0.0)) return 0;  // also catches NaN
+    const size_t j = static_cast<size_t>(scaled);
+    return static_cast<uint32_t>(std::min(j, leaves_.size() - 1));
+  }
+
+  size_t ClampPos(double pred) const {
+    // Round to nearest: truncation would bias half of all predictions one
+    // position low, which alone costs ~25% extra hash conflicts (§4.2).
+    if (!(pred > 0.0)) return 0;
+    const size_t p = static_cast<size_t>(pred + 0.5);
+    return std::min(p, data_.size() - 1);
+  }
+
+  std::span<const uint64_t> data_;
+  RmiConfig config_;
+  TopModel top_;
+  std::vector<Leaf> leaves_;
+};
+
+/// The Figure-4 configuration: NN or linear top with linear leaves.
+using LinearRmi = Rmi<models::LinearModel>;
+using MultivariateRmi = Rmi<models::MultivariateModel>;
+using NeuralRmi = Rmi<models::NeuralNet>;
+
+}  // namespace li::rmi
+
+#endif  // LI_RMI_RMI_H_

@@ -1,0 +1,218 @@
+#include "rmi/string_rmi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace li::rmi {
+
+uint32_t StringRmi::Route(const double* features) const {
+  const double scaled =
+      top_.PredictVec({features, config_.max_len}) *
+      static_cast<double>(leaves_.size()) / static_cast<double>(data_.size());
+  if (!(scaled > 0.0)) return 0;
+  const size_t j = static_cast<size_t>(scaled);
+  return static_cast<uint32_t>(std::min(j, leaves_.size() - 1));
+}
+
+size_t StringRmi::ClampPos(double pred) const {
+  // Round to nearest (see Rmi::ClampPos).
+  if (!(pred > 0.0)) return 0;
+  const size_t p = static_cast<size_t>(pred + 0.5);
+  return std::min(p, data_.size() - 1);
+}
+
+Status StringRmi::Build(std::span<const std::string> keys,
+                        const StringRmiConfig& config) {
+  if (config.num_leaf_models == 0) {
+    return Status::InvalidArgument("StringRmi: need at least one leaf model");
+  }
+  if (config.max_len < 1 ||
+      config.max_len > models::NeuralNet::kMaxWidth) {
+    return Status::InvalidArgument("StringRmi: bad max_len");
+  }
+  data_ = keys;
+  config_ = config;
+  tokenizer_ = models::StringTokenizer(config.max_len);
+  leaves_.assign(config.num_leaf_models, Leaf{});
+  leaf_to_btree_.assign(config.num_leaf_models, kNoBTree);
+  btree_leaves_.clear();
+  if (keys.empty()) return Status::OK();
+  const size_t n = keys.size();
+  const size_t d = config.max_len;
+
+  // ---- Train the top net on a strided sample ----
+  const size_t cap = config.top_train_sample;
+  const size_t top_n = (cap == 0 || cap >= n) ? n : cap;
+  std::vector<double> feats(top_n * d);
+  std::vector<double> ys(top_n);
+  const double stride = static_cast<double>(n) / static_cast<double>(top_n);
+  for (size_t i = 0; i < top_n; ++i) {
+    const size_t idx = static_cast<size_t>(i * stride);
+    tokenizer_.Tokenize(keys[idx], &feats[i * d]);
+    ys[i] = static_cast<double>(idx);
+  }
+  models::NNConfig nn = config.top_nn;
+  nn.input_dim = static_cast<int>(d);
+  LI_RETURN_IF_ERROR(top_.FitVec(feats, top_n, ys, nn));
+
+  // ---- Route all keys ----
+  const size_t m = config.num_leaf_models;
+  std::vector<uint32_t> leaf_of(n);
+  std::vector<uint32_t> counts(m, 0);
+  std::vector<double> buf(d);
+  for (size_t i = 0; i < n; ++i) {
+    tokenizer_.Tokenize(keys[i], buf.data());
+    const uint32_t j = Route(buf.data());
+    leaf_of[i] = j;
+    ++counts[j];
+  }
+  std::vector<uint32_t> offsets(m + 1, 0);
+  for (size_t j = 0; j < m; ++j) offsets[j + 1] = offsets[j] + counts[j];
+  std::vector<uint32_t> routed(n);
+  {
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < n; ++i) routed[cursor[leaf_of[i]]++] = i;
+  }
+
+  // ---- Fit leaves + error bounds; optionally swap in B-Trees ----
+  std::vector<double> lf, ly;
+  double fill_pos = 0.0;
+  std::vector<uint32_t> span_begin(m, UINT32_MAX), span_end(m, 0);
+  for (size_t j = 0; j < m; ++j) {
+    Leaf& leaf = leaves_[j];
+    const uint32_t begin = offsets[j], end = offsets[j + 1];
+    if (begin == end) {
+      std::vector<double> empty_feats;
+      leaf.model.Fit(empty_feats, 0, d, {});
+      // VecLinearModel with zero rows is a zero model; bias via refit below
+      // is unnecessary — route fix-up covers absent keys. Record fill.
+      (void)fill_pos;
+      continue;
+    }
+    const size_t cnt = end - begin;
+    lf.assign(cnt * d, 0.0);
+    ly.resize(cnt);
+    for (uint32_t r = begin; r < end; ++r) {
+      tokenizer_.Tokenize(keys[routed[r]], &lf[(r - begin) * d]);
+      ly[r - begin] = static_cast<double>(routed[r]);
+    }
+    LI_RETURN_IF_ERROR(leaf.model.Fit(lf, cnt, d, ly));
+    double min_e = 0.0, max_e = 0.0, sum = 0.0, sum_sq = 0.0;
+    bool first = true;
+    for (size_t i = 0; i < cnt; ++i) {
+      const double pred = static_cast<double>(
+          ClampPos(leaf.model.PredictVec({&lf[i * d], d})));
+      const double e = ly[i] - pred;
+      if (first) {
+        min_e = max_e = e;
+        first = false;
+      } else {
+        min_e = std::min(min_e, e);
+        max_e = std::max(max_e, e);
+      }
+      sum += e;
+      sum_sq += e * e;
+      span_begin[j] = std::min(span_begin[j],
+                               static_cast<uint32_t>(ly[i]));
+      span_end[j] =
+          std::max(span_end[j], static_cast<uint32_t>(ly[i]) + 1);
+    }
+    const double dc = static_cast<double>(cnt);
+    const double mean = sum / dc;
+    leaf.min_err = static_cast<int32_t>(std::floor(min_e));
+    leaf.max_err = static_cast<int32_t>(std::ceil(max_e));
+    leaf.std_err =
+        static_cast<float>(std::sqrt(std::max(0.0, sum_sq / dc - mean * mean)));
+    fill_pos = ly.back();
+  }
+
+  if (config.hybrid_threshold > 0) {
+    // Span cap: a leaf whose routed keys scatter across a large slice of
+    // the data signals a *routing* problem (non-monotonic top model), not
+    // a hard-to-learn region; replacing it with a B-Tree over that slice
+    // would duplicate separators massively. Such leaves stay models.
+    const uint32_t span_cap = static_cast<uint32_t>(
+        std::min<size_t>(n, 16 * (n / m + 1)));
+    for (size_t j = 0; j < m; ++j) {
+      if (span_begin[j] == UINT32_MAX) continue;
+      if (span_end[j] - span_begin[j] > span_cap) continue;
+      const int64_t abs_err = std::max<int64_t>(
+          -int64_t{leaves_[j].min_err}, int64_t{leaves_[j].max_err});
+      if (abs_err <= config.hybrid_threshold) continue;
+      BTreeLeaf bl;
+      bl.begin = span_begin[j];
+      bl.end = span_end[j];
+      bl.tree = std::make_unique<btree::StringBTree>();
+      LI_RETURN_IF_ERROR(
+          bl.tree->Build(keys.subspan(bl.begin, bl.end - bl.begin),
+                         config.btree_keys_per_page));
+      leaf_to_btree_[j] = static_cast<uint32_t>(btree_leaves_.size());
+      btree_leaves_.push_back(std::move(bl));
+    }
+  }
+  return Status::OK();
+}
+
+StringRmi::Prediction StringRmi::Predict(const std::string& key) const {
+  double buf[models::NeuralNet::kMaxWidth];
+  tokenizer_.Tokenize(key, buf);
+  const uint32_t j = Route(buf);
+  const Leaf& leaf = leaves_[j];
+  const size_t pos =
+      ClampPos(leaf.model.PredictVec({buf, config_.max_len}));
+  const size_t lo =
+      leaf.min_err < 0 && pos < static_cast<size_t>(-leaf.min_err)
+          ? 0
+          : pos + leaf.min_err;
+  const size_t hi = std::min(
+      data_.size(),
+      pos + static_cast<size_t>(std::max(leaf.max_err, int32_t{0})) + 1);
+  return Prediction{pos,  std::min(lo, data_.size()),
+                    hi,   j,
+                    leaf.std_err, leaf_to_btree_[j] != kNoBTree};
+}
+
+size_t StringRmi::LowerBound(const std::string& key) const {
+  if (data_.empty()) return 0;
+  const Prediction p = Predict(key);
+  size_t pos;
+  if (p.is_btree_leaf) {
+    const BTreeLeaf& bl = btree_leaves_[leaf_to_btree_[p.leaf]];
+    pos = bl.begin + bl.tree->LowerBound(key);
+    if (LI_UNLIKELY((pos == bl.begin && bl.begin > 0) ||
+                    (pos == bl.end && bl.end < data_.size()))) {
+      pos = search::ExponentialSearch(data_.data(), data_.size(), key, pos);
+    }
+    return pos;
+  }
+  switch (config_.strategy) {
+    case search::Strategy::kBiasedQuaternary:
+      pos = search::BiasedQuaternarySearch(data_.data(), p.lo, p.hi, key,
+                                           p.pos,
+                                           static_cast<size_t>(p.std_err) + 1);
+      break;
+    case search::Strategy::kBinary:
+      pos = search::BinarySearch(data_.data(), p.lo, p.hi, key);
+      break;
+    default:
+      pos = search::BiasedBinarySearch(data_.data(), p.lo, p.hi, key, p.pos);
+  }
+  if (LI_UNLIKELY((pos == p.lo && p.lo > 0) ||
+                  (pos == p.hi && p.hi < data_.size()))) {
+    pos = search::ExponentialSearch(data_.data(), data_.size(), key, pos);
+  }
+  return pos;
+}
+
+size_t StringRmi::SizeBytes() const {
+  size_t bytes = top_.SizeBytes();
+  // Leaf table: weights + bias + error metadata per leaf.
+  bytes += leaves_.size() *
+           ((config_.max_len + 1) * sizeof(double) + 2 * sizeof(int32_t) +
+            sizeof(float));
+  bytes += leaf_to_btree_.size() * sizeof(uint32_t);
+  for (const BTreeLeaf& bl : btree_leaves_) bytes += bl.tree->SizeBytes();
+  return bytes;
+}
+
+}  // namespace li::rmi

@@ -1,0 +1,98 @@
+// Learned index over string keys (§3.5, evaluated in Figure 6).
+//
+// Keys are tokenized to fixed-length ASCII feature vectors; the top model
+// is a feed-forward net over the vector (0-2 hidden layers), the second
+// stage holds vector linear models w.x + b, and — when a hybrid threshold
+// is set — leaves whose error exceeds it are replaced by string B-Trees
+// (the Figure-6 "Hybrid index" rows, thresholds t = 64 / 128). The
+// "Learned QS" row is this class with Strategy::kBiasedQuaternary.
+
+#ifndef LI_RMI_STRING_RMI_H_
+#define LI_RMI_STRING_RMI_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "btree/string_btree.h"
+#include "common/status.h"
+#include "models/nn.h"
+#include "models/tokenizer.h"
+#include "models/vec_linear.h"
+#include "search/search.h"
+
+namespace li::rmi {
+
+struct StringRmiConfig {
+  size_t num_leaf_models = 10'000;
+  size_t max_len = 20;  // tokenizer truncation length N (§3.5)
+  models::NNConfig top_nn;  // input_dim is overwritten with max_len
+  search::Strategy strategy = search::Strategy::kBiasedBinary;
+  size_t top_train_sample = 60'000;
+  /// 0 disables hybrid mode; otherwise leaves with |error| > threshold are
+  /// replaced with string B-Trees (Figure 6, t = 64 / 128).
+  int64_t hybrid_threshold = 0;
+  size_t btree_keys_per_page = 32;
+};
+
+class StringRmi {
+ public:
+  StringRmi() = default;
+
+  /// Builds over sorted `keys`; the caller owns the vector.
+  Status Build(std::span<const std::string> keys,
+               const StringRmiConfig& config);
+
+  struct Prediction {
+    size_t pos, lo, hi;
+    uint32_t leaf;
+    float std_err;
+    bool is_btree_leaf;
+  };
+
+  /// Model execution only (tokenize + top NN + leaf linear).
+  Prediction Predict(const std::string& key) const;
+
+  /// Full lookup with bounded search + boundary fix-up.
+  size_t LowerBound(const std::string& key) const;
+
+  bool Contains(const std::string& key) const {
+    const size_t pos = LowerBound(key);
+    return pos < data_.size() && data_[pos] == key;
+  }
+
+  size_t SizeBytes() const;
+  size_t num_btree_leaves() const { return btree_leaves_.size(); }
+  const models::NeuralNet& top() const { return top_; }
+
+ private:
+  static constexpr uint32_t kNoBTree = UINT32_MAX;
+
+  struct Leaf {
+    models::VecLinearModel model;
+    int32_t min_err = 0;
+    int32_t max_err = 0;
+    float std_err = 0.0f;
+  };
+  struct BTreeLeaf {
+    uint32_t begin = 0, end = 0;
+    std::unique_ptr<btree::StringBTree> tree;
+  };
+
+  uint32_t Route(const double* features) const;
+  size_t ClampPos(double pred) const;
+
+  std::span<const std::string> data_;
+  StringRmiConfig config_;
+  models::StringTokenizer tokenizer_{20};
+  models::NeuralNet top_;
+  std::vector<Leaf> leaves_;
+  std::vector<uint32_t> leaf_to_btree_;
+  std::vector<BTreeLeaf> btree_leaves_;
+};
+
+}  // namespace li::rmi
+
+#endif  // LI_RMI_STRING_RMI_H_

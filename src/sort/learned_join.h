@@ -1,0 +1,105 @@
+// Learned join primitives (§7 "Beyond Indexing": "a CDF model has also the
+// potential to speed-up sorting and joins").
+//
+// For a sorted-set intersection where one side is much smaller, a learned
+// index over the big side turns the join into |small| O(1)-ish probes —
+// the model replaces the per-probe tree descent of an index nested-loop
+// join. LinearMergeIntersect is the classic baseline; the crossover
+// between the two as |small|/|big| grows is the experiment
+// `bench_learned_join` plots.
+
+#ifndef LI_SORT_LEARNED_JOIN_H_
+#define LI_SORT_LEARNED_JOIN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rmi/rmi.h"
+
+namespace li::sort {
+
+/// Classic linear merge intersection of two sorted key sets.
+inline size_t LinearMergeIntersect(std::span<const uint64_t> a,
+                                   std::span<const uint64_t> b,
+                                   std::vector<uint64_t>* out = nullptr) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      if (out != nullptr) out->push_back(a[i]);
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Index nested-loop intersection: probes a prebuilt learned index over
+/// the big side once per key of the small side.
+template <typename TopModel>
+size_t LearnedProbeIntersect(std::span<const uint64_t> small,
+                             const rmi::Rmi<TopModel>& big_index,
+                             std::vector<uint64_t>* out = nullptr) {
+  size_t count = 0;
+  const auto big = big_index.data();
+  for (const uint64_t key : small) {
+    const size_t pos = big_index.LowerBound(key);
+    if (pos < big.size() && big[pos] == key) {
+      if (out != nullptr) out->push_back(key);
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// Learned merge: exploits that both probe sets are sorted — each lookup
+/// gallops from the previous match position instead of re-running the
+/// model, falling back to the model only after long gaps. This is the
+/// "use the CDF to skip" middle ground between merge and probe joins.
+template <typename TopModel>
+size_t LearnedSkipIntersect(std::span<const uint64_t> small,
+                            const rmi::Rmi<TopModel>& big_index,
+                            std::vector<uint64_t>* out = nullptr) {
+  size_t count = 0;
+  const auto big = big_index.data();
+  size_t cursor = 0;
+  constexpr size_t kGallopLimit = 64;  // beyond this, ask the model
+  for (const uint64_t key : small) {
+    // Cheap forward gallop from the previous position.
+    size_t step = 1, probe = cursor;
+    bool fell_back = false;
+    while (probe < big.size() && big[probe] < key) {
+      if (step > kGallopLimit) {
+        fell_back = true;
+        break;
+      }
+      cursor = probe + 1;
+      probe = cursor + step;
+      step <<= 1;
+    }
+    size_t pos;
+    if (fell_back || probe >= big.size()) {
+      pos = fell_back ? big_index.LowerBound(key)
+                      : search::BinarySearch(big.data(), cursor, big.size(),
+                                             key);
+    } else {
+      pos = search::BinarySearch(big.data(), cursor, probe + 1, key);
+    }
+    cursor = pos;
+    if (pos < big.size() && big[pos] == key) {
+      if (out != nullptr) out->push_back(key);
+      ++count;
+      ++cursor;
+    }
+  }
+  return count;
+}
+
+}  // namespace li::sort
+
+#endif  // LI_SORT_LEARNED_JOIN_H_

@@ -1,0 +1,130 @@
+#include "sort/learned_sort.h"
+
+#include <algorithm>
+
+#include "data/datasets.h"
+#include "rmi/rmi.h"
+#include "search/search.h"
+
+namespace li::sort {
+
+namespace {
+
+void InsertionSort(uint64_t* begin, uint64_t* end) {
+  for (uint64_t* it = begin + 1; it < end; ++it) {
+    const uint64_t v = *it;
+    uint64_t* j = it;
+    while (j > begin && j[-1] > v) {
+      *j = j[-1];
+      --j;
+    }
+    *j = v;
+  }
+}
+
+}  // namespace
+
+Status LearnedSort(std::vector<uint64_t>* data,
+                   const LearnedSortConfig& config) {
+  auto& v = *data;
+  const size_t n = v.size();
+  if (n < 2) return Status::OK();
+  if (n <= config.insertion_sort_cutoff) {
+    InsertionSort(v.data(), v.data() + n);
+    return Status::OK();
+  }
+
+  // ---- 1. Train the CDF model on a strided sample ----
+  const size_t num_buckets_target =
+      std::max<size_t>(1, n / std::max<size_t>(1, config.elems_per_bucket));
+  const size_t sample_n =
+      std::min(n, std::max(config.sample_size, 2 * num_buckets_target));
+  std::vector<uint64_t> sample;
+  sample.reserve(sample_n);
+  const double stride = static_cast<double>(n) / static_cast<double>(sample_n);
+  for (size_t i = 0; i < sample_n; ++i) {
+    sample.push_back(v[static_cast<size_t>(i * stride)]);
+  }
+  std::sort(sample.begin(), sample.end());
+
+  const size_t num_buckets = num_buckets_target;
+
+  // Equi-depth bucket boundaries from the sample quantiles. boundaries[j]
+  // is the smallest key of bucket j+1; bucket_of(x) = upper_bound over the
+  // boundaries is monotone in the key by construction — the property the
+  // scatter needs so that sorting each bucket independently yields a
+  // globally sorted array. (A raw RMI prediction is *not* guaranteed
+  // monotone across leaf models, §3.4.)
+  std::vector<uint64_t> boundaries(num_buckets - 1);
+  for (size_t j = 0; j + 1 < num_buckets; ++j) {
+    boundaries[j] = sample[(j + 1) * sample.size() / num_buckets];
+  }
+  data::MakeStrictlyIncreasing(&boundaries);  // dedupe quantile collisions
+
+  // The learned part: a 2-stage RMI *over the boundary array itself* —
+  // bucket_of(x) = upper_bound(boundaries, x) answered by the learned
+  // index's error-bounded search. The boundary array is small (L2
+  // resident) so the last-mile compares are cheap.
+  rmi::RmiConfig rc;
+  rc.num_leaf_models = std::max<size_t>(16, boundaries.size() / 16);
+  rc.top_train_sample = 0;
+  rmi::LinearRmi model;
+  LI_RETURN_IF_ERROR(model.Build(boundaries, rc));
+
+  auto bucket_of = [&](uint64_t x) -> size_t {
+    // upper_bound(x) == lower_bound(x + 1) for integer keys.
+    if (LI_UNLIKELY(x == UINT64_MAX)) return num_buckets - 1;
+    return model.LowerBound(x + 1);
+  };
+
+  // ---- 2. Counting scatter into monotone buckets ----
+  std::vector<uint32_t> counts(num_buckets + 1, 0);
+  std::vector<uint32_t> bucket(n);
+  for (size_t i = 0; i < n; ++i) {
+    bucket[i] = static_cast<uint32_t>(bucket_of(v[i]));
+    ++counts[bucket[i] + 1];
+  }
+  for (size_t b = 0; b < num_buckets; ++b) counts[b + 1] += counts[b];
+  std::vector<uint64_t> out(n);
+  {
+    // Software write-combining: stage one cache line per bucket so the
+    // scatter writes whole 64-byte lines instead of random 8-byte stores.
+    constexpr size_t kLine = 8;  // uint64 per cache line
+    std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
+    std::vector<uint64_t> stage(num_buckets * kLine);
+    std::vector<uint8_t> fill(num_buckets, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t b = bucket[i];
+      stage[b * kLine + fill[b]] = v[i];
+      if (++fill[b] == kLine) {
+        uint64_t* dst = out.data() + cursor[b];
+        const uint64_t* src = stage.data() + b * kLine;
+        for (size_t k = 0; k < kLine; ++k) dst[k] = src[k];
+        cursor[b] += kLine;
+        fill[b] = 0;
+      }
+    }
+    for (size_t b = 0; b < num_buckets; ++b) {
+      for (size_t k = 0; k < fill[b]; ++k) {
+        out[cursor[b] + k] = stage[b * kLine + k];
+      }
+    }
+  }
+
+  // ---- 3. Per-bucket repair ----
+  for (size_t b = 0; b < num_buckets; ++b) {
+    uint64_t* begin = out.data() + counts[b];
+    uint64_t* end = out.data() + counts[b + 1];
+    const size_t len = static_cast<size_t>(end - begin);
+    if (len < 2) continue;
+    if (len <= config.insertion_sort_cutoff) {
+      InsertionSort(begin, end);
+    } else {
+      std::sort(begin, end);  // skew-tail escape hatch
+    }
+  }
+  v.swap(out);
+  return Status::OK();
+}
+
+}  // namespace li::sort

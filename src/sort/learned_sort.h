@@ -1,0 +1,37 @@
+// Learned sort (§7 "Beyond Indexing: Learned Algorithms"): "the basic idea
+// to speed-up sorting is to use an existing CDF model F to put the records
+// roughly in sorted order and then correct the nearly perfectly sorted
+// data, for example, with insertion sort."
+//
+// Pipeline: (1) fit a 2-stage RMI over a sorted sample, (2) counting-
+// scatter every element into its predicted-rank bucket, (3) repair each
+// bucket — insertion sort for small buckets (nearly sorted already),
+// std::sort for the skew-tail buckets so the worst case stays O(n log n).
+
+#ifndef LI_SORT_LEARNED_SORT_H_
+#define LI_SORT_LEARNED_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace li::sort {
+
+struct LearnedSortConfig {
+  /// Minimum CDF training sample (grown to 2x the bucket count so the
+  /// model's bucket error stays O(1) repair steps).
+  size_t sample_size = 10'000;
+  /// Target average bucket population. Larger buckets keep the boundary
+  /// table cache-resident; per-bucket sorting costs n log(bucket) total.
+  size_t elems_per_bucket = 256;
+  size_t insertion_sort_cutoff = 64;  // larger buckets use std::sort
+};
+
+/// Sorts `data` ascending using the CDF-model scatter + fixup pipeline.
+Status LearnedSort(std::vector<uint64_t>* data,
+                   const LearnedSortConfig& config = {});
+
+}  // namespace li::sort
+
+#endif  // LI_SORT_LEARNED_SORT_H_

@@ -1,0 +1,295 @@
+// Tests for every B-Tree-family baseline: read-only B+-Tree, FAST-style
+// tree, lookup table, interpolation B-Tree, string B-Tree and the dynamic
+// B+-Tree map. The master property: LowerBound == std::lower_bound for all
+// query classes, across datasets and page sizes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "btree/dynamic_btree.h"
+#include "btree/fast_tree.h"
+#include "btree/interpolation_btree.h"
+#include "btree/lookup_table.h"
+#include "btree/readonly_btree.h"
+#include "btree/string_btree.h"
+#include "common/random.h"
+#include "data/datasets.h"
+#include "data/strings.h"
+
+namespace li::btree {
+namespace {
+
+size_t StdLowerBound(const std::vector<uint64_t>& v, uint64_t key) {
+  return static_cast<size_t>(
+      std::lower_bound(v.begin(), v.end(), key) - v.begin());
+}
+
+/// Queries covering present keys, neighbours, range extremes.
+std::vector<uint64_t> MixedQueries(const std::vector<uint64_t>& keys,
+                                   size_t count, uint64_t seed) {
+  Xorshift128Plus rng(seed);
+  std::vector<uint64_t> qs;
+  qs.reserve(count + 4);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t k = keys[rng.NextBounded(keys.size())];
+    switch (rng.NextBounded(4)) {
+      case 0: qs.push_back(k); break;
+      case 1: qs.push_back(k + 1); break;
+      case 2: qs.push_back(k == 0 ? 0 : k - 1); break;
+      default: qs.push_back(rng.NextBounded(keys.back() + 1000)); break;
+    }
+  }
+  qs.push_back(0);
+  qs.push_back(keys.front());
+  qs.push_back(keys.back());
+  qs.push_back(keys.back() + 12345);
+  return qs;
+}
+
+struct BTreeCase {
+  data::DatasetKind kind;
+  size_t page;
+};
+
+class ReadOnlyBTreeTest : public ::testing::TestWithParam<BTreeCase> {};
+
+TEST_P(ReadOnlyBTreeTest, LowerBoundMatchesStd) {
+  const auto keys = data::Generate(GetParam().kind, 20'000, 77);
+  ReadOnlyBTree tree;
+  ASSERT_TRUE(tree.Build(keys, GetParam().page).ok());
+  for (const uint64_t q : MixedQueries(keys, 20'000, 5)) {
+    ASSERT_EQ(tree.LowerBound(q), StdLowerBound(keys, q)) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReadOnlyBTreeTest,
+    ::testing::Values(BTreeCase{data::DatasetKind::kMaps, 32},
+                      BTreeCase{data::DatasetKind::kMaps, 128},
+                      BTreeCase{data::DatasetKind::kWeblog, 64},
+                      BTreeCase{data::DatasetKind::kWeblog, 512},
+                      BTreeCase{data::DatasetKind::kLognormal, 128},
+                      BTreeCase{data::DatasetKind::kLognormal, 256}));
+
+TEST(ReadOnlyBTreeTest, SizeShrinksWithPageSize) {
+  const auto keys = data::GenUniform(100'000, 1);
+  ReadOnlyBTree small, large;
+  ASSERT_TRUE(small.Build(keys, 32).ok());
+  ASSERT_TRUE(large.Build(keys, 256).ok());
+  EXPECT_GT(small.SizeBytes(), large.SizeBytes());
+  // Roughly n/page * 8 bytes for the leaf-most level.
+  EXPECT_NEAR(static_cast<double>(large.SizeBytes()),
+              100'000.0 / 256 * 8, 100'000.0 / 256 * 8 * 0.2);
+}
+
+TEST(ReadOnlyBTreeTest, RejectsBadInput) {
+  std::vector<uint64_t> unsorted = {5, 3, 1};
+  ReadOnlyBTree tree;
+  EXPECT_FALSE(tree.Build(unsorted, 32).ok());
+  std::vector<uint64_t> sorted = {1, 2, 3};
+  EXPECT_FALSE(tree.Build(sorted, 1).ok());
+}
+
+TEST(ReadOnlyBTreeTest, EmptyAndTiny) {
+  ReadOnlyBTree tree;
+  ASSERT_TRUE(tree.Build({}, 32).ok());
+  EXPECT_EQ(tree.LowerBound(7), 0u);
+  std::vector<uint64_t> one = {10};
+  ASSERT_TRUE(tree.Build(one, 32).ok());
+  EXPECT_EQ(tree.LowerBound(9), 0u);
+  EXPECT_EQ(tree.LowerBound(10), 0u);
+  EXPECT_EQ(tree.LowerBound(11), 1u);
+}
+
+TEST(ReadOnlyBTreeTest, FindPageIsConsistentWithSearch) {
+  const auto keys = data::GenUniform(10'000, 3);
+  ReadOnlyBTree tree;
+  ASSERT_TRUE(tree.Build(keys, 64).ok());
+  Xorshift128Plus rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t q = keys[rng.NextBounded(keys.size())];
+    const size_t page = tree.FindPage(q);
+    const size_t pos = tree.SearchInPage(page, q);
+    EXPECT_EQ(pos, StdLowerBound(keys, q));
+    EXPECT_EQ(pos / 64, page);  // present keys are inside their page
+  }
+}
+
+class FastTreeTest : public ::testing::TestWithParam<data::DatasetKind> {};
+
+TEST_P(FastTreeTest, LowerBoundMatchesStd) {
+  const auto keys = data::Generate(GetParam(), 20'000, 42);
+  FastTree tree;
+  ASSERT_TRUE(tree.Build(keys).ok());
+  for (const uint64_t q : MixedQueries(keys, 20'000, 6)) {
+    if (q == UINT64_MAX) continue;  // sentinel-reserved
+    ASSERT_EQ(tree.LowerBound(q), StdLowerBound(keys, q)) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FastTreeTest,
+                         ::testing::Values(data::DatasetKind::kMaps,
+                                           data::DatasetKind::kWeblog,
+                                           data::DatasetKind::kLognormal));
+
+TEST(FastTreeTest, PowerOfTwoBlowUp) {
+  const auto keys = data::GenUniform(100'000, 9);
+  FastTree tree;
+  ASSERT_TRUE(tree.Build(keys).ok());
+  EXPECT_GE(tree.SizeBytes(), tree.UsefulBytes());
+  // Allocation is a sum of powers of two.
+  EXPECT_LE(tree.SizeBytes(), 4 * tree.UsefulBytes());
+}
+
+class LookupTableTest : public ::testing::TestWithParam<data::DatasetKind> {};
+
+TEST_P(LookupTableTest, LowerBoundMatchesStd) {
+  const auto keys = data::Generate(GetParam(), 20'000, 43);
+  LookupTable table;
+  ASSERT_TRUE(table.Build(keys).ok());
+  for (const uint64_t q : MixedQueries(keys, 20'000, 7)) {
+    ASSERT_EQ(table.LowerBound(q), StdLowerBound(keys, q)) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LookupTableTest,
+                         ::testing::Values(data::DatasetKind::kMaps,
+                                           data::DatasetKind::kWeblog,
+                                           data::DatasetKind::kLognormal));
+
+TEST(LookupTableTest, SizeIsTwoSparseLevels) {
+  const auto keys = data::GenUniform(64 * 64 * 10, 3);
+  LookupTable table;
+  ASSERT_TRUE(table.Build(keys).ok());
+  // second: n/64 entries (plus padding), top: n/64/64.
+  const size_t expect = (keys.size() / 64 + keys.size() / 64 / 64 + 64) * 8;
+  EXPECT_NEAR(static_cast<double>(table.SizeBytes()),
+              static_cast<double>(expect), 64.0 * 8);
+}
+
+class InterpolationBTreeTest
+    : public ::testing::TestWithParam<data::DatasetKind> {};
+
+TEST_P(InterpolationBTreeTest, LowerBoundMatchesStd) {
+  const auto keys = data::Generate(GetParam(), 20'000, 44);
+  InterpolationBTree tree;
+  ASSERT_TRUE(tree.Build(keys, 16 * 1024).ok());
+  for (const uint64_t q : MixedQueries(keys, 20'000, 8)) {
+    ASSERT_EQ(tree.LowerBound(q), StdLowerBound(keys, q)) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InterpolationBTreeTest,
+                         ::testing::Values(data::DatasetKind::kMaps,
+                                           data::DatasetKind::kWeblog,
+                                           data::DatasetKind::kLognormal));
+
+TEST(InterpolationBTreeTest, RespectsSizeBudget) {
+  const auto keys = data::GenLognormal(200'000, 5);
+  for (const size_t budget : {4096u, 65536u, 1u << 20}) {
+    InterpolationBTree tree;
+    ASSERT_TRUE(tree.Build(keys, budget).ok());
+    EXPECT_LE(tree.SizeBytes(), budget + budget / 8) << budget;
+  }
+}
+
+TEST(StringBTreeTest, LowerBoundMatchesStd) {
+  const auto ids = data::GenDocIds(20'000, 11);
+  StringBTree tree;
+  ASSERT_TRUE(tree.Build(ids, 64).ok());
+  Xorshift128Plus rng(12);
+  for (int i = 0; i < 10'000; ++i) {
+    std::string q = ids[rng.NextBounded(ids.size())];
+    if (rng.NextBounded(2)) q.back() = static_cast<char>(q.back() + 1);
+    const size_t expect = static_cast<size_t>(
+        std::lower_bound(ids.begin(), ids.end(), q) - ids.begin());
+    ASSERT_EQ(tree.LowerBound(q), expect) << q;
+  }
+  EXPECT_EQ(tree.LowerBound(""), 0u);
+  EXPECT_EQ(tree.LowerBound("zzzz"), ids.size());
+}
+
+TEST(StringBTreeTest, SizeScalesInverselyWithPage) {
+  const auto ids = data::GenDocIds(50'000, 11);
+  StringBTree small, large;
+  ASSERT_TRUE(small.Build(ids, 32).ok());
+  ASSERT_TRUE(large.Build(ids, 256).ok());
+  EXPECT_GT(small.SizeBytes(), 4 * large.SizeBytes());
+}
+
+TEST(BTreeMapTest, InsertFindRoundTrip) {
+  BTreeMap map;
+  Xorshift128Plus rng(1);
+  std::map<uint64_t, uint64_t> ref;
+  for (int i = 0; i < 50'000; ++i) {
+    const uint64_t k = rng.NextBounded(1'000'000);
+    ref[k] = i;
+    map.Insert(k, i);
+  }
+  EXPECT_EQ(map.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const auto found = map.Find(k);
+    ASSERT_TRUE(found.has_value()) << k;
+    EXPECT_EQ(*found, v);
+  }
+  EXPECT_FALSE(map.Find(2'000'000).has_value());
+}
+
+TEST(BTreeMapTest, IterationIsSortedAndComplete) {
+  BTreeMap map;
+  Xorshift128Plus rng(2);
+  std::map<uint64_t, uint64_t> ref;
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t k = rng.Next();
+    ref[k] = i;
+    map.Insert(k, i);
+  }
+  auto it = map.Begin();
+  auto rit = ref.begin();
+  size_t n = 0;
+  while (it.Valid()) {
+    ASSERT_NE(rit, ref.end());
+    EXPECT_EQ(it.key(), rit->first);
+    EXPECT_EQ(it.value(), rit->second);
+    it.Next();
+    ++rit;
+    ++n;
+  }
+  EXPECT_EQ(n, ref.size());
+}
+
+TEST(BTreeMapTest, LowerBoundSemantics) {
+  BTreeMap map;
+  for (uint64_t k = 0; k < 1000; ++k) map.Insert(k * 10, k);
+  auto it = map.LowerBound(55);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 60u);
+  it = map.LowerBound(60);
+  EXPECT_EQ(it.key(), 60u);
+  it = map.LowerBound(99'999);
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeMapTest, OverwriteKeepsSize) {
+  BTreeMap map;
+  map.Insert(7, 1);
+  map.Insert(7, 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(7), 2u);
+}
+
+TEST(BTreeMapTest, SequentialInsertHeightLogarithmic) {
+  BTreeMap map;
+  for (uint64_t k = 0; k < 100'000; ++k) map.Insert(k, k);
+  EXPECT_EQ(map.size(), 100'000u);
+  EXPECT_LE(map.height(), 5u);
+  for (uint64_t k = 0; k < 100'000; k += 997) {
+    ASSERT_TRUE(map.Find(k).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace li::btree

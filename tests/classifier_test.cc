@@ -1,0 +1,126 @@
+// Tests for the sequence classifiers used by learned Bloom filters: the
+// char-level GRU and the hashed-n-gram logistic regression must both
+// separate the synthetic phishing / benign URL classes.
+
+#include <gtest/gtest.h>
+
+#include "classifier/gru.h"
+#include "classifier/ngram_logistic.h"
+#include "data/strings.h"
+
+namespace li::classifier {
+namespace {
+
+data::UrlCorpus SmallCorpus() { return data::GenUrls(3000, 3000, 31); }
+
+/// AUC-style separation check: mean score of keys must exceed mean score
+/// of non-keys by a solid margin.
+template <typename Model>
+void ExpectSeparation(const Model& model, const data::UrlCorpus& corpus,
+                      double min_gap) {
+  double pos = 0, neg = 0;
+  for (const auto& u : corpus.keys) pos += model.Predict(u);
+  for (const auto& u : corpus.random_negatives) neg += model.Predict(u);
+  pos /= static_cast<double>(corpus.keys.size());
+  neg /= static_cast<double>(corpus.random_negatives.size());
+  EXPECT_GT(pos - neg, min_gap) << "pos=" << pos << " neg=" << neg;
+}
+
+TEST(GruTest, LearnsToSeparateUrls) {
+  const auto corpus = SmallCorpus();
+  GruConfig config;
+  config.hidden_dim = 8;
+  config.embed_dim = 16;
+  config.epochs = 2;
+  config.max_train_per_class = 2000;
+  GruClassifier gru;
+  ASSERT_TRUE(gru.Train(corpus.keys, corpus.random_negatives, config).ok());
+  ExpectSeparation(gru, corpus, 0.3);
+}
+
+TEST(GruTest, OutputsAreProbabilities) {
+  const auto corpus = SmallCorpus();
+  GruConfig config;
+  config.hidden_dim = 4;
+  config.embed_dim = 8;
+  config.epochs = 1;
+  config.max_train_per_class = 500;
+  GruClassifier gru;
+  ASSERT_TRUE(gru.Train(corpus.keys, corpus.random_negatives, config).ok());
+  for (size_t i = 0; i < corpus.keys.size(); i += 97) {
+    const double p = gru.Predict(corpus.keys[i]);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // Empty and long strings must not crash or leave [0,1].
+  EXPECT_GE(gru.Predict(""), 0.0);
+  EXPECT_LE(gru.Predict(std::string(500, 'a')), 1.0);
+}
+
+TEST(GruTest, SizeMatchesPaperAccounting) {
+  // W=16, E=32 should weigh in at ~0.0259 MB (float32), §5.2.
+  const auto corpus = SmallCorpus();
+  GruConfig config;
+  config.hidden_dim = 16;
+  config.embed_dim = 32;
+  config.epochs = 1;
+  config.max_train_per_class = 200;
+  GruClassifier gru;
+  ASSERT_TRUE(gru.Train(corpus.keys, corpus.random_negatives, config).ok());
+  const double mb = static_cast<double>(gru.SizeBytes()) / 1e6;
+  EXPECT_NEAR(mb, 0.0259, 0.006);
+}
+
+TEST(GruTest, ConfigValidation) {
+  GruClassifier gru;
+  GruConfig bad;
+  bad.hidden_dim = 0;
+  std::vector<std::string> pos = {"a"}, neg = {"b"};
+  EXPECT_FALSE(gru.Train(pos, neg, bad).ok());
+  GruConfig ok;
+  EXPECT_FALSE(gru.Train({}, neg, ok).ok());
+}
+
+TEST(NgramTest, LearnsToSeparateUrls) {
+  const auto corpus = SmallCorpus();
+  NgramConfig config;
+  NgramLogistic model;
+  ASSERT_TRUE(
+      model.Train(corpus.keys, corpus.random_negatives, config).ok());
+  ExpectSeparation(model, corpus, 0.45);
+}
+
+TEST(NgramTest, WhitelistedUrlsHarderThanRandom) {
+  // Covariate shift (§5.2): benign-but-phishing-looking URLs should score
+  // higher than plain benign URLs.
+  const auto corpus = SmallCorpus();
+  NgramLogistic model;
+  ASSERT_TRUE(model.Train(corpus.keys, corpus.random_negatives, {}).ok());
+  double white = 0, rand_neg = 0;
+  for (const auto& u : corpus.whitelisted) white += model.Predict(u);
+  for (const auto& u : corpus.random_negatives) rand_neg += model.Predict(u);
+  white /= static_cast<double>(corpus.whitelisted.size());
+  rand_neg /= static_cast<double>(corpus.random_negatives.size());
+  EXPECT_GT(white, rand_neg);
+}
+
+TEST(NgramTest, ShortStringsHandled) {
+  const auto corpus = SmallCorpus();
+  NgramLogistic model;
+  ASSERT_TRUE(model.Train(corpus.keys, corpus.random_negatives, {}).ok());
+  EXPECT_GE(model.Predict("a"), 0.0);
+  EXPECT_LE(model.Predict("ab"), 1.0);
+  EXPECT_GE(model.Predict(""), 0.0);
+}
+
+TEST(NgramTest, SizeIsBucketCount) {
+  NgramConfig config;
+  config.num_buckets = 4096;
+  const auto corpus = SmallCorpus();
+  NgramLogistic model;
+  ASSERT_TRUE(model.Train(corpus.keys, corpus.random_negatives, config).ok());
+  EXPECT_EQ(model.SizeBytes(), (4096 + 1) * sizeof(float));
+}
+
+}  // namespace
+}  // namespace li::classifier

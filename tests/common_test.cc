@@ -1,0 +1,150 @@
+// Unit tests for src/common: Status/Result, PRNGs, stats, bit utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bits.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace li {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad knob");
+  EXPECT_NE(s.ToString().find("INVALID_ARGUMENT"), std::string::npos);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    LI_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::Internal("boom"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Xorshift128Plus a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Xorshift128Plus a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, BoundedStaysInBound) {
+  Xorshift128Plus rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Xorshift128Plus rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, GaussianMomentsRoughlyStandard) {
+  Xorshift128Plus rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100'000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RandomTest, ExponentialMeanMatchesRate) {
+  Xorshift128Plus rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100'000; ++i) stats.Add(rng.NextExponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(MurmurTest, FinalizerIsBijectiveOnSample) {
+  std::set<uint64_t> seen;
+  for (uint64_t k = 0; k < 10'000; ++k) seen.insert(Murmur3Fmix64(k));
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+TEST(MurmurTest, StringHashDependsOnAllBytes) {
+  const uint64_t h1 = MurmurHash64("hello world", 11);
+  const uint64_t h2 = MurmurHash64("hello worle", 11);
+  const uint64_t h3 = MurmurHash64("hello world", 10);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 5; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance of 1..5
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSinglePass) {
+  Xorshift128Plus rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextGaussian() * 3.0 + 1.0;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  std::vector<double> v = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 2.5);
+}
+
+TEST(BitsTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+}
+
+TEST(BitsTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0u);
+  EXPECT_EQ(Log2Floor(2), 1u);
+  EXPECT_EQ(Log2Floor(3), 1u);
+  EXPECT_EQ(Log2Floor(1024), 10u);
+}
+
+}  // namespace
+}  // namespace li

@@ -1,0 +1,153 @@
+// Tests for the dataset generators: sortedness, uniqueness, determinism,
+// and the distributional properties each paper dataset is supposed to have.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/datasets.h"
+#include "data/strings.h"
+
+namespace li::data {
+namespace {
+
+class IntegerDatasetTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(IntegerDatasetTest, SortedStrictlyIncreasingAndSized) {
+  const auto keys = Generate(GetParam(), 50'000, /*seed=*/1);
+  ASSERT_EQ(keys.size(), 50'000u);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LT(keys[i - 1], keys[i]) << "at " << i;
+  }
+}
+
+TEST_P(IntegerDatasetTest, DeterministicInSeed) {
+  const auto a = Generate(GetParam(), 10'000, 7);
+  const auto b = Generate(GetParam(), 10'000, 7);
+  EXPECT_EQ(a, b);
+  const auto c = Generate(GetParam(), 10'000, 8);
+  EXPECT_NE(a, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, IntegerDatasetTest,
+                         ::testing::Values(DatasetKind::kMaps,
+                                           DatasetKind::kWeblog,
+                                           DatasetKind::kLognormal),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case DatasetKind::kMaps: return "Maps";
+                             case DatasetKind::kWeblog: return "Weblog";
+                             case DatasetKind::kLognormal: return "Lognormal";
+                           }
+                           return "?";
+                         });
+
+TEST(LognormalTest, HeavyRightTail) {
+  const auto keys = GenLognormal(100'000, 3);
+  // Median far below mean for sigma = 2.
+  const double median = static_cast<double>(keys[keys.size() / 2]);
+  double mean = 0;
+  for (const auto k : keys) mean += static_cast<double>(k) / keys.size();
+  EXPECT_GT(mean, 4.0 * median);
+}
+
+TEST(MapsTest, MassConcentratedInClusters) {
+  const auto keys = GenMaps(100'000, 3);
+  // Population clusters mean the middle 80% of keys span far less than 80%
+  // of the full key range.
+  const double lo = static_cast<double>(keys[keys.size() / 10]);
+  const double hi = static_cast<double>(keys[keys.size() * 9 / 10]);
+  const double full = static_cast<double>(keys.back() - keys.front());
+  EXPECT_LT((hi - lo) / full, 0.95);
+}
+
+TEST(WeblogTest, ArrivalGapsAreBursty) {
+  const auto keys = GenWeblog(100'000, 3);
+  // Diurnal/weekly gaps: the max inter-arrival gap must dwarf the median
+  // gap (nights and breaks are quiet).
+  std::vector<uint64_t> gaps;
+  for (size_t i = 1; i < keys.size(); ++i) gaps.push_back(keys[i] - keys[i - 1]);
+  std::sort(gaps.begin(), gaps.end());
+  const uint64_t median = gaps[gaps.size() / 2];
+  EXPECT_GT(gaps.back(), 50 * std::max<uint64_t>(median, 1));
+}
+
+TEST(SequentialTest, DenseKeys) {
+  const auto keys = GenSequential(1000, 5);
+  EXPECT_EQ(keys.front(), 5u);
+  EXPECT_EQ(keys.back(), 1004u);
+}
+
+TEST(UniformTest, CoversRange) {
+  const auto keys = GenUniform(100'000, 1, 1'000'000);
+  EXPECT_LT(keys.front(), 100u * 1000);
+  EXPECT_GT(keys.back(), 900u * 1000);
+}
+
+TEST(MakeStrictlyIncreasingTest, BumpsDuplicates) {
+  std::vector<Key> keys = {5, 5, 5, 2, 9};
+  MakeStrictlyIncreasing(&keys);
+  EXPECT_EQ(keys, (std::vector<Key>{2, 5, 6, 7, 9}));
+}
+
+TEST(SampleKeysTest, OnlyExistingKeys) {
+  const auto keys = GenUniform(1000, 1);
+  const auto sample = SampleKeys(keys, 500, 2);
+  ASSERT_EQ(sample.size(), 500u);
+  const std::set<Key> keyset(keys.begin(), keys.end());
+  for (const Key k : sample) EXPECT_TRUE(keyset.count(k));
+}
+
+TEST(SampleRangeTest, WithinKeyRange) {
+  const auto keys = GenUniform(1000, 1);
+  const auto sample = SampleRange(keys, 500, 2);
+  for (const Key k : sample) {
+    EXPECT_GE(k, keys.front());
+    EXPECT_LE(k, keys.back());
+  }
+}
+
+TEST(DocIdsTest, SortedUniqueHierarchical) {
+  const auto ids = GenDocIds(20'000, 1);
+  ASSERT_EQ(ids.size(), 20'000u);
+  for (size_t i = 1; i < ids.size(); ++i) ASSERT_LT(ids[i - 1], ids[i]);
+  // Hierarchy: every id has at least two '/' separators.
+  for (size_t i = 0; i < ids.size(); i += 997) {
+    EXPECT_GE(std::count(ids[i].begin(), ids[i].end(), '/'), 2) << ids[i];
+  }
+}
+
+TEST(DocIdsTest, SharedPrefixesExist) {
+  const auto ids = GenDocIds(5000, 1);
+  size_t shared = 0;
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i].compare(0, 5, ids[i - 1], 0, 5) == 0) ++shared;
+  }
+  EXPECT_GT(shared, ids.size() / 4);  // skewed fan-out => long prefix runs
+}
+
+TEST(UrlsTest, CorpusShapesAndDeterminism) {
+  const UrlCorpus a = GenUrls(5000, 5000, 3);
+  EXPECT_GT(a.keys.size(), 4000u);  // dedup may drop a few
+  EXPECT_EQ(a.random_negatives.size(), 5000u);
+  EXPECT_EQ(a.whitelisted.size(), 2500u);
+  const UrlCorpus b = GenUrls(5000, 5000, 3);
+  EXPECT_EQ(a.keys, b.keys);
+}
+
+TEST(UrlsTest, ClassesAreLexicallyDistinct) {
+  const UrlCorpus c = GenUrls(2000, 2000, 9);
+  // Benign URLs live on www. hosts; phishing mostly does not.
+  size_t benign_www = 0, phish_www = 0;
+  for (const auto& u : c.random_negatives) benign_www += u.starts_with("www.");
+  for (const auto& u : c.keys) phish_www += u.starts_with("www.");
+  EXPECT_EQ(benign_www, c.random_negatives.size());
+  // ~18% of phishing keys mimic compromised legitimate hosts.
+  EXPECT_LT(phish_www, c.keys.size() / 4);
+  EXPECT_GT(phish_www, c.keys.size() / 20);
+}
+
+}  // namespace
+}  // namespace li::data

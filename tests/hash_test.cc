@@ -1,0 +1,245 @@
+// Tests for the point-index substrate: hash functions, conflict counting,
+// chained / cuckoo / in-place-chained maps with both random and learned
+// hash functions.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "data/datasets.h"
+#include "hash/chained_hash_map.h"
+#include "hash/cuckoo_map.h"
+#include "hash/hash_fn.h"
+#include "hash/inplace_chained_map.h"
+
+namespace li::hash {
+namespace {
+
+std::vector<Record> MakeRecords(const std::vector<uint64_t>& keys) {
+  std::vector<Record> records;
+  records.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    records.push_back(Record{keys[i], i, static_cast<uint32_t>(i & 0xFFFF)});
+  }
+  return records;
+}
+
+TEST(RandomHashTest, InRangeAndDeterministic) {
+  RandomHash h(1000, 5);
+  std::set<uint64_t> seen;
+  for (uint64_t k = 0; k < 10'000; ++k) {
+    const uint64_t s = h(k);
+    EXPECT_LT(s, 1000u);
+    seen.insert(s);
+  }
+  EXPECT_GT(seen.size(), 990u);  // essentially all slots reachable
+  RandomHash h2(1000, 5);
+  EXPECT_EQ(h(123456), h2(123456));
+}
+
+TEST(ConflictRateTest, BirthdayParadoxForRandomHash) {
+  // n keys into n slots: expected conflict fraction ~ 1 - (1-e^-1) = 36.8%.
+  const auto keys = data::GenUniform(200'000, 1);
+  RandomHash h(keys.size(), 3);
+  const double rate = ConflictRate(keys, h, keys.size());
+  EXPECT_NEAR(rate, 0.368, 0.01);
+}
+
+TEST(LearnedHashTest, PerfectOnSequentialKeys) {
+  // The §4 ideal: keys 0..n-1 into n slots -> zero conflicts.
+  const auto keys = data::GenSequential(100'000);
+  LearnedHash<models::LinearModel> h;
+  rmi::RmiConfig config;
+  config.num_leaf_models = 128;
+  ASSERT_TRUE(h.Build(keys, keys.size(), config).ok());
+  EXPECT_LT(ConflictRate(keys, h, keys.size()), 0.001);
+}
+
+TEST(LearnedHashTest, BeatsRandomOnLearnableData) {
+  const auto keys = data::GenMaps(200'000, 2);
+  LearnedHash<models::LinearModel> learned;
+  rmi::RmiConfig config;
+  config.num_leaf_models = 10'000;
+  ASSERT_TRUE(learned.Build(keys, keys.size(), config).ok());
+  RandomHash random(keys.size(), 1);
+  const double lr = ConflictRate(keys, learned, keys.size());
+  const double rr = ConflictRate(keys, random, keys.size());
+  EXPECT_LT(lr, rr);  // Figure-8 headline
+}
+
+TEST(LearnedHashTest, SlotsAlwaysInRange) {
+  const auto keys = data::GenLognormal(50'000, 3);
+  LearnedHash<models::LinearModel> h;
+  rmi::RmiConfig config;
+  config.num_leaf_models = 1000;
+  ASSERT_TRUE(h.Build(keys, 777, config).ok());
+  Xorshift128Plus rng(4);
+  for (int i = 0; i < 50'000; ++i) {
+    EXPECT_LT(h(rng.Next()), 777u);  // arbitrary (unseen) keys too
+  }
+}
+
+TEST(ChainedHashMapTest, FindAllRecords) {
+  const auto keys = data::GenUniform(50'000, 5);
+  const auto records = MakeRecords(keys);
+  ChainedHashMap<RandomHash> map;
+  ASSERT_TRUE(map.Build(records, keys.size(), RandomHash(keys.size(), 7)).ok());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record* r = map.Find(keys[i]);
+    ASSERT_NE(r, nullptr) << keys[i];
+    EXPECT_EQ(r->payload, i);
+  }
+  EXPECT_EQ(map.num_records(), records.size());
+}
+
+TEST(ChainedHashMapTest, AbsentKeysReturnNull) {
+  const auto keys = data::GenUniform(10'000, 6, uint64_t{1} << 40);
+  const auto records = MakeRecords(keys);
+  ChainedHashMap<RandomHash> map;
+  ASSERT_TRUE(map.Build(records, keys.size(), RandomHash(keys.size(), 7)).ok());
+  Xorshift128Plus rng(8);
+  const std::set<uint64_t> keyset(keys.begin(), keys.end());
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t probe = rng.Next();
+    if (!keyset.count(probe)) EXPECT_EQ(map.Find(probe), nullptr);
+  }
+}
+
+TEST(ChainedHashMapTest, FewerSlotsThanRecordsStillCorrect) {
+  const auto keys = data::GenUniform(20'000, 7);
+  const auto records = MakeRecords(keys);
+  const uint64_t slots = keys.size() * 3 / 4;  // the 75% configuration
+  ChainedHashMap<RandomHash> map;
+  ASSERT_TRUE(map.Build(records, slots, RandomHash(slots, 9)).ok());
+  for (size_t i = 0; i < records.size(); i += 13) {
+    const Record* r = map.Find(keys[i]);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->payload, i);
+  }
+  EXPECT_GT(map.overflow_size(), 0u);
+}
+
+TEST(ChainedHashMapTest, LearnedHashWastesLessSpace) {
+  // Appendix-B headline: learned hash -> fewer empty slots.
+  const auto keys = data::GenMaps(100'000, 8);
+  const auto records = MakeRecords(keys);
+  LearnedHash<models::LinearModel> lh;
+  rmi::RmiConfig config;
+  config.num_leaf_models = 10'000;
+  ASSERT_TRUE(lh.Build(keys, keys.size(), config).ok());
+  ChainedHashMap<LearnedHash<models::LinearModel>> learned_map;
+  ASSERT_TRUE(learned_map.Build(records, keys.size(), lh).ok());
+  ChainedHashMap<RandomHash> random_map;
+  ASSERT_TRUE(
+      random_map.Build(records, keys.size(), RandomHash(keys.size(), 3)).ok());
+  EXPECT_LT(learned_map.EmptySlots(), random_map.EmptySlots());
+}
+
+TEST(CuckooMapTest, RoundTrip32BitValues) {
+  const auto keys = data::GenUniform(50'000, 9);
+  std::vector<uint32_t> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = static_cast<uint32_t>(i);
+  CuckooMap<uint32_t> map;
+  CuckooMap<uint32_t>::Config config;
+  config.load_factor = 0.95;
+  ASSERT_TRUE(map.Build(keys, values, config).ok());
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    const uint32_t* v = map.Find(keys[i]);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_GE(map.utilization(), 0.90);
+}
+
+TEST(CuckooMapTest, HighLoadFactorWithRecords) {
+  const auto keys = data::GenUniform(50'000, 10);
+  std::vector<Record> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = {keys[i], i, 0};
+  CuckooMap<Record> map;
+  CuckooMap<Record>::Config config;
+  config.load_factor = 0.99;
+  ASSERT_TRUE(map.Build(keys, values, config).ok());
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    const Record* v = map.Find(keys[i]);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->payload, i);
+  }
+  EXPECT_GE(map.utilization(), 0.95);
+}
+
+TEST(CuckooMapTest, AbsentKeysNull) {
+  const auto keys = data::GenUniform(10'000, 11, uint64_t{1} << 40);
+  std::vector<uint32_t> values(keys.size(), 1);
+  CuckooMap<uint32_t> map;
+  ASSERT_TRUE(map.Build(keys, values, {}).ok());
+  const std::set<uint64_t> keyset(keys.begin(), keys.end());
+  Xorshift128Plus rng(12);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t probe = rng.Next();
+    if (!keyset.count(probe)) EXPECT_EQ(map.Find(probe), nullptr);
+  }
+}
+
+TEST(CuckooMapTest, CarefulModeStillCorrect) {
+  const auto keys = data::GenUniform(20'000, 13);
+  std::vector<Record> values(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) values[i] = {keys[i], i, 0};
+  CuckooMap<Record> map;
+  CuckooMap<Record>::Config config;
+  config.careful = true;
+  config.load_factor = 0.95;
+  ASSERT_TRUE(map.Build(keys, values, config).ok());
+  for (size_t i = 0; i < keys.size(); i += 11) {
+    ASSERT_NE(map.Find(keys[i]), nullptr);
+  }
+}
+
+TEST(InplaceChainedMapTest, FullUtilizationAndRoundTrip) {
+  const auto keys = data::GenUniform(50'000, 14);
+  const auto records = MakeRecords(keys);
+  RandomHash h(keys.size(), 15);
+  InplaceChainedMap<RandomHash> map;
+  ASSERT_TRUE(map.Build(records, h).ok());
+  EXPECT_DOUBLE_EQ(map.utilization(), 1.0);
+  EXPECT_EQ(map.num_slots(), keys.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record* r = map.Find(keys[i]);
+    ASSERT_NE(r, nullptr) << keys[i];
+    EXPECT_EQ(r->payload, i);
+  }
+}
+
+TEST(InplaceChainedMapTest, AbsentKeysIncludingForeignSlots) {
+  const auto keys = data::GenUniform(20'000, 16, uint64_t{1} << 40);
+  const auto records = MakeRecords(keys);
+  RandomHash h(keys.size(), 17);
+  InplaceChainedMap<RandomHash> map;
+  ASSERT_TRUE(map.Build(records, h).ok());
+  const std::set<uint64_t> keyset(keys.begin(), keys.end());
+  Xorshift128Plus rng(18);
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t probe = rng.Next();
+    if (!keyset.count(probe)) EXPECT_EQ(map.Find(probe), nullptr);
+  }
+}
+
+TEST(InplaceChainedMapTest, LearnedHashShortensChains) {
+  // Appendix C: fewer conflicts -> fewer cache misses; chain length is the
+  // proxy.
+  const auto keys = data::GenMaps(100'000, 19);
+  const auto records = MakeRecords(keys);
+  LearnedHash<models::LinearModel> lh;
+  rmi::RmiConfig config;
+  config.num_leaf_models = 10'000;
+  ASSERT_TRUE(lh.Build(keys, keys.size(), config).ok());
+  InplaceChainedMap<LearnedHash<models::LinearModel>> learned_map;
+  ASSERT_TRUE(learned_map.Build(records, lh).ok());
+  InplaceChainedMap<RandomHash> random_map;
+  ASSERT_TRUE(random_map.Build(records, RandomHash(keys.size(), 20)).ok());
+  EXPECT_LT(learned_map.MeanChainLength(), random_map.MeanChainLength());
+}
+
+}  // namespace
+}  // namespace li::hash

@@ -1,0 +1,86 @@
+// Tests for the learned join primitives: all three intersection algorithms
+// must agree with a std::set_intersection oracle across overlap regimes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "data/datasets.h"
+#include "rmi/rmi.h"
+#include "sort/learned_join.h"
+
+namespace li::sort {
+namespace {
+
+struct JoinFixture {
+  std::vector<uint64_t> big, small, expect;
+  rmi::LinearRmi index;
+
+  /// `overlap` fraction of `small` drawn from `big`, rest random.
+  void Init(size_t big_n, size_t small_n, double overlap, uint64_t seed) {
+    big = data::GenLognormal(big_n, seed);
+    Xorshift128Plus rng(seed + 1);
+    small.clear();
+    for (size_t i = 0; i < small_n; ++i) {
+      if (rng.NextDouble() < overlap) {
+        small.push_back(big[rng.NextBounded(big.size())]);
+      } else {
+        small.push_back(rng.NextBounded(big.back() + 1000));
+      }
+    }
+    std::sort(small.begin(), small.end());
+    small.erase(std::unique(small.begin(), small.end()), small.end());
+    expect.clear();
+    std::set_intersection(small.begin(), small.end(), big.begin(), big.end(),
+                          std::back_inserter(expect));
+    rmi::RmiConfig config;
+    config.num_leaf_models = std::max<size_t>(64, big_n / 200);
+    ASSERT_TRUE(index.Build(big, config).ok());
+  }
+};
+
+class JoinTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(JoinTest, AllAlgorithmsMatchOracle) {
+  JoinFixture f;
+  f.Init(100'000, 5000, GetParam(), 11);
+  std::vector<uint64_t> merge_out, probe_out, skip_out;
+  EXPECT_EQ(LinearMergeIntersect(f.small, f.big, &merge_out),
+            f.expect.size());
+  EXPECT_EQ(LearnedProbeIntersect(f.small, f.index, &probe_out),
+            f.expect.size());
+  EXPECT_EQ(LearnedSkipIntersect(f.small, f.index, &skip_out),
+            f.expect.size());
+  EXPECT_EQ(merge_out, f.expect);
+  EXPECT_EQ(probe_out, f.expect);
+  EXPECT_EQ(skip_out, f.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(OverlapSweep, JoinTest,
+                         ::testing::Values(0.0, 0.3, 0.9, 1.0));
+
+TEST(JoinEdgeTest, EmptyAndDisjointSides) {
+  JoinFixture f;
+  f.Init(10'000, 100, 0.5, 3);
+  std::vector<uint64_t> empty;
+  EXPECT_EQ(LinearMergeIntersect(empty, f.big), 0u);
+  EXPECT_EQ(LearnedProbeIntersect(std::span<const uint64_t>(), f.index), 0u);
+  EXPECT_EQ(LearnedSkipIntersect(std::span<const uint64_t>(), f.index), 0u);
+  // Fully disjoint small side (keys beyond big's range).
+  std::vector<uint64_t> beyond = {f.big.back() + 1, f.big.back() + 2};
+  EXPECT_EQ(LearnedProbeIntersect(beyond, f.index), 0u);
+  EXPECT_EQ(LearnedSkipIntersect(beyond, f.index), 0u);
+}
+
+TEST(JoinEdgeTest, IdenticalSides) {
+  JoinFixture f;
+  f.Init(20'000, 1, 1.0, 5);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(LearnedSkipIntersect(f.big, f.index, &out), f.big.size());
+  EXPECT_EQ(out.size(), f.big.size());
+}
+
+}  // namespace
+}  // namespace li::sort

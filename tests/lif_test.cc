@@ -1,0 +1,88 @@
+// Tests for the LIF synthesizer and measurement harness.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/datasets.h"
+#include "lif/measure.h"
+#include "lif/synthesizer.h"
+
+namespace li::lif {
+namespace {
+
+TEST(MeasureTest, NsPerOpIsPositiveAndSane) {
+  std::vector<uint64_t> queries(1000, 7);
+  volatile uint64_t sink = 0;
+  const double ns = MeasureNsPerOp(queries, 3, [&](uint64_t q) {
+    sink = sink + q;
+    return q;
+  });
+  EXPECT_GT(ns, 0.0);
+  EXPECT_LT(ns, 10'000.0);  // a no-op lambda is not microseconds
+}
+
+TEST(TableTest, FactorFormatting) {
+  EXPECT_EQ(Table::WithFactor(12.5, 2.0), "12.50 (2.00x)");
+  EXPECT_EQ(Table::WithFactor(1.0, 0.5, 1), "1.0 (0.50x)");
+  EXPECT_EQ(Table::WithPercent(134, 50.8), "134 (50.8%)");
+}
+
+TEST(BenchScaleTest, DefaultAndOverride) {
+  unsetenv("REPRO_SCALE_M");
+  EXPECT_EQ(BenchScaleKeys(2), 2'000'000u);
+  setenv("REPRO_SCALE_M", "5", 1);
+  EXPECT_EQ(BenchScaleKeys(2), 5'000'000u);
+  unsetenv("REPRO_SCALE_M");
+}
+
+TEST(SynthesizerTest, FindsWorkingIndexAndReportsAllCandidates) {
+  const auto keys = data::GenLognormal(50'000, 61);
+  SynthesisSpec spec;
+  spec.stage2_sizes = {500, 2000};
+  spec.nn_hidden = {{8}};
+  spec.nn_epochs = 6;
+  spec.eval_queries = 2000;
+  SynthesizedIndex index;
+  ASSERT_TRUE(index.Synthesize(keys, spec).ok());
+  // linear + multivariate + 1 NN config, per stage2 size.
+  EXPECT_EQ(index.reports().size(), 2u * 3u);
+  EXPECT_FALSE(index.description().empty());
+  // The synthesized index must be correct.
+  for (size_t i = 0; i < keys.size(); i += 37) {
+    EXPECT_EQ(index.LowerBound(keys[i]), i);
+  }
+}
+
+TEST(SynthesizerTest, SizeBudgetIsRespected) {
+  const auto keys = data::GenLognormal(50'000, 62);
+  SynthesisSpec spec;
+  spec.stage2_sizes = {100, 10'000};
+  spec.nn_hidden = {};
+  spec.try_multivariate_top = false;
+  spec.eval_queries = 1000;
+  spec.size_budget_bytes = 100 * 32 + 1024;  // only the 100-leaf config fits
+  SynthesizedIndex index;
+  ASSERT_TRUE(index.Synthesize(keys, spec).ok());
+  EXPECT_LE(index.SizeBytes(), spec.size_budget_bytes);
+}
+
+TEST(SynthesizerTest, ImpossibleBudgetFails) {
+  const auto keys = data::GenLognormal(10'000, 63);
+  SynthesisSpec spec;
+  spec.stage2_sizes = {1000};
+  spec.nn_hidden = {};
+  spec.try_multivariate_top = false;
+  spec.eval_queries = 500;
+  spec.size_budget_bytes = 16;  // nothing fits
+  SynthesizedIndex index;
+  EXPECT_FALSE(index.Synthesize(keys, spec).ok());
+}
+
+TEST(SynthesizerTest, EmptyKeysRejected) {
+  SynthesizedIndex index;
+  EXPECT_FALSE(index.Synthesize({}, SynthesisSpec{}).ok());
+}
+
+}  // namespace
+}  // namespace li::lif

@@ -1,0 +1,128 @@
+// Unit tests for the dense linear-algebra kernel (Cholesky / least squares).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+
+namespace li::linalg {
+namespace {
+
+TEST(MatrixTest, IndexingRowMajor) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 2) = 7;
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 7);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0);
+}
+
+TEST(MatrixTest, GramIsXtX) {
+  Matrix x(3, 2);
+  // x = [[1,2],[3,4],[5,6]]
+  x(0, 0) = 1; x(0, 1) = 2;
+  x(1, 0) = 3; x(1, 1) = 4;
+  x(2, 0) = 5; x(2, 1) = 6;
+  const Matrix g = x.Gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 35);   // 1+9+25
+  EXPECT_DOUBLE_EQ(g(0, 1), 44);   // 2+12+30
+  EXPECT_DOUBLE_EQ(g(1, 0), 44);
+  EXPECT_DOUBLE_EQ(g(1, 1), 56);   // 4+16+36
+}
+
+TEST(CholeskyTest, FactorsIdentity) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a(i, i) = 1.0;
+  EXPECT_TRUE(CholeskyFactor(&a));
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a(i, i), 1.0);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -1;
+  EXPECT_FALSE(CholeskyFactor(&a));
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  // A = [[4,2],[2,3]], x = [1, -2] -> b = [0, -4]
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 3;
+  std::vector<double> x;
+  ASSERT_TRUE(CholeskySolve(a, {0, -4}, &x).ok());
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(CholeskyTest, DimensionMismatchRejected) {
+  Matrix a(2, 2);
+  a(0, 0) = a(1, 1) = 1;
+  std::vector<double> x;
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 2.0, 3.0}, &x).ok());
+}
+
+TEST(LeastSquaresTest, ExactLineRecovered) {
+  // y = 3x + 1 sampled exactly.
+  Matrix design(5, 2);
+  std::vector<double> y(5);
+  for (int i = 0; i < 5; ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = i;
+    y[i] = 3.0 * i + 1.0;
+  }
+  std::vector<double> w;
+  ASSERT_TRUE(LeastSquares(design, y, &w).ok());
+  EXPECT_NEAR(w[0], 1.0, 1e-8);
+  EXPECT_NEAR(w[1], 3.0, 1e-8);
+}
+
+TEST(LeastSquaresTest, NoisyFitCloseToTruth) {
+  Xorshift128Plus rng(5);
+  const int n = 2000;
+  Matrix design(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    design(i, 0) = 1.0;
+    design(i, 1) = x;
+    y[i] = 2.5 * x - 4.0 + rng.NextGaussian() * 0.1;
+  }
+  std::vector<double> w;
+  ASSERT_TRUE(LeastSquares(design, y, &w).ok());
+  EXPECT_NEAR(w[0], -4.0, 0.05);
+  EXPECT_NEAR(w[1], 2.5, 0.02);
+}
+
+TEST(LeastSquaresTest, UnderdeterminedRejected) {
+  Matrix design(1, 2);
+  design(0, 0) = 1.0;
+  design(0, 1) = 2.0;
+  std::vector<double> w;
+  EXPECT_FALSE(LeastSquares(design, {1.0}, &w).ok());
+}
+
+TEST(LeastSquaresTest, CollinearColumnsHandledByRidge) {
+  // Second and third columns identical: singular Gram without ridge.
+  Matrix design(10, 3);
+  std::vector<double> y(10);
+  for (int i = 0; i < 10; ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = i;
+    design(i, 2) = i;
+    y[i] = 2.0 * i;
+  }
+  std::vector<double> w;
+  ASSERT_TRUE(LeastSquares(design, y, &w).ok());
+  // Prediction must still be right even if the split between the two
+  // collinear weights is arbitrary.
+  for (int i = 0; i < 10; ++i) {
+    const double pred = w[0] + w[1] * i + w[2] * i;
+    EXPECT_NEAR(pred, 2.0 * i, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace li::linalg

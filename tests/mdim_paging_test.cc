@@ -1,0 +1,274 @@
+// Tests for the multi-dimensional learned index (Morton curve + BIGMIN +
+// learned seeks vs grid baseline) and the Appendix-D.2 paged index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "data/datasets.h"
+#include "mdim/mdim_index.h"
+#include "mdim/morton.h"
+#include "paging/paged_index.h"
+
+namespace li {
+namespace {
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  Xorshift128Plus rng(1);
+  for (int i = 0; i < 100'000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.Next());
+    const uint32_t y = static_cast<uint32_t>(rng.Next());
+    uint32_t dx, dy;
+    mdim::MortonDecode(mdim::MortonEncode(x, y), &dx, &dy);
+    ASSERT_EQ(dx, x);
+    ASSERT_EQ(dy, y);
+  }
+}
+
+TEST(MortonTest, OrderIsMonotonePerDimension) {
+  // Growing one coordinate never decreases the z-code.
+  Xorshift128Plus rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBounded(1u << 30));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBounded(1u << 30));
+    EXPECT_LT(mdim::MortonEncode(x, y), mdim::MortonEncode(x + 1, y));
+    EXPECT_LT(mdim::MortonEncode(x, y), mdim::MortonEncode(x, y + 1));
+  }
+}
+
+TEST(MortonTest, InRectMatchesCoordinateCheck) {
+  Xorshift128Plus rng(3);
+  for (int i = 0; i < 50'000; ++i) {
+    const uint32_t x0 = static_cast<uint32_t>(rng.NextBounded(1000));
+    const uint32_t y0 = static_cast<uint32_t>(rng.NextBounded(1000));
+    const uint32_t x1 = x0 + static_cast<uint32_t>(rng.NextBounded(1000));
+    const uint32_t y1 = y0 + static_cast<uint32_t>(rng.NextBounded(1000));
+    const uint32_t px = static_cast<uint32_t>(rng.NextBounded(2500));
+    const uint32_t py = static_cast<uint32_t>(rng.NextBounded(2500));
+    const bool expect = px >= x0 && px <= x1 && py >= y0 && py <= y1;
+    EXPECT_EQ(mdim::MortonInRect(mdim::MortonEncode(px, py),
+                                 mdim::MortonEncode(x0, y0),
+                                 mdim::MortonEncode(x1, y1)),
+              expect);
+  }
+}
+
+TEST(MortonTest, BigMinAgainstBruteForce) {
+  // Exhaustive check on a small grid: BIGMIN must equal the smallest
+  // in-rectangle z-code strictly greater than the probe code.
+  const uint32_t kGrid = 16;
+  Xorshift128Plus rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint32_t x0 = static_cast<uint32_t>(rng.NextBounded(kGrid));
+    const uint32_t y0 = static_cast<uint32_t>(rng.NextBounded(kGrid));
+    const uint32_t x1 =
+        x0 + static_cast<uint32_t>(rng.NextBounded(kGrid - x0));
+    const uint32_t y1 =
+        y0 + static_cast<uint32_t>(rng.NextBounded(kGrid - y0));
+    const uint64_t zmin = mdim::MortonEncode(x0, y0);
+    const uint64_t zmax = mdim::MortonEncode(x1, y1);
+    // All in-rect codes, sorted.
+    std::vector<uint64_t> inside;
+    for (uint32_t x = x0; x <= x1; ++x) {
+      for (uint32_t y = y0; y <= y1; ++y) {
+        inside.push_back(mdim::MortonEncode(x, y));
+      }
+    }
+    std::sort(inside.begin(), inside.end());
+    for (uint64_t code = zmin; code <= zmax; ++code) {
+      bool valid = false;
+      const uint64_t got = mdim::BigMin(code, zmin, zmax, &valid);
+      const auto it = std::upper_bound(inside.begin(), inside.end(), code);
+      if (it == inside.end()) {
+        EXPECT_FALSE(valid) << "code=" << code;
+      } else {
+        ASSERT_TRUE(valid) << "code=" << code;
+        EXPECT_EQ(got, *it) << "code=" << code << " rect=(" << x0 << ","
+                            << y0 << ")-(" << x1 << "," << y1 << ")";
+      }
+    }
+  }
+}
+
+std::vector<mdim::Point> RandomPoints(size_t n, uint64_t seed,
+                                      uint32_t range) {
+  Xorshift128Plus rng(seed);
+  std::vector<mdim::Point> pts(n);
+  for (auto& p : pts) {
+    p.x = static_cast<uint32_t>(rng.NextBounded(range));
+    p.y = static_cast<uint32_t>(rng.NextBounded(range));
+  }
+  return pts;
+}
+
+TEST(LearnedZIndexTest, RangeQueryMatchesBruteForce) {
+  const auto pts = RandomPoints(50'000, 5, 1u << 20);
+  mdim::LearnedZIndex index;
+  ASSERT_TRUE(index.Build(pts, 2048).ok());
+  Xorshift128Plus rng(6);
+  std::vector<mdim::Point> got;
+  for (int trial = 0; trial < 200; ++trial) {
+    mdim::Rect rect;
+    rect.x0 = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+    rect.y0 = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+    rect.x1 = rect.x0 + static_cast<uint32_t>(rng.NextBounded(1u << 16));
+    rect.y1 = rect.y0 + static_cast<uint32_t>(rng.NextBounded(1u << 16));
+    index.RangeQuery(rect, &got);
+    // Brute force (dedup exactly like the index does).
+    std::set<uint64_t> expect;
+    for (const auto& p : pts) {
+      if (p.x >= rect.x0 && p.x <= rect.x1 && p.y >= rect.y0 &&
+          p.y <= rect.y1) {
+        expect.insert(mdim::MortonEncode(p.x, p.y));
+      }
+    }
+    ASSERT_EQ(got.size(), expect.size()) << "trial " << trial;
+    for (const auto& p : got) {
+      EXPECT_TRUE(expect.count(mdim::MortonEncode(p.x, p.y)));
+    }
+  }
+}
+
+TEST(LearnedZIndexTest, ContainsSemantics) {
+  const auto pts = RandomPoints(20'000, 7, 1u << 16);
+  mdim::LearnedZIndex index;
+  ASSERT_TRUE(index.Build(pts, 1024).ok());
+  for (size_t i = 0; i < pts.size(); i += 13) {
+    EXPECT_TRUE(index.Contains(pts[i]));
+  }
+  std::set<uint64_t> codes;
+  for (const auto& p : pts) codes.insert(mdim::MortonEncode(p.x, p.y));
+  Xorshift128Plus rng(8);
+  for (int i = 0; i < 10'000; ++i) {
+    mdim::Point p{static_cast<uint32_t>(rng.NextBounded(1u << 16)),
+                  static_cast<uint32_t>(rng.NextBounded(1u << 16))};
+    if (!codes.count(mdim::MortonEncode(p.x, p.y))) {
+      EXPECT_FALSE(index.Contains(p));
+    }
+  }
+}
+
+TEST(GridIndexTest, MatchesLearnedIndexResults) {
+  const auto pts = RandomPoints(30'000, 9, 1u << 18);
+  mdim::LearnedZIndex learned;
+  mdim::GridIndex grid;
+  ASSERT_TRUE(learned.Build(pts, 1024).ok());
+  ASSERT_TRUE(grid.Build(pts, 128).ok());
+  Xorshift128Plus rng(10);
+  std::vector<mdim::Point> a, b;
+  for (int trial = 0; trial < 100; ++trial) {
+    mdim::Rect rect;
+    rect.x0 = static_cast<uint32_t>(rng.NextBounded(1u << 18));
+    rect.y0 = static_cast<uint32_t>(rng.NextBounded(1u << 18));
+    rect.x1 = rect.x0 + static_cast<uint32_t>(rng.NextBounded(1u << 14));
+    rect.y1 = rect.y0 + static_cast<uint32_t>(rng.NextBounded(1u << 14));
+    learned.RangeQuery(rect, &a);
+    grid.RangeQuery(rect, &b);
+    // Grid may report duplicates of duplicated input points; compare sets.
+    std::set<uint64_t> sa, sb;
+    for (const auto& p : a) sa.insert(mdim::MortonEncode(p.x, p.y));
+    for (const auto& p : b) sb.insert(mdim::MortonEncode(p.x, p.y));
+    ASSERT_EQ(sa, sb) << "trial " << trial;
+  }
+}
+
+TEST(SimulatedDiskTest, StoreAndReadBack) {
+  const auto keys = data::GenUniform(10'000, 11);
+  paging::SimulatedDisk disk;
+  ASSERT_TRUE(disk.Store(keys, 256).ok());
+  EXPECT_EQ(disk.num_pages(), (keys.size() + 255) / 256);
+  // Logical page p starts at keys[p * 256].
+  for (size_t lp = 0; lp < disk.num_logical_pages(); ++lp) {
+    EXPECT_EQ(disk.FirstKeyOfLogicalPage(lp), keys[lp * 256]);
+    const auto page = disk.ReadPage(disk.PhysicalPageOf(lp));
+    ASSERT_FALSE(page.empty());
+    EXPECT_EQ(page.front(), keys[lp * 256]);
+  }
+  EXPECT_EQ(disk.page_reads(), disk.num_logical_pages());
+}
+
+TEST(SimulatedDiskTest, SliceAccounting) {
+  const auto keys = data::GenUniform(1024, 12);
+  paging::SimulatedDisk disk;
+  ASSERT_TRUE(disk.Store(keys, 256).ok());
+  disk.ResetCounters();
+  const auto slice = disk.ReadPageSlice(disk.PhysicalPageOf(0), 10, 20);
+  EXPECT_EQ(slice.size(), 10u);
+  EXPECT_EQ(disk.bytes_read(), 10 * sizeof(uint64_t));
+  EXPECT_EQ(disk.page_reads(), 1u);
+}
+
+TEST(PagedIndexTest, FindsEveryKeyWithOnePageRead) {
+  const auto keys = data::GenWeblog(100'000, 13);
+  paging::SimulatedDisk disk;
+  ASSERT_TRUE(disk.Store(keys, 512).ok());
+  paging::PagedLearnedIndex index;
+  ASSERT_TRUE(index.Build(keys, &disk, 2048).ok());
+  disk.ResetCounters();
+  size_t probes = 0;
+  for (size_t i = 0; i < keys.size(); i += 7) {
+    const auto pos = index.Find(keys[i]);
+    ASSERT_TRUE(pos.has_value()) << i;
+    EXPECT_EQ(*pos, i);
+    ++probes;
+  }
+  // The error-bounded slice should almost always hit on the first read.
+  EXPECT_LT(static_cast<double>(disk.page_reads()),
+            static_cast<double>(probes) * 1.2);
+}
+
+TEST(PagedIndexTest, SliceReadsBeatFullPages) {
+  // Appendix D.2: the min/max error window shrinks the bytes read.
+  const auto keys = data::GenMaps(100'000, 14);
+  paging::SimulatedDisk disk;
+  ASSERT_TRUE(disk.Store(keys, 1024).ok());
+  paging::PagedLearnedIndex index;
+  ASSERT_TRUE(index.Build(keys, &disk, 4096).ok());
+  disk.ResetCounters();
+  const size_t probes = 5000;
+  for (size_t i = 0; i < probes; ++i) {
+    index.Find(keys[(i * 37) % keys.size()]);
+  }
+  const double bytes_per_probe =
+      static_cast<double>(disk.bytes_read()) / probes;
+  EXPECT_LT(bytes_per_probe, 1024 * sizeof(uint64_t) / 4.0);
+}
+
+TEST(PagedIndexTest, AbsentKeysReturnNullopt) {
+  const auto keys = data::GenUniform(20'000, 15, uint64_t{1} << 40);
+  paging::SimulatedDisk disk;
+  ASSERT_TRUE(disk.Store(keys, 256).ok());
+  paging::PagedLearnedIndex index;
+  ASSERT_TRUE(index.Build(keys, &disk, 1024).ok());
+  std::set<uint64_t> keyset(keys.begin(), keys.end());
+  Xorshift128Plus rng(16);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t probe = rng.Next();
+    if (!keyset.count(probe)) {
+      EXPECT_FALSE(index.Find(probe).has_value());
+    }
+  }
+}
+
+TEST(PagedIndexTest, CountRangeMatchesBruteForce) {
+  const auto keys = data::GenLognormal(50'000, 17);
+  paging::SimulatedDisk disk;
+  ASSERT_TRUE(disk.Store(keys, 256).ok());
+  paging::PagedLearnedIndex index;
+  ASSERT_TRUE(index.Build(keys, &disk, 1024).ok());
+  Xorshift128Plus rng(18);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t a = keys[rng.NextBounded(keys.size())];
+    const uint64_t b = keys[rng.NextBounded(keys.size())];
+    const uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    size_t expect = 0;
+    for (const uint64_t k : keys) expect += (k >= lo && k < hi);
+    ASSERT_EQ(index.CountRange(lo, hi), expect) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace li

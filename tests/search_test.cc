@@ -1,0 +1,172 @@
+// Property tests for the §3.4 search strategies: every strategy must agree
+// with std::lower_bound for present keys, absent keys, and out-of-range
+// keys, across predictions of arbitrary quality.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "data/datasets.h"
+#include "search/search.h"
+
+namespace li::search {
+namespace {
+
+std::vector<uint64_t> TestKeys() {
+  return data::GenUniform(5000, /*seed=*/21, 1'000'000);
+}
+
+size_t StdLowerBound(const std::vector<uint64_t>& v, uint64_t key) {
+  return static_cast<size_t>(
+      std::lower_bound(v.begin(), v.end(), key) - v.begin());
+}
+
+TEST(BinarySearchTest, MatchesStdLowerBound) {
+  const auto keys = TestKeys();
+  Xorshift128Plus rng(1);
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t q = rng.NextBounded(1'100'000);
+    EXPECT_EQ(BinarySearch(keys.data(), 0, keys.size(), q),
+              StdLowerBound(keys, q));
+  }
+}
+
+TEST(UpperBoundTest, MatchesStdUpperBound) {
+  const auto keys = TestKeys();
+  Xorshift128Plus rng(2);
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t q = rng.NextBounded(1'100'000);
+    const size_t expect = static_cast<size_t>(
+        std::upper_bound(keys.begin(), keys.end(), q) - keys.begin());
+    EXPECT_EQ(UpperBound(keys.data(), 0, keys.size(), q), expect);
+  }
+}
+
+/// Parameterized over prediction error magnitude: biased strategies must be
+/// correct whether the hint is perfect or garbage.
+class BiasedSearchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BiasedSearchTest, BiasedBinaryMatchesStd) {
+  const auto keys = TestKeys();
+  const int64_t max_off = GetParam();
+  Xorshift128Plus rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t q = rng.NextBounded(1'100'000);
+    const size_t truth = StdLowerBound(keys, q);
+    const int64_t off = static_cast<int64_t>(rng.NextBounded(2 * max_off + 1)) -
+                        max_off;
+    const size_t pred = static_cast<size_t>(std::clamp<int64_t>(
+        static_cast<int64_t>(truth) + off, 0,
+        static_cast<int64_t>(keys.size()) - 1));
+    EXPECT_EQ(BiasedBinarySearch(keys.data(), 0, keys.size(), q, pred), truth);
+  }
+}
+
+TEST_P(BiasedSearchTest, BiasedQuaternaryMatchesStd) {
+  const auto keys = TestKeys();
+  const int64_t max_off = GetParam();
+  Xorshift128Plus rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t q = rng.NextBounded(1'100'000);
+    const size_t truth = StdLowerBound(keys, q);
+    const int64_t off = static_cast<int64_t>(rng.NextBounded(2 * max_off + 1)) -
+                        max_off;
+    const size_t pred = static_cast<size_t>(std::clamp<int64_t>(
+        static_cast<int64_t>(truth) + off, 0,
+        static_cast<int64_t>(keys.size()) - 1));
+    EXPECT_EQ(BiasedQuaternarySearch(keys.data(), 0, keys.size(), q, pred,
+                                     static_cast<size_t>(max_off) / 2 + 1),
+              truth);
+  }
+}
+
+TEST_P(BiasedSearchTest, ExponentialMatchesStd) {
+  const auto keys = TestKeys();
+  const int64_t max_off = GetParam();
+  Xorshift128Plus rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t q = rng.NextBounded(1'100'000);
+    const size_t truth = StdLowerBound(keys, q);
+    const int64_t off = static_cast<int64_t>(rng.NextBounded(2 * max_off + 1)) -
+                        max_off;
+    const size_t pred = static_cast<size_t>(std::clamp<int64_t>(
+        static_cast<int64_t>(truth) + off, 0,
+        static_cast<int64_t>(keys.size()) - 1));
+    EXPECT_EQ(ExponentialSearch(keys.data(), keys.size(), q, pred), truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorMagnitudes, BiasedSearchTest,
+                         ::testing::Values(0, 1, 8, 100, 5000));
+
+TEST(InterpolationSearchTest, MatchesStdOnUniform) {
+  const auto keys = TestKeys();
+  Xorshift128Plus rng(6);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t q = rng.NextBounded(1'100'000);
+    EXPECT_EQ(InterpolationSearch(keys.data(), 0, keys.size(), q),
+              StdLowerBound(keys, q));
+  }
+}
+
+TEST(InterpolationSearchTest, MatchesStdOnSkewed) {
+  const auto keys = data::GenLognormal(5000, 9);
+  Xorshift128Plus rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t q = keys[rng.NextBounded(keys.size())] +
+                       rng.NextBounded(3) - 1;
+    EXPECT_EQ(InterpolationSearch(keys.data(), 0, keys.size(), q),
+              StdLowerBound(keys, q));
+  }
+}
+
+TEST(BranchFreeScanTest, CountsStrictlySmaller) {
+  const std::vector<uint64_t> keys = {1, 3, 3, 7, 9, 100};
+  EXPECT_EQ(BranchFreeScan(keys.data(), keys.size(), 0), 0u);
+  EXPECT_EQ(BranchFreeScan(keys.data(), keys.size(), 1), 0u);
+  EXPECT_EQ(BranchFreeScan(keys.data(), keys.size(), 3), 1u);
+  EXPECT_EQ(BranchFreeScan(keys.data(), keys.size(), 4), 3u);
+  EXPECT_EQ(BranchFreeScan(keys.data(), keys.size(), 1000), 6u);
+}
+
+TEST(BranchFreeScanTest, EqualsLowerBoundOnSortedData) {
+  const auto keys = TestKeys();
+  Xorshift128Plus rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t q = rng.NextBounded(1'100'000);
+    EXPECT_EQ(BranchFreeScan(keys.data(), keys.size(), q),
+              StdLowerBound(keys, q));
+  }
+}
+
+TEST(SearchTest, EmptyAndSingleElementWindows) {
+  const std::vector<uint64_t> one = {42};
+  EXPECT_EQ(BinarySearch(one.data(), 0, 0, uint64_t{5}), 0u);
+  EXPECT_EQ(BinarySearch(one.data(), 0, 1, uint64_t{5}), 0u);
+  EXPECT_EQ(BinarySearch(one.data(), 0, 1, uint64_t{42}), 0u);
+  EXPECT_EQ(BinarySearch(one.data(), 0, 1, uint64_t{43}), 1u);
+  EXPECT_EQ(BiasedBinarySearch(one.data(), 0, 1, uint64_t{43}, 0), 1u);
+  EXPECT_EQ(ExponentialSearch(one.data(), 1, uint64_t{43}, 0), 1u);
+  EXPECT_EQ(ExponentialSearch(one.data(), 1, uint64_t{5}, 0), 0u);
+}
+
+TEST(SearchTest, StringsWorkWithTemplatedSearch) {
+  std::vector<std::string> keys = {"alpha", "beta", "delta", "gamma"};
+  const std::string q = "canary";
+  EXPECT_EQ(BinarySearch(keys.data(), 0, keys.size(), q), 2u);
+  EXPECT_EQ(BiasedBinarySearch(keys.data(), 0, keys.size(), q, 3), 2u);
+  EXPECT_EQ(ExponentialSearch(keys.data(), keys.size(), q, 0), 2u);
+}
+
+TEST(StrategyNameTest, AllNamed) {
+  EXPECT_STREQ(StrategyName(Strategy::kBinary), "binary");
+  EXPECT_STREQ(StrategyName(Strategy::kBiasedBinary), "biased-binary");
+  EXPECT_STREQ(StrategyName(Strategy::kBiasedQuaternary), "biased-quaternary");
+  EXPECT_STREQ(StrategyName(Strategy::kExponential), "exponential");
+  EXPECT_STREQ(StrategyName(Strategy::kInterpolation), "interpolation");
+}
+
+}  // namespace
+}  // namespace li::search

@@ -1,0 +1,89 @@
+// Tests for the learned sort (§7 "Beyond Indexing"): output must equal
+// std::sort across distributions, sizes, and degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "data/datasets.h"
+#include "sort/learned_sort.h"
+
+namespace li::sort {
+namespace {
+
+class LearnedSortTest : public ::testing::TestWithParam<data::DatasetKind> {};
+
+TEST_P(LearnedSortTest, MatchesStdSort) {
+  auto keys = data::Generate(GetParam(), 100'000, 51);
+  // Shuffle so the sorter has real work to do.
+  Xorshift128Plus rng(52);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.NextBounded(i)]);
+  }
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  ASSERT_TRUE(LearnedSort(&keys).ok());
+  EXPECT_EQ(keys, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, LearnedSortTest,
+                         ::testing::Values(data::DatasetKind::kMaps,
+                                           data::DatasetKind::kWeblog,
+                                           data::DatasetKind::kLognormal));
+
+TEST(LearnedSortEdgeTest, EmptySingleAndTiny) {
+  std::vector<uint64_t> v;
+  EXPECT_TRUE(LearnedSort(&v).ok());
+  v = {5};
+  EXPECT_TRUE(LearnedSort(&v).ok());
+  EXPECT_EQ(v, (std::vector<uint64_t>{5}));
+  v = {9, 1, 5};
+  EXPECT_TRUE(LearnedSort(&v).ok());
+  EXPECT_EQ(v, (std::vector<uint64_t>{1, 5, 9}));
+}
+
+TEST(LearnedSortEdgeTest, AllEqualKeys) {
+  std::vector<uint64_t> v(10'000, 42);
+  EXPECT_TRUE(LearnedSort(&v).ok());
+  for (const auto x : v) EXPECT_EQ(x, 42u);
+}
+
+TEST(LearnedSortEdgeTest, AlreadySortedAndReversed) {
+  std::vector<uint64_t> v(50'000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = i * 3;
+  auto expect = v;
+  ASSERT_TRUE(LearnedSort(&v).ok());
+  EXPECT_EQ(v, expect);
+  std::reverse(v.begin(), v.end());
+  ASSERT_TRUE(LearnedSort(&v).ok());
+  EXPECT_EQ(v, expect);
+}
+
+TEST(LearnedSortEdgeTest, DuplicateHeavyInput) {
+  Xorshift128Plus rng(9);
+  std::vector<uint64_t> v(100'000);
+  for (auto& x : v) x = rng.NextBounded(100);  // only 100 distinct values
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  ASSERT_TRUE(LearnedSort(&v).ok());
+  EXPECT_EQ(v, expect);
+}
+
+TEST(LearnedSortConfigTest, SmallSampleStillCorrect) {
+  auto keys = data::GenLognormal(50'000, 53);
+  Xorshift128Plus rng(54);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.NextBounded(i)]);
+  }
+  auto expect = keys;
+  std::sort(expect.begin(), expect.end());
+  LearnedSortConfig config;
+  config.sample_size = 100;
+  config.elems_per_bucket = 4;
+  ASSERT_TRUE(LearnedSort(&keys, config).ok());
+  EXPECT_EQ(keys, expect);
+}
+
+}  // namespace
+}  // namespace li::sort
