@@ -119,8 +119,32 @@ void BM_RmiLowerBound(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(index.LowerBound(qs[i++ & 0xFFFF]));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RmiLowerBound)->Arg(10'000)->Arg(100'000);
+
+// Batched vs. single-key lookups (compare items_per_second against
+// BM_RmiLowerBound): the batch path software-pipelines route / predict /
+// search over 16-key blocks so neighboring cache misses overlap.
+void BM_RmiLookupBatch(benchmark::State& state) {
+  rmi::RmiConfig config;
+  config.num_leaf_models = static_cast<size_t>(state.range(0));
+  rmi::LinearRmi index;
+  if (!index.Build(Keys(), config).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  const auto& qs = Queries();
+  std::vector<size_t> out(qs.size());
+  for (auto _ : state) {
+    index.LookupBatch(qs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(qs.size()));
+}
+BENCHMARK(BM_RmiLookupBatch)->Arg(10'000)->Arg(100'000);
 
 void BM_BTreeFindPage(benchmark::State& state) {
   btree::ReadOnlyBTree tree;

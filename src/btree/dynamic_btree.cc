@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "search/search.h"
+
 namespace li::btree {
 
 struct BTreeMap::Node {
@@ -30,31 +32,15 @@ namespace {
 /// First index in keys[0..count) with keys[i] >= key.
 template <typename K>
 int LowerIdx(const K* keys, int count, K key) {
-  int lo = 0, hi = count;
-  while (lo < hi) {
-    const int mid = (lo + hi) / 2;
-    if (keys[mid] < key) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+  return static_cast<int>(
+      search::BinarySearch(keys, 0, static_cast<size_t>(count), key));
 }
 
 /// First index with keys[i] > key (child selector for inner nodes).
 template <typename K>
 int UpperIdx(const K* keys, int count, K key) {
-  int lo = 0, hi = count;
-  while (lo < hi) {
-    const int mid = (lo + hi) / 2;
-    if (key < keys[mid]) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
+  return static_cast<int>(
+      search::UpperBound(keys, 0, static_cast<size_t>(count), key));
 }
 
 }  // namespace
@@ -74,7 +60,8 @@ BTreeMap::BTreeMap(BTreeMap&& other) noexcept
     : root_(other.root_),
       size_(other.size_),
       height_(other.height_),
-      allocated_bytes_(other.allocated_bytes_) {
+      allocated_bytes_(other.allocated_bytes_),
+      built_keys_(other.built_keys_) {
   other.root_ = nullptr;
   other.size_ = 0;
 }
@@ -86,8 +73,34 @@ BTreeMap& BTreeMap::operator=(BTreeMap&& other) noexcept {
     size_ = std::exchange(other.size_, 0);
     height_ = other.height_;
     allocated_bytes_ = other.allocated_bytes_;
+    built_keys_ = other.built_keys_;
   }
   return *this;
+}
+
+Status BTreeMap::Build(std::span<const Key> keys, const BuildConfig&) {
+  if (!std::is_sorted(keys.begin(), keys.end())) {
+    return Status::InvalidArgument("BTreeMap: keys must be sorted");
+  }
+  *this = BTreeMap();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    // Skip duplicates so the stored value is the *first* position —
+    // lower_bound semantics.
+    if (i == 0 || keys[i] != keys[i - 1]) {
+      Insert(keys[i], static_cast<Value>(i));
+    }
+  }
+  built_keys_ = keys.size();
+  return Status::OK();
+}
+
+size_t BTreeMap::Lookup(Key key) const {
+  const Iterator it = LowerBound(key);
+  // Clamp so a post-Build Insert (which stores user values, not
+  // positions) can stretch the answer but never yield a malformed
+  // Approx window; see the Build() contract note.
+  return it.Valid() ? std::min(static_cast<size_t>(it.value()), built_keys_)
+                    : built_keys_;
 }
 
 void BTreeMap::FreeRec(Node* node) {

@@ -12,6 +12,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
+
+#include "common/status.h"
+#include "index/approx.h"
 
 namespace li::btree {
 
@@ -23,12 +27,24 @@ class BTreeMap {
   using Key = uint64_t;
   using Value = uint64_t;
 
+  /// RangeIndex contract: Build takes no knobs (node caps are compile-time).
+  struct BuildConfig {};
+  using key_type = Key;
+  using config_type = BuildConfig;
+
   BTreeMap();
   ~BTreeMap();
   BTreeMap(const BTreeMap&) = delete;
   BTreeMap& operator=(const BTreeMap&) = delete;
   BTreeMap(BTreeMap&& other) noexcept;
   BTreeMap& operator=(BTreeMap&& other) noexcept;
+
+  /// RangeIndex-contract bulk build: resets the map and inserts every key
+  /// with its array position as value, so Lookup answers lower_bound over
+  /// `keys` like the static indexes do. Inserting after Build invalidates
+  /// the RangeIndex view (Lookup/ApproxPos describe the Build snapshot
+  /// only); the map API (Insert/Find/iterators) remains fully usable.
+  Status Build(std::span<const Key> keys, const BuildConfig& config);
 
   /// Inserts or overwrites.
   void Insert(Key key, Value value);
@@ -52,6 +68,15 @@ class BTreeMap {
   Iterator LowerBound(Key key) const;
   Iterator Begin() const;
 
+  /// lower_bound position over the Build() key array (built_keys_ if the
+  /// key is above everything). Only meaningful after Build().
+  size_t Lookup(Key key) const;
+
+  /// Dynamic trees answer exactly, so the window is a single slot.
+  index::Approx ApproxPos(Key key) const {
+    return index::Approx::Exact(Lookup(key), built_keys_);
+  }
+
   size_t size() const { return size_; }
   size_t height() const { return height_; }
   size_t SizeBytes() const { return allocated_bytes_; }
@@ -74,6 +99,7 @@ class BTreeMap {
   size_t size_ = 0;
   size_t height_ = 1;
   size_t allocated_bytes_ = 0;
+  size_t built_keys_ = 0;  // length of the array passed to Build()
 };
 
 }  // namespace li::btree

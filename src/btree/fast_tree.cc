@@ -61,8 +61,8 @@ Status FastTree::Build(std::span<const uint64_t> keys) {
   return Status::OK();
 }
 
-size_t FastTree::LowerBound(uint64_t key) const {
-  if (data_.empty()) return 0;
+index::Approx FastTree::ApproxPos(uint64_t key) const {
+  if (data_.empty()) return index::Approx{};
   size_t node = 0;
   for (size_t l = 0; l < levels_.size(); ++l) {
     const uint64_t* base = levels_[l].data() + node * kNodeKeys;
@@ -71,11 +71,19 @@ size_t FastTree::LowerBound(uint64_t key) const {
     const size_t entry = node * kNodeKeys + (cnt == 0 ? 0 : cnt - 1);
     node = std::min(entry, level_entries_[l] - 1);
   }
-  // `node` is now the 16-key data block; branch-free scan inside it.
+  // `node` is the 16-key data block the descent chose.
   const size_t begin = node * kNodeKeys;
-  const size_t len = std::min(kNodeKeys, data_.size() - begin);
-  const size_t off = search::BranchFreeScan(data_.data() + begin, len, key);
-  return begin + off;
+  const size_t end = begin + std::min(kNodeKeys, data_.size() - begin);
+  return index::Approx{begin, begin, end};
+}
+
+size_t FastTree::LowerBound(uint64_t key) const {
+  if (data_.empty()) return 0;
+  const index::Approx a = ApproxPos(key);
+  // Branch-free scan inside the selected block.
+  const size_t off =
+      search::BranchFreeScan(data_.data() + a.lo, a.hi - a.lo, key);
+  return a.lo + off;
 }
 
 size_t FastTree::SizeBytes() const { return allocated_bytes_; }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/approx.h"
 
 namespace li::btree {
 
@@ -26,13 +27,28 @@ class FastTree {
  public:
   static constexpr size_t kNodeKeys = 16;  // one SIMD block of 16 keys
 
+  /// RangeIndex contract: FAST has no build knobs (16-key nodes are the
+  /// SIMD width).
+  struct BuildConfig {};
+  using key_type = uint64_t;
+  using config_type = BuildConfig;
+
   FastTree() = default;
 
   /// Builds over sorted `keys`. The caller owns the data array.
   Status Build(std::span<const uint64_t> keys);
 
+  Status Build(std::span<const uint64_t> keys, const BuildConfig&) {
+    return Build(keys);
+  }
+
+  /// The SIMD descent picks the 16-key data block; that block is the window.
+  index::Approx ApproxPos(uint64_t key) const;
+
   /// lower_bound over the data array.
   size_t LowerBound(uint64_t key) const;
+
+  size_t Lookup(uint64_t key) const { return LowerBound(key); }
 
   /// Allocated bytes including power-of-2 padding (the honest FAST cost).
   size_t SizeBytes() const;

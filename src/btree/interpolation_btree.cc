@@ -34,8 +34,8 @@ Status InterpolationBTree::Build(std::span<const uint64_t> keys,
   return Status::OK();
 }
 
-size_t InterpolationBTree::LowerBound(uint64_t key) const {
-  if (data_.empty()) return 0;
+index::Approx InterpolationBTree::ApproxPos(uint64_t key) const {
+  if (data_.empty()) return index::Approx{};
   // Level 0: interpolation over the top separators.
   size_t t = search::InterpolationSearch(top_.data(), 0, top_.size(), key);
   // Convert lower_bound to "last separator <= key".
@@ -47,10 +47,16 @@ size_t InterpolationBTree::LowerBound(uint64_t key) const {
   size_t s = search::InterpolationSearch(index_.data(), ibegin, iend, key);
   if (s == iend || index_[s] > key) s = (s == ibegin) ? ibegin : s - 1;
 
-  // Level 2: interpolation within the data page.
   const size_t begin = s * page_;
   const size_t end = std::min(begin + page_, data_.size());
-  return search::InterpolationSearch(data_.data(), begin, end, key);
+  return index::Approx{begin, begin, end};
+}
+
+size_t InterpolationBTree::LowerBound(uint64_t key) const {
+  if (data_.empty()) return 0;
+  // Level 2: interpolation within the data page picked by the descent.
+  const index::Approx a = ApproxPos(key);
+  return search::InterpolationSearch(data_.data(), a.lo, a.hi, key);
 }
 
 size_t InterpolationBTree::SizeBytes() const {

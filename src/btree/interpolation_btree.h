@@ -18,18 +18,36 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/approx.h"
 
 namespace li::btree {
 
+struct InterpolationBTreeConfig {
+  size_t budget_bytes = 1'500'000;  // the Figure-5 "similar to our model" size
+};
+
 class InterpolationBTree {
  public:
+  using key_type = uint64_t;
+  using config_type = InterpolationBTreeConfig;
+
   InterpolationBTree() = default;
 
   /// Builds over sorted `keys`, sizing the index to at most `budget_bytes`.
   Status Build(std::span<const uint64_t> keys, size_t budget_bytes);
 
+  Status Build(std::span<const uint64_t> keys,
+               const InterpolationBTreeConfig& config) {
+    return Build(keys, config.budget_bytes);
+  }
+
+  /// Two interpolated descents pick the data page; that page is the window.
+  index::Approx ApproxPos(uint64_t key) const;
+
   /// lower_bound over the data array.
   size_t LowerBound(uint64_t key) const;
+
+  size_t Lookup(uint64_t key) const { return LowerBound(key); }
 
   size_t SizeBytes() const;
   size_t page_size() const { return page_; }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/approx.h"
 
 namespace li::btree {
 
@@ -22,13 +23,29 @@ class LookupTable {
  public:
   static constexpr size_t kStride = 64;
 
+  /// RangeIndex contract: the 64-entry stride is fixed by the AVX width.
+  struct BuildConfig {};
+  using key_type = uint64_t;
+  using config_type = BuildConfig;
+
   LookupTable() = default;
 
   /// Builds both tables over sorted `keys` (caller owns the array).
   Status Build(std::span<const uint64_t> keys);
 
+  Status Build(std::span<const uint64_t> keys, const BuildConfig&) {
+    return Build(keys);
+  }
+
   /// lower_bound over the data array.
   size_t LowerBound(uint64_t key) const;
+
+  size_t Lookup(uint64_t key) const { return LowerBound(key); }
+
+  /// The table resolves lookups exactly; the window is one slot.
+  index::Approx ApproxPos(uint64_t key) const {
+    return index::Approx::Exact(LowerBound(key), data_.size());
+  }
 
   size_t SizeBytes() const {
     return (second_.size() + top_.size()) * sizeof(uint64_t);

@@ -69,6 +69,13 @@ size_t ReadOnlyBTree::LowerBound(uint64_t key) const {
   return pos;
 }
 
+index::Approx ReadOnlyBTree::ApproxPos(uint64_t key) const {
+  if (data_.empty()) return index::Approx{};
+  const size_t begin = FindPage(key) * fanout_;
+  const size_t end = std::min(begin + fanout_, data_.size());
+  return index::Approx{begin, begin, end};
+}
+
 size_t ReadOnlyBTree::SizeBytes() const {
   size_t bytes = 0;
   for (const auto& level : levels_) bytes += level.size() * sizeof(uint64_t);

@@ -19,11 +19,19 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/approx.h"
 
 namespace li::btree {
 
+struct ReadOnlyBTreeConfig {
+  size_t keys_per_page = 64;  // the paper's "page size" knob {32..512}
+};
+
 class ReadOnlyBTree {
  public:
+  using key_type = uint64_t;
+  using config_type = ReadOnlyBTreeConfig;
+
   ReadOnlyBTree() = default;
 
   /// Builds the tree over `keys` (must be sorted ascending). `keys_per_page`
@@ -31,8 +39,19 @@ class ReadOnlyBTree {
   /// to the data; the caller owns it and must keep it alive.
   Status Build(std::span<const uint64_t> keys, size_t keys_per_page);
 
+  Status Build(std::span<const uint64_t> keys,
+               const ReadOnlyBTreeConfig& config) {
+    return Build(keys, config.keys_per_page);
+  }
+
+  /// The B-Tree as a model (§2): traversal "predicts" the data page, so
+  /// the window is that page and the worst-case error is the page size.
+  index::Approx ApproxPos(uint64_t key) const;
+
   /// Index of the first key >= `key` (lower_bound); keys.size() if none.
   size_t LowerBound(uint64_t key) const;
+
+  size_t Lookup(uint64_t key) const { return LowerBound(key); }
 
   /// Descends the inner levels only, returning the data page index —
   /// isolates "model execution time" (B-Tree traversal) from the final

@@ -13,13 +13,26 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/approx.h"
 #include "search/search.h"
 
 namespace li::btree {
 
+struct StringBTreeConfig {
+  size_t keys_per_page = 32;
+};
+
 class StringBTree {
  public:
+  using key_type = std::string;
+  using config_type = StringBTreeConfig;
+
   StringBTree() = default;
+
+  Status Build(std::span<const std::string> keys,
+               const StringBTreeConfig& config) {
+    return Build(keys, config.keys_per_page);
+  }
 
   Status Build(std::span<const std::string> keys, size_t keys_per_page) {
     if (keys_per_page < 2) {
@@ -59,13 +72,21 @@ class StringBTree {
     return node;
   }
 
+  /// The traversal-chosen page as the contract window.
+  index::Approx ApproxPos(const std::string& key) const {
+    if (data_.empty()) return index::Approx{};
+    const size_t begin = FindPage(key) * fanout_;
+    const size_t end = std::min(begin + fanout_, data_.size());
+    return index::Approx{begin, begin, end};
+  }
+
   size_t LowerBound(const std::string& key) const {
     if (data_.empty()) return 0;
-    const size_t page = FindPage(key);
-    const size_t begin = page * fanout_;
-    const size_t end = std::min(begin + fanout_, data_.size());
-    return search::BinarySearch(data_.data(), begin, end, key);
+    const index::Approx a = ApproxPos(key);
+    return search::BinarySearch(data_.data(), a.lo, a.hi, key);
   }
+
+  size_t Lookup(const std::string& key) const { return LowerBound(key); }
 
   size_t SizeBytes() const {
     size_t bytes = 0;

@@ -1,0 +1,103 @@
+// Type-erased RangeIndex — the runtime face of the contract.
+//
+// The LIF synthesizer (§3.1) grid-searches over heterogeneous candidate
+// types (RMIs with different top models, B-Tree variants); benches and
+// servers want to hold "whichever index won" without threading template
+// parameters everywhere. AnyRangeIndexOf<Key> erases any built RangeIndex
+// with that key type behind one virtual hop per lookup. Build() is *not*
+// erased — config types differ per index, so candidates are built
+// concretely and then moved in.
+
+#ifndef LI_INDEX_ANY_RANGE_INDEX_H_
+#define LI_INDEX_ANY_RANGE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "index/approx.h"
+#include "index/range_index.h"
+
+namespace li::index {
+
+template <typename Key>
+class AnyRangeIndexOf {
+ public:
+  using key_type = Key;
+
+  AnyRangeIndexOf() = default;
+
+  /// Wraps a built index by move (or copy, for copyable index types).
+  template <typename I>
+    requires RangeIndex<std::remove_cvref_t<I>> &&
+             std::same_as<typename std::remove_cvref_t<I>::key_type, Key> &&
+             (!std::same_as<std::remove_cvref_t<I>, AnyRangeIndexOf>)
+  explicit AnyRangeIndexOf(I&& impl)
+      : impl_(std::make_unique<Holder<std::remove_cvref_t<I>>>(
+            std::forward<I>(impl))) {}
+
+  AnyRangeIndexOf(AnyRangeIndexOf&&) noexcept = default;
+  AnyRangeIndexOf& operator=(AnyRangeIndexOf&&) noexcept = default;
+
+  /// True when no index has been wrapped yet; lookups then answer 0 like
+  /// an index built over an empty key array.
+  bool empty() const { return impl_ == nullptr; }
+
+  Approx ApproxPos(const Key& key) const {
+    return impl_ ? impl_->ApproxPos(key) : Approx{};
+  }
+  size_t Lookup(const Key& key) const {
+    return impl_ ? impl_->Lookup(key) : 0;
+  }
+  /// Alias kept so erased indexes drop into existing lower_bound call sites.
+  size_t LowerBound(const Key& key) const { return Lookup(key); }
+  size_t SizeBytes() const { return impl_ ? impl_->SizeBytes() : 0; }
+
+  void LookupBatch(std::span<const Key> keys, std::span<size_t> out) const {
+    if (impl_ != nullptr) {
+      impl_->LookupBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < out.size(); ++i) out[i] = 0;
+    }
+  }
+
+ private:
+  struct Iface {
+    virtual ~Iface() = default;
+    virtual Approx ApproxPos(const Key& key) const = 0;
+    virtual size_t Lookup(const Key& key) const = 0;
+    virtual size_t SizeBytes() const = 0;
+    virtual void LookupBatch(std::span<const Key> keys,
+                             std::span<size_t> out) const = 0;
+  };
+
+  template <typename I>
+  struct Holder final : Iface {
+    template <typename U>
+    explicit Holder(U&& v) : impl(std::forward<U>(v)) {}
+
+    Approx ApproxPos(const Key& key) const override {
+      return impl.ApproxPos(key);
+    }
+    size_t Lookup(const Key& key) const override { return impl.Lookup(key); }
+    size_t SizeBytes() const override { return impl.SizeBytes(); }
+    void LookupBatch(std::span<const Key> keys,
+                     std::span<size_t> out) const override {
+      index::LookupBatch(impl, keys, out);
+    }
+
+    I impl;
+  };
+
+  std::unique_ptr<const Iface> impl_;
+};
+
+/// The common case: integer-keyed indexes, as in Figures 4/5.
+using AnyRangeIndex = AnyRangeIndexOf<uint64_t>;
+
+}  // namespace li::index
+
+#endif  // LI_INDEX_ANY_RANGE_INDEX_H_

@@ -1,0 +1,48 @@
+// The library-wide lookup contract, part 1: the `Approx` bound.
+//
+// The paper's central observation (§2, §3.4) is that *any* model — learned
+// or classic — plus worst-case error bounds yields a B-Tree-grade range
+// index: a B-Tree "predicts" the page holding a key with error = page
+// size; an RMI predicts a position with per-leaf min/max error. `Approx`
+// is that common currency. Every RangeIndex implementation returns one
+// from ApproxPos(key), and every last-mile search strategy consumes one
+// (search::FindInWindow), so indexes and search strategies compose freely
+// — the seam the LIF synthesizer (§3.1) enumerates over.
+
+#ifndef LI_INDEX_APPROX_H_
+#define LI_INDEX_APPROX_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace li::index {
+
+/// A position estimate with its worst-case search window.
+///
+/// Invariant, for an index built over n keys: lo <= pos <= hi <= n.
+/// Exact structures answering a key above every stored key return
+/// pos == n, so consumers that dereference data[pos] must clamp first.
+/// For any *stored* key, the true lower_bound position lies in [lo, hi).
+/// For absent keys under a non-monotonic model the window may miss; full
+/// lookups recover with the §3.4 boundary fix-up (exponential search).
+struct Approx {
+  size_t pos = 0;  // clamped best position estimate
+  size_t lo = 0;   // inclusive window start
+  size_t hi = 0;   // exclusive window end
+
+  /// Window width — the paper's "error" a lookup must search through.
+  size_t Width() const { return hi - lo; }
+
+  /// True iff position `p` falls inside the window.
+  bool Contains(size_t p) const { return lo <= p && p < hi; }
+
+  /// The zero-error window of an exact structure (B-Tree leaf hit,
+  /// hash-resolved slot): pos is the answer, the window is one slot.
+  static Approx Exact(size_t pos, size_t n) {
+    return Approx{pos, pos, std::min(pos + 1, n)};
+  }
+};
+
+}  // namespace li::index
+
+#endif  // LI_INDEX_APPROX_H_

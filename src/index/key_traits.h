@@ -1,0 +1,51 @@
+// KeyTraits: the one mapping Key -> double that makes the RMI core
+// key-generic. Models in this library regress position against a single
+// real-valued feature (§3.2); KeyTraits supplies that feature for every
+// supported key type so `RmiIndex<uint64_t>`, `RmiIndex<double>` and
+// `RmiIndex<std::string>` share one implementation. The mapping only needs
+// to be *approximately* monotonic: correctness comes from the §3.4 error
+// bounds computed at build time plus the boundary fix-up, both of which
+// are agnostic to how good the feature is.
+
+#ifndef LI_INDEX_KEY_TRAITS_H_
+#define LI_INDEX_KEY_TRAITS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace li::index {
+
+/// Primary template: any arithmetic key is its own feature.
+template <typename Key>
+struct KeyTraits {
+  static_assert(std::is_arithmetic_v<Key>,
+                "KeyTraits: specialize for non-arithmetic key types");
+
+  static double ToDouble(Key key) { return static_cast<double>(key); }
+  static const char* Name() { return "arithmetic"; }
+};
+
+/// Strings: pack the first 8 bytes big-endian, so lexicographic order maps
+/// to numeric order up to 8-byte-prefix ties (ties collapse to one feature
+/// value; the resulting prediction error is absorbed into the leaf error
+/// bounds like any other model error). This is the cheap scalar cousin of
+/// the §3.5 tokenized feature vector used by StringRmi's neural top model.
+template <>
+struct KeyTraits<std::string> {
+  static double ToDouble(const std::string& key) {
+    uint64_t packed = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      const uint64_t byte =
+          i < key.size() ? static_cast<unsigned char>(key[i]) : 0;
+      packed = (packed << 8) | byte;
+    }
+    return static_cast<double>(packed);
+  }
+  static const char* Name() { return "string-prefix8"; }
+};
+
+}  // namespace li::index
+
+#endif  // LI_INDEX_KEY_TRAITS_H_

@@ -1,0 +1,75 @@
+// The library-wide lookup contract, part 2: the `RangeIndex` concept.
+//
+// Everything that answers range lookups over a sorted key array — the RMI
+// family, the four B-Tree variants, the lookup table — satisfies one
+// interface:
+//
+//   typename I::key_type / I::config_type
+//   Build(span<const key_type>, const config_type&) -> Status
+//   ApproxPos(key) -> Approx      (model/traversal only, no final search)
+//   Lookup(key)    -> size_t      (full lower_bound over the data array)
+//   SizeBytes()    -> size_t      (index overhead, excluding the data)
+//
+// This is what lets the LIF synthesizer (§3.1) enumerate candidates
+// uniformly (via AnyRangeIndex), the benches compare backends, and the
+// conformance test drive every implementation through the same checks.
+//
+// `LookupBatch` amortizes per-key overhead on the hot path: indexes with a
+// native batched implementation (the RMI core software-pipelines routing,
+// prediction and search so cache misses overlap) are dispatched to it;
+// everything else falls back to a per-key loop.
+
+#ifndef LI_INDEX_RANGE_INDEX_H_
+#define LI_INDEX_RANGE_INDEX_H_
+
+#include <algorithm>
+#include <concepts>
+#include <cstddef>
+#include <span>
+
+#include "common/status.h"
+#include "index/approx.h"
+
+namespace li::index {
+
+template <typename I>
+concept RangeIndex =
+    std::movable<I> &&
+    requires(I& mut, const I& idx,
+             std::span<const typename I::key_type> keys,
+             const typename I::config_type& config,
+             const typename I::key_type& key) {
+      typename I::key_type;
+      typename I::config_type;
+      { mut.Build(keys, config) } -> std::same_as<Status>;
+      { idx.ApproxPos(key) } -> std::same_as<Approx>;
+      { idx.Lookup(key) } -> std::same_as<size_t>;
+      { idx.SizeBytes() } -> std::same_as<size_t>;
+    };
+
+/// True when the index ships its own batched lookup (e.g. the RMI core).
+template <typename I>
+concept HasNativeLookupBatch =
+    requires(const I& idx, std::span<const typename I::key_type> keys,
+             std::span<size_t> out) {
+      { idx.LookupBatch(keys, out) };
+    };
+
+/// Batched lookup entry point: `out[i] = idx.Lookup(keys[i])` for all i,
+/// routed through the index's native batch path when it has one.
+/// Mismatched span lengths clamp to the shorter one (the same convention
+/// native implementations follow), so no out-of-bounds write is possible.
+template <RangeIndex I>
+void LookupBatch(const I& idx, std::span<const typename I::key_type> keys,
+                 std::span<size_t> out) {
+  if constexpr (HasNativeLookupBatch<I>) {
+    idx.LookupBatch(keys, out);
+  } else {
+    const size_t n = std::min(keys.size(), out.size());
+    for (size_t i = 0; i < n; ++i) out[i] = idx.Lookup(keys[i]);
+  }
+}
+
+}  // namespace li::index
+
+#endif  // LI_INDEX_RANGE_INDEX_H_

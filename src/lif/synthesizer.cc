@@ -43,12 +43,15 @@ Status SynthesizedIndex::Synthesize(std::span<const uint64_t> keys,
   double best_ns = std::numeric_limits<double>::infinity();
   bool found = false;
 
+  // Candidates are built concretely (Build is config-specific), then
+  // type-erased into the uniform contract — the §3.1 "generate different
+  // index configurations ... test them automatically" seam.
   auto consider = [&](auto&& idx, const CandidateReport& report) {
     reports_.push_back(report);
     if (!report.within_budget) return;
     if (report.lookup_ns < best_ns) {
       best_ns = report.lookup_ns;
-      index_ = std::move(idx);
+      winner_ = index::AnyRangeIndex(std::move(idx));
       description_ = report.description;
       found = true;
     }

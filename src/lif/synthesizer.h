@@ -15,10 +15,10 @@
 #include <limits>
 #include <span>
 #include <string>
-#include <variant>
 #include <vector>
 
 #include "common/status.h"
+#include "index/any_range_index.h"
 #include "rmi/rmi.h"
 
 namespace li::lif {
@@ -47,22 +47,23 @@ struct CandidateReport {
   bool within_budget = true;
 };
 
-/// Type-erased synthesized index: holds whichever Rmi<TopModel> won.
+/// The synthesized index: whichever candidate won the grid search, held
+/// through the type-erased index::AnyRangeIndex so LIF can enumerate any
+/// RangeIndex implementation — not just RMIs — without changing this API.
 class SynthesizedIndex {
  public:
-  using Variant = std::variant<rmi::Rmi<models::LinearModel>,
-                               rmi::Rmi<models::MultivariateModel>,
-                               rmi::Rmi<models::NeuralNet>>;
-
   SynthesizedIndex() = default;
 
-  size_t LowerBound(uint64_t key) const {
-    return std::visit([key](const auto& idx) { return idx.LowerBound(key); },
-                      index_);
+  size_t Lookup(uint64_t key) const { return winner_.Lookup(key); }
+  size_t LowerBound(uint64_t key) const { return winner_.Lookup(key); }
+  index::Approx ApproxPos(uint64_t key) const {
+    return winner_.ApproxPos(key);
   }
-  size_t SizeBytes() const {
-    return std::visit([](const auto& idx) { return idx.SizeBytes(); }, index_);
+  void LookupBatch(std::span<const uint64_t> keys,
+                   std::span<size_t> out) const {
+    winner_.LookupBatch(keys, out);
   }
+  size_t SizeBytes() const { return winner_.SizeBytes(); }
   const std::string& description() const { return description_; }
   const std::vector<CandidateReport>& reports() const { return reports_; }
 
@@ -70,7 +71,7 @@ class SynthesizedIndex {
   Status Synthesize(std::span<const uint64_t> keys, const SynthesisSpec& spec);
 
  private:
-  Variant index_;
+  index::AnyRangeIndex winner_;
   std::string description_;
   std::vector<CandidateReport> reports_;
 };

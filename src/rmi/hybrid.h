@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "btree/readonly_btree.h"
+#include "index/approx.h"
 #include "rmi/rmi.h"
 
 namespace li::rmi {
@@ -28,6 +29,9 @@ struct HybridConfig {
 template <typename TopModel>
 class HybridRmi {
  public:
+  using key_type = uint64_t;
+  using config_type = HybridConfig;
+
   Status Build(std::span<const uint64_t> keys, const HybridConfig& config) {
     config_ = config;
     data_ = keys;
@@ -71,21 +75,23 @@ class HybridRmi {
     return Status::OK();
   }
 
-  size_t LowerBound(uint64_t key) const {
+  /// Model-only window: the underlying RMI's error-bound window, which is
+  /// valid for stored keys whether or not the routed leaf was replaced by
+  /// a B-Tree (bounds are computed before the swap).
+  index::Approx ApproxPos(uint64_t key) const { return rmi_.ApproxPos(key); }
+
+  size_t Lookup(uint64_t key) const {
     if (data_.empty()) return 0;
     const auto p = rmi_.Predict(key);
     const uint32_t bt = leaf_to_btree_[p.leaf];
-    size_t pos;
     if (bt == kNoBTree) {
-      pos = search::BiasedBinarySearch(data_.data(), p.lo, p.hi, key, p.pos);
-      if (LI_UNLIKELY((pos == p.lo && p.lo > 0) ||
-                      (pos == p.hi && p.hi < data_.size()))) {
-        pos = search::ExponentialSearch(data_.data(), data_.size(), key, pos);
-      }
-      return pos;
+      return search::FindInWindow(config_.rmi.strategy, data_.data(),
+                                  data_.size(), key,
+                                  index::Approx{p.pos, p.lo, p.hi},
+                                  static_cast<size_t>(p.std_err) + 1);
     }
     const BTreeLeaf& bl = btree_leaves_[bt];
-    pos = bl.begin + bl.tree->LowerBound(key);
+    size_t pos = bl.begin + bl.tree->LowerBound(key);
     // Boundary fix-up at the span edges, same escape hatch as the RMI.
     if (LI_UNLIKELY((pos == bl.begin && bl.begin > 0) ||
                     (pos == bl.end && bl.end < data_.size()))) {
@@ -94,8 +100,10 @@ class HybridRmi {
     return pos;
   }
 
+  size_t LowerBound(uint64_t key) const { return Lookup(key); }
+
   bool Contains(uint64_t key) const {
-    const size_t pos = LowerBound(key);
+    const size_t pos = Lookup(key);
     return pos < data_.size() && data_[pos] == key;
   }
 

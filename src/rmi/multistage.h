@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/approx.h"
 #include "models/linear.h"
 #include "search/search.h"
 
@@ -32,6 +33,9 @@ struct MultiStageConfig {
 
 class MultiStageRmi {
  public:
+  using key_type = uint64_t;
+  using config_type = MultiStageConfig;
+
   MultiStageRmi() = default;
 
   Status Build(std::span<const uint64_t> keys, const MultiStageConfig& config) {
@@ -130,8 +134,9 @@ class MultiStageRmi {
     return Status::OK();
   }
 
-  size_t LowerBound(uint64_t key) const {
-    if (data_.empty()) return 0;
+  /// Descends all stages and returns the final-stage window.
+  index::Approx ApproxPos(uint64_t key) const {
+    if (data_.empty()) return index::Approx{};
     const double x = static_cast<double>(key);
     uint32_t j = Route(top_.Predict(x), config_.stage_sizes[0]);
     for (size_t s = 0; s + 1 < stages_.size(); ++s) {
@@ -146,15 +151,18 @@ class MultiStageRmi {
     const size_t hi = std::min(
         data_.size(),
         pos + static_cast<size_t>(std::max(band.max_err, int32_t{0})) + 1);
-    size_t result = search::BiasedBinarySearch(
-        data_.data(), std::min(lo, data_.size()), hi, key, pos);
-    if (LI_UNLIKELY((result == lo && lo > 0) ||
-                    (result == hi && hi < data_.size()))) {
-      result = search::ExponentialSearch(data_.data(), data_.size(), key,
-                                         result);
-    }
-    return result;
+    const size_t lo_c = std::min(lo, data_.size());
+    // One-sided error bands can put the raw estimate outside its window.
+    return index::Approx{std::clamp(pos, lo_c, hi), lo_c, hi};
   }
+
+  size_t Lookup(uint64_t key) const {
+    if (data_.empty()) return 0;
+    return search::FindInWindow(config_.strategy, data_.data(), data_.size(),
+                                key, ApproxPos(key));
+  }
+
+  size_t LowerBound(uint64_t key) const { return Lookup(key); }
 
   size_t SizeBytes() const {
     size_t bytes = top_.SizeBytes();

@@ -10,14 +10,28 @@
 #include <span>
 #include <vector>
 
+#include "index/approx.h"
 #include "models/quantized.h"
 #include "rmi/rmi.h"
 
 namespace li::rmi {
 
+struct QuantizedRmiConfig {
+  RmiConfig rmi;
+  models::QuantLevel level = models::QuantLevel::kFloat32;
+};
+
 class QuantizedRmi {
  public:
+  using key_type = uint64_t;
+  using config_type = QuantizedRmiConfig;
+
   QuantizedRmi() = default;
+
+  Status Build(std::span<const uint64_t> keys,
+               const QuantizedRmiConfig& config) {
+    return Build(keys, config.rmi, config.level);
+  }
 
   Status Build(std::span<const uint64_t> keys, const RmiConfig& config,
                models::QuantLevel level) {
@@ -52,10 +66,12 @@ class QuantizedRmi {
     return table_.Encode(refs, level);
   }
 
-  size_t LowerBound(uint64_t key) const {
-    if (data_.empty()) return 0;
+  /// Prediction through the quantized leaf table, with the drift-widened
+  /// error window (top routing stays unquantized).
+  index::Approx ApproxPos(uint64_t key) const {
+    if (data_.empty()) return index::Approx{};
     const double x = static_cast<double>(key);
-    const uint32_t j = rmi_.Predict(key).leaf;  // top routing is unquantized
+    const uint32_t j = rmi_.Predict(key).leaf;
     const double raw = table_.Predict(j, x);
     size_t pos = 0;
     if (raw > 0.0) {
@@ -68,15 +84,18 @@ class QuantizedRmi {
                           : pos + min_e;
     const size_t hi = std::min(
         data_.size(), pos + static_cast<size_t>(std::max(max_e, 0)) + 1);
-    size_t result = search::BiasedBinarySearch(
-        data_.data(), std::min(lo, data_.size()), hi, key, pos);
-    if (LI_UNLIKELY((result == lo && lo > 0) ||
-                    (result == hi && hi < data_.size()))) {
-      result = search::ExponentialSearch(data_.data(), data_.size(), key,
-                                         result);
-    }
-    return result;
+    const size_t lo_c = std::min(lo, data_.size());
+    // One-sided error bands can put the raw estimate outside its window.
+    return index::Approx{std::clamp(pos, lo_c, hi), lo_c, hi};
   }
+
+  size_t Lookup(uint64_t key) const {
+    if (data_.empty()) return 0;
+    return search::FindInWindow(rmi_.config().strategy, data_.data(),
+                                data_.size(), key, ApproxPos(key));
+  }
+
+  size_t LowerBound(uint64_t key) const { return Lookup(key); }
 
   /// Top model + quantized leaf table bytes.
   size_t SizeBytes() const {

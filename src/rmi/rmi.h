@@ -14,6 +14,12 @@
 // Training is stage-wise per Algorithm 1: fit the top model on all
 // (key, position) pairs, route every key by the top prediction, fit each
 // leaf on its routed subset, then record min/max/std error per leaf.
+//
+// The core is generic over the key type: index::KeyTraits<Key> maps each
+// key to the real-valued feature the models regress on, so uint64_t,
+// double and string keys share this one implementation, and the class
+// satisfies the index::RangeIndex contract (ApproxPos / Lookup /
+// SizeBytes) that the LIF synthesizer and benches enumerate over.
 
 #ifndef LI_RMI_RMI_H_
 #define LI_RMI_RMI_H_
@@ -24,7 +30,10 @@
 #include <span>
 #include <vector>
 
+#include "common/bits.h"
 #include "common/status.h"
+#include "index/approx.h"
+#include "index/key_traits.h"
 #include "models/linear.h"
 #include "models/model.h"
 #include "rmi/trainers.h"
@@ -50,13 +59,17 @@ struct Leaf {
   float std_err = 0.0f;
 };
 
-template <typename TopModel>
-class Rmi {
+template <typename Key, typename TopModel>
+class RmiIndex {
  public:
-  Rmi() = default;
+  using key_type = Key;
+  using config_type = RmiConfig;
+  using Traits = index::KeyTraits<Key>;
+
+  RmiIndex() = default;
 
   /// Builds over sorted, strictly-increasing `keys` (caller owns the data).
-  Status Build(std::span<const uint64_t> keys, const RmiConfig& config) {
+  Status Build(std::span<const Key> keys, const RmiConfig& config) {
     if (config.num_leaf_models == 0) {
       return Status::InvalidArgument("Rmi: need at least one leaf model");
     }
@@ -75,7 +88,7 @@ class Rmi {
     const double stride = static_cast<double>(n) / static_cast<double>(top_n);
     for (size_t i = 0; i < top_n; ++i) {
       const size_t idx = static_cast<size_t>(i * stride);
-      xs.push_back(static_cast<double>(keys[idx]));
+      xs.push_back(Traits::ToDouble(keys[idx]));
       ys.push_back(static_cast<double>(idx));
     }
     LI_RETURN_IF_ERROR(TrainModel(&top_, xs, ys, config.train));
@@ -85,7 +98,7 @@ class Rmi {
     std::vector<uint32_t> leaf_of(n);
     std::vector<uint32_t> counts(m, 0);
     for (size_t i = 0; i < n; ++i) {
-      const uint32_t leaf = RouteFromTop(static_cast<double>(keys[i]));
+      const uint32_t leaf = RouteFromTop(Traits::ToDouble(keys[i]));
       leaf_of[i] = leaf;
       ++counts[leaf];
     }
@@ -114,7 +127,7 @@ class Rmi {
       lx.reserve(end - begin);
       ly.reserve(end - begin);
       for (uint32_t r = begin; r < end; ++r) {
-        lx.push_back(static_cast<double>(keys[routed[r]]));
+        lx.push_back(Traits::ToDouble(keys[routed[r]]));
         ly.push_back(static_cast<double>(routed[r]));
       }
       LI_RETURN_IF_ERROR(leaf.model.Fit(lx, ly));
@@ -150,68 +163,82 @@ class Rmi {
   /// The pure model-execution path (what Figure 4's "Model (ns)" column
   /// times): two model evaluations, no search.
   struct Prediction {
-    size_t pos;   // clamped position estimate
-    size_t lo;    // inclusive search window start
-    size_t hi;    // exclusive search window end
-    uint32_t leaf;
-    float std_err;
+    size_t pos = 0;   // clamped position estimate
+    size_t lo = 0;    // inclusive search window start
+    size_t hi = 0;    // exclusive search window end
+    uint32_t leaf = 0;
+    float std_err = 0.0f;
   };
 
-  Prediction Predict(uint64_t key) const {
-    const double x = static_cast<double>(key);
-    const uint32_t j = RouteFromTop(x);
-    const Leaf& leaf = leaves_[j];
-    const size_t pos = ClampPos(leaf.model.Predict(x));
-    const size_t lo =
-        leaf.min_err < 0 && pos < static_cast<size_t>(-leaf.min_err)
-            ? 0
-            : pos + leaf.min_err;
-    const size_t hi =
-        std::min(data_.size(), pos + static_cast<size_t>(std::max(
-                                         leaf.max_err, int32_t{0})) + 1);
-    return Prediction{pos, std::min(lo, data_.size()), hi, j, leaf.std_err};
+  Prediction Predict(const Key& key) const {
+    if (data_.empty()) return Prediction{};
+    const double x = Traits::ToDouble(key);
+    return PredictAtLeaf(RouteFromTop(x), x);
+  }
+
+  /// The contract's model-only entry point: prediction plus worst-case
+  /// window, as an index::Approx. The raw estimate is clamped into the
+  /// window: a leaf whose model under/over-shoots every routed key has a
+  /// one-sided error band (e.g. min_err > 0), putting the unclamped
+  /// prediction outside its own bound.
+  index::Approx ApproxPos(const Key& key) const {
+    const Prediction p = Predict(key);
+    return index::Approx{std::clamp(p.pos, p.lo, p.hi), p.lo, p.hi};
   }
 
   /// Full lookup: model + bounded search + boundary fix-up. Returns
   /// lower_bound semantics over the data array for *any* key.
-  size_t LowerBound(uint64_t key) const {
+  size_t Lookup(const Key& key) const {
     if (data_.empty()) return 0;
     const Prediction p = Predict(key);
-    size_t pos;
-    switch (config_.strategy) {
-      case search::Strategy::kBinary:
-        pos = search::BinarySearch(data_.data(), p.lo, p.hi, key);
-        break;
-      case search::Strategy::kBiasedBinary:
-        pos = search::BiasedBinarySearch(data_.data(), p.lo, p.hi, key, p.pos);
-        break;
-      case search::Strategy::kBiasedQuaternary:
-        pos = search::BiasedQuaternarySearch(
-            data_.data(), p.lo, p.hi, key, p.pos,
-            static_cast<size_t>(p.std_err) + 1);
-        break;
-      case search::Strategy::kExponential:
-        // Window-free: gallops from the prediction (needs no stored error).
-        return search::ExponentialSearch(data_.data(), data_.size(), key,
-                                         p.pos);
-      case search::Strategy::kInterpolation:
-        pos = search::InterpolationSearch(data_.data(), p.lo, p.hi, key);
-        break;
-      default:
-        pos = search::BinarySearch(data_.data(), p.lo, p.hi, key);
+    return search::FindInWindow(config_.strategy, data_.data(), data_.size(),
+                                key, index::Approx{p.pos, p.lo, p.hi},
+                                static_cast<size_t>(p.std_err) + 1);
+  }
+
+  /// Historical name; identical to Lookup.
+  size_t LowerBound(const Key& key) const { return Lookup(key); }
+
+  /// Batched lookup: software-pipelines the three phases (route, predict,
+  /// search) over a block of keys so the leaf-table and data-array cache
+  /// misses of neighboring keys overlap instead of serializing — the
+  /// hot-path amortization the single-key path cannot do.
+  void LookupBatch(std::span<const Key> keys, std::span<size_t> out) const {
+    const size_t n = std::min(keys.size(), out.size());
+    if (data_.empty()) {
+      for (size_t i = 0; i < n; ++i) out[i] = 0;
+      return;
     }
-    // §3.4 adjustment: if the result sits on the window boundary the true
-    // answer may lie outside (absent key + non-monotonic model); gallop.
-    if (LI_UNLIKELY((pos == p.lo && p.lo > 0) ||
-                    (pos == p.hi && p.hi < data_.size()))) {
-      return search::ExponentialSearch(data_.data(), data_.size(), key, pos);
+    constexpr size_t kBlock = 16;
+    double xs[kBlock];
+    uint32_t leaf[kBlock];
+    Prediction preds[kBlock];
+    for (size_t base = 0; base < n; base += kBlock) {
+      const size_t b = std::min(kBlock, n - base);
+      // Phase 1: top-model routing; prefetch each leaf entry.
+      for (size_t k = 0; k < b; ++k) {
+        xs[k] = Traits::ToDouble(keys[base + k]);
+        leaf[k] = RouteFromTop(xs[k]);
+        PrefetchRead(&leaves_[leaf[k]]);
+      }
+      // Phase 2: leaf predictions; prefetch the predicted data positions.
+      for (size_t k = 0; k < b; ++k) {
+        preds[k] = PredictAtLeaf(leaf[k], xs[k]);
+        PrefetchRead(&data_[preds[k].pos]);
+      }
+      // Phase 3: bounded search per key.
+      for (size_t k = 0; k < b; ++k) {
+        out[base + k] = search::FindInWindow(
+            config_.strategy, data_.data(), data_.size(), keys[base + k],
+            index::Approx{preds[k].pos, preds[k].lo, preds[k].hi},
+            static_cast<size_t>(preds[k].std_err) + 1);
+      }
     }
-    return pos;
   }
 
   /// True iff `key` is present in the data.
-  bool Contains(uint64_t key) const {
-    const size_t pos = LowerBound(key);
+  bool Contains(const Key& key) const {
+    const size_t pos = Lookup(key);
     return pos < data_.size() && data_[pos] == key;
   }
 
@@ -223,7 +250,7 @@ class Rmi {
 
   const TopModel& top() const { return top_; }
   std::span<const Leaf> leaves() const { return leaves_; }
-  std::span<const uint64_t> data() const { return data_; }
+  std::span<const Key> data() const { return data_; }
   const RmiConfig& config() const { return config_; }
 
   /// Worst |error| across leaves — the hybrid-threshold diagnostic.
@@ -254,6 +281,19 @@ class Rmi {
     return static_cast<uint32_t>(std::min(j, leaves_.size() - 1));
   }
 
+  Prediction PredictAtLeaf(uint32_t j, double x) const {
+    const Leaf& leaf = leaves_[j];
+    const size_t pos = ClampPos(leaf.model.Predict(x));
+    const size_t lo =
+        leaf.min_err < 0 && pos < static_cast<size_t>(-leaf.min_err)
+            ? 0
+            : pos + leaf.min_err;
+    const size_t hi =
+        std::min(data_.size(), pos + static_cast<size_t>(std::max(
+                                         leaf.max_err, int32_t{0})) + 1);
+    return Prediction{pos, std::min(lo, data_.size()), hi, j, leaf.std_err};
+  }
+
   size_t ClampPos(double pred) const {
     // Round to nearest: truncation would bias half of all predictions one
     // position low, which alone costs ~25% extra hash conflicts (§4.2).
@@ -262,16 +302,24 @@ class Rmi {
     return std::min(p, data_.size() - 1);
   }
 
-  std::span<const uint64_t> data_;
+  std::span<const Key> data_;
   RmiConfig config_;
   TopModel top_;
   std::vector<Leaf> leaves_;
 };
 
+/// The paper's evaluated configuration: integer keys (Figure 4/5).
+template <typename TopModel>
+using Rmi = RmiIndex<uint64_t, TopModel>;
+
 /// The Figure-4 configuration: NN or linear top with linear leaves.
 using LinearRmi = Rmi<models::LinearModel>;
 using MultivariateRmi = Rmi<models::MultivariateModel>;
 using NeuralRmi = Rmi<models::NeuralNet>;
+
+/// Key-generic instantiations: same core, different KeyTraits.
+using DoubleRmi = RmiIndex<double, models::LinearModel>;
+using PrefixStringRmi = RmiIndex<std::string, models::LinearModel>;
 
 }  // namespace li::rmi
 

@@ -154,6 +154,7 @@ Status StringRmi::Build(std::span<const std::string> keys,
 }
 
 StringRmi::Prediction StringRmi::Predict(const std::string& key) const {
+  if (data_.empty()) return Prediction{0, 0, 0, 0, 0.0f, false};
   double buf[models::NeuralNet::kMaxWidth];
   tokenizer_.Tokenize(key, buf);
   const uint32_t j = Route(buf);
@@ -172,36 +173,21 @@ StringRmi::Prediction StringRmi::Predict(const std::string& key) const {
                     leaf.std_err, leaf_to_btree_[j] != kNoBTree};
 }
 
-size_t StringRmi::LowerBound(const std::string& key) const {
+size_t StringRmi::Lookup(const std::string& key) const {
   if (data_.empty()) return 0;
   const Prediction p = Predict(key);
-  size_t pos;
   if (p.is_btree_leaf) {
     const BTreeLeaf& bl = btree_leaves_[leaf_to_btree_[p.leaf]];
-    pos = bl.begin + bl.tree->LowerBound(key);
+    size_t pos = bl.begin + bl.tree->LowerBound(key);
     if (LI_UNLIKELY((pos == bl.begin && bl.begin > 0) ||
                     (pos == bl.end && bl.end < data_.size()))) {
       pos = search::ExponentialSearch(data_.data(), data_.size(), key, pos);
     }
     return pos;
   }
-  switch (config_.strategy) {
-    case search::Strategy::kBiasedQuaternary:
-      pos = search::BiasedQuaternarySearch(data_.data(), p.lo, p.hi, key,
-                                           p.pos,
-                                           static_cast<size_t>(p.std_err) + 1);
-      break;
-    case search::Strategy::kBinary:
-      pos = search::BinarySearch(data_.data(), p.lo, p.hi, key);
-      break;
-    default:
-      pos = search::BiasedBinarySearch(data_.data(), p.lo, p.hi, key, p.pos);
-  }
-  if (LI_UNLIKELY((pos == p.lo && p.lo > 0) ||
-                  (pos == p.hi && p.hi < data_.size()))) {
-    pos = search::ExponentialSearch(data_.data(), data_.size(), key, pos);
-  }
-  return pos;
+  return search::FindInWindow(config_.strategy, data_.data(), data_.size(),
+                              key, index::Approx{p.pos, p.lo, p.hi},
+                              static_cast<size_t>(p.std_err) + 1);
 }
 
 size_t StringRmi::SizeBytes() const {

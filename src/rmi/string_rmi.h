@@ -10,6 +10,7 @@
 #ifndef LI_RMI_STRING_RMI_H_
 #define LI_RMI_STRING_RMI_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -18,6 +19,7 @@
 
 #include "btree/string_btree.h"
 #include "common/status.h"
+#include "index/approx.h"
 #include "models/nn.h"
 #include "models/tokenizer.h"
 #include "models/vec_linear.h"
@@ -39,6 +41,9 @@ struct StringRmiConfig {
 
 class StringRmi {
  public:
+  using key_type = std::string;
+  using config_type = StringRmiConfig;
+
   StringRmi() = default;
 
   /// Builds over sorted `keys`; the caller owns the vector.
@@ -55,11 +60,20 @@ class StringRmi {
   /// Model execution only (tokenize + top NN + leaf linear).
   Prediction Predict(const std::string& key) const;
 
+  /// Contract view of Predict: the error-bound window, with the raw
+  /// estimate clamped in (one-sided error bands can exclude it).
+  index::Approx ApproxPos(const std::string& key) const {
+    const Prediction p = Predict(key);
+    return index::Approx{std::clamp(p.pos, p.lo, p.hi), p.lo, p.hi};
+  }
+
   /// Full lookup with bounded search + boundary fix-up.
-  size_t LowerBound(const std::string& key) const;
+  size_t Lookup(const std::string& key) const;
+
+  size_t LowerBound(const std::string& key) const { return Lookup(key); }
 
   bool Contains(const std::string& key) const {
-    const size_t pos = LowerBound(key);
+    const size_t pos = Lookup(key);
     return pos < data_.size() && data_[pos] == key;
   }
 

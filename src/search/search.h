@@ -26,8 +26,10 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "common/bits.h"
+#include "index/approx.h"
 
 namespace li::search {
 
@@ -229,6 +231,49 @@ inline const char* StrategyName(Strategy s) {
     case Strategy::kInterpolation: return "interpolation";
   }
   return "?";
+}
+
+/// Strategy dispatch over an `Approx` window — the shared last mile of
+/// every learned lookup. Runs the selected bounded search inside
+/// [a.lo, a.hi) and applies the §3.4 boundary fix-up: a result pinned to a
+/// window edge (with data beyond it) means the true answer may lie outside
+/// the bound (absent key + non-monotonic model), so gallop from there.
+/// `n` is the full data size; `sigma` seeds the quaternary split width.
+/// Interpolation needs arithmetic keys and degrades to binary otherwise.
+/// Width-1 windows hit the fix-up even on exact predictions; that costs
+/// only O(1) compares (the gallop brackets immediately from a correct
+/// position) and is what keeps degenerate windows — empty-leaf constant
+/// models with zero recorded error — correct for absent keys.
+template <typename T>
+size_t FindInWindow(Strategy strategy, const T* data, size_t n, const T& key,
+                    const index::Approx& a, size_t sigma = 1) {
+  size_t pos;
+  switch (strategy) {
+    case Strategy::kBiasedBinary:
+      pos = BiasedBinarySearch(data, a.lo, a.hi, key, a.pos);
+      break;
+    case Strategy::kBiasedQuaternary:
+      pos = BiasedQuaternarySearch(data, a.lo, a.hi, key, a.pos, sigma);
+      break;
+    case Strategy::kExponential:
+      // Window-free: gallops from the prediction, no fix-up needed.
+      return ExponentialSearch(data, n, key, a.pos);
+    case Strategy::kInterpolation:
+      if constexpr (std::is_arithmetic_v<T>) {
+        pos = InterpolationSearch(data, a.lo, a.hi, key);
+      } else {
+        pos = BinarySearch(data, a.lo, a.hi, key);
+      }
+      break;
+    case Strategy::kBinary:
+    default:
+      pos = BinarySearch(data, a.lo, a.hi, key);
+      break;
+  }
+  if (LI_UNLIKELY((pos == a.lo && a.lo > 0) || (pos == a.hi && a.hi < n))) {
+    return ExponentialSearch(data, n, key, pos);
+  }
+  return pos;
 }
 
 }  // namespace li::search
