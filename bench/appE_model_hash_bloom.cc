@@ -69,7 +69,7 @@ int main() {
         snprintf(r, sizeof(r), "%.2fx",
                  learned.SizeBytes() / 1e6 / plain_mb);
         snprintf(tf, sizeof(tf), "%.2f%%",
-                 100.0 * learned.EmpiricalFpr(test_neg));
+                 100.0 * learned.MeasuredFpr(test_neg));
         table.AddRow({"classifier + overflow (5.1.1)", ps, "-", s, r, tf});
       }
     }
@@ -87,7 +87,7 @@ int main() {
                static_cast<unsigned long long>(mh.bitmap_bits()));
       snprintf(s, sizeof(s), "%.3f", mh.SizeBytes() / 1e6);
       snprintf(r, sizeof(r), "%.2fx", mh.SizeBytes() / 1e6 / plain_mb);
-      snprintf(tf, sizeof(tf), "%.2f%%", 100.0 * mh.EmpiricalFpr(test_neg));
+      snprintf(tf, sizeof(tf), "%.2f%%", 100.0 * mh.MeasuredFpr(test_neg));
       table.AddRow({"model-hash sandwich (5.1.2)", ps, ms, s, r, tf});
     }
   }

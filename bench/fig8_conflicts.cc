@@ -1,7 +1,9 @@
 // Figure 8: reduction of hash conflicts — learned CDF hash (2-stage RMI,
 // 100k second-stage linear models, no hidden layers) vs a MurmurHash3-like
 // random hash, table sized at one slot per record, over the three integer
-// datasets.
+// datasets. Both families are built through the contract-wide
+// hash::PointHash, the same config the point-index maps and the LIF
+// synthesizer consume.
 
 #include <cstdio>
 #include <vector>
@@ -23,14 +25,19 @@ int main() {
                           data::DatasetKind::kLognormal}) {
     const std::vector<uint64_t> keys = data::Generate(kind, n);
 
-    hash::RandomHash random_fn(keys.size(), 7);
+    hash::HashConfig random_cfg;
+    random_cfg.kind = hash::HashKind::kRandom;
+    random_cfg.seed = 7;
+    hash::PointHash random_fn;
+    if (!random_fn.Build(keys, keys.size(), random_cfg).ok()) continue;
     const double random_rate =
         hash::ConflictRate(keys, random_fn, keys.size());
 
-    hash::LearnedHash<models::LinearModel> learned_fn;
-    rmi::RmiConfig config;
-    config.num_leaf_models = std::min<size_t>(100'000, keys.size() / 10);
-    if (!learned_fn.Build(keys, keys.size(), config).ok()) continue;
+    hash::HashConfig learned_cfg;
+    learned_cfg.kind = hash::HashKind::kLearnedCdf;
+    learned_cfg.cdf_leaf_models = std::min<size_t>(100'000, keys.size() / 10);
+    hash::PointHash learned_fn;
+    if (!learned_fn.Build(keys, keys.size(), learned_cfg).ok()) continue;
     const double model_rate =
         hash::ConflictRate(keys, learned_fn, keys.size());
 

@@ -1,15 +1,27 @@
 // google-benchmark microbenchmarks for the primitive operations the paper
 // reasons about in §2.1/§3.1: model inference kernels (linear,
 // multivariate, NNs of increasing width), B-Tree page descents, the search
-// strategies, and hash functions. These are the "30 ns-class model
+// strategies, hash functions, and the point-index probe paths (single-key
+// vs software-pipelined FindBatch). These are the "30 ns-class model
 // execution" numbers.
+//
+// Set BENCH_MICRO_JSON=<path> (or =1 for ./BENCH_micro.json) to also emit
+// a machine-readable {"benchmarks": [{name, ns_per_op, items_per_second}]}
+// file, so the perf trajectory accumulates across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "btree/readonly_btree.h"
 #include "data/datasets.h"
+#include "hash/chained_hash_map.h"
+#include "hash/cuckoo_map.h"
 #include "hash/hash_fn.h"
 #include "models/linear.h"
 #include "models/multivariate.h"
@@ -195,22 +207,225 @@ void BM_MurmurHash(benchmark::State& state) {
 }
 BENCHMARK(BM_MurmurHash);
 
+// Shared fixtures build once and return nullptr on failure so one broken
+// build skips its benchmarks instead of killing the whole process.
+const hash::LearnedHash<models::LinearModel>* BuiltLearnedHash() {
+  static const auto* h =
+      []() -> const hash::LearnedHash<models::LinearModel>* {
+    auto fn = std::make_unique<hash::LearnedHash<models::LinearModel>>();
+    rmi::RmiConfig config;
+    config.num_leaf_models = 100'000;
+    if (!fn->Build(Keys(), Keys().size(), config).ok()) return nullptr;
+    return fn.release();
+  }();
+  return h;
+}
+
+// The shipped path: fixed-point multiplicative rescale of the CDF
+// position (multiply + shift per lookup).
 void BM_LearnedHash(benchmark::State& state) {
-  hash::LearnedHash<models::LinearModel> h;
-  rmi::RmiConfig config;
-  config.num_leaf_models = 100'000;
-  if (!h.Build(Keys(), Keys().size(), config).ok()) {
+  const auto* h = BuiltLearnedHash();
+  if (h == nullptr) {
     state.SkipWithError("build failed");
     return;
   }
   size_t i = 0;
   const auto& qs = Queries();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(h(qs[i++ & 0xFFFF]));
+    benchmark::DoNotOptimize((*h)(qs[i++ & 0xFFFF]));
   }
 }
 BENCHMARK(BM_LearnedHash);
 
+// The pre-optimization reference: per-lookup 128-bit division
+// ((pos * M) / N). Compare against BM_LearnedHash for the rescale delta.
+void BM_LearnedHashDivision(benchmark::State& state) {
+  const auto* h = BuiltLearnedHash();
+  if (h == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h->SlotViaDivision(qs[i++ & 0xFFFF]));
+  }
+}
+BENCHMARK(BM_LearnedHashDivision);
+
+// ---- Point-index probe paths: single-key Find vs pipelined FindBatch ----
+
+const std::vector<hash::Record>& MapRecords() {
+  static const std::vector<hash::Record> records = [] {
+    std::vector<hash::Record> r;
+    r.reserve(Keys().size());
+    for (size_t i = 0; i < Keys().size(); ++i) {
+      r.push_back({Keys()[i], i, 0});
+    }
+    return r;
+  }();
+  return records;
+}
+
+const hash::ChainedHashMap* BuiltChainedMap() {
+  static const auto* map = []() -> const hash::ChainedHashMap* {
+    auto m = std::make_unique<hash::ChainedHashMap>();
+    hash::ChainedHashMapConfig config;
+    config.hash.kind = hash::HashKind::kRandom;
+    config.hash.seed = 3;
+    if (!m->Build(MapRecords(), config).ok()) return nullptr;
+    return m.release();
+  }();
+  return map;
+}
+
+void BM_ChainedMapFind(benchmark::State& state) {
+  const auto* map = BuiltChainedMap();
+  if (map == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map->Find(qs[i++ & 0xFFFF]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChainedMapFind);
+
+// Compare items_per_second against BM_ChainedMapFind: per 16-key block,
+// hashes + prefetches every home slot before probing, so neighboring
+// cache misses overlap (acceptance bar: >= 1.2x the single-key path).
+void BM_ChainedMapFindBatch(benchmark::State& state) {
+  const auto* map = BuiltChainedMap();
+  if (map == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  const auto& qs = Queries();
+  std::vector<const hash::Record*> out(qs.size());
+  for (auto _ : state) {
+    map->FindBatch(qs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(qs.size()));
+}
+BENCHMARK(BM_ChainedMapFindBatch);
+
+const hash::CuckooMap<hash::Record>* BuiltCuckooMap() {
+  static const auto* map = []() -> const hash::CuckooMap<hash::Record>* {
+    auto m = std::make_unique<hash::CuckooMap<hash::Record>>();
+    hash::CuckooMapConfig config;
+    config.load_factor = 0.95;
+    if (!m->Build(MapRecords(), config).ok()) return nullptr;
+    return m.release();
+  }();
+  return map;
+}
+
+void BM_CuckooMapFind(benchmark::State& state) {
+  const auto* map = BuiltCuckooMap();
+  if (map == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  size_t i = 0;
+  const auto& qs = Queries();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map->Find(qs[i++ & 0xFFFF]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooMapFind);
+
+void BM_CuckooMapFindBatch(benchmark::State& state) {
+  const auto* map = BuiltCuckooMap();
+  if (map == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  const auto& qs = Queries();
+  std::vector<const hash::Record*> out(qs.size());
+  for (auto _ : state) {
+    map->FindBatch(qs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(qs.size()));
+}
+BENCHMARK(BM_CuckooMapFindBatch);
+
+// ---- optional machine-readable output (BENCH_micro.json) ----
+
+// Console output stays the default; when BENCH_MICRO_JSON is set, every
+// per-iteration result is also collected as {name, ns_per_op,
+// items_per_second} and written as one JSON document on exit.
+class JsonEmittingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.ns_per_op = run.GetAdjustedRealTime();  // default unit: ns
+      const auto it = run.counters.find("items_per_second");
+      e.items_per_second =
+          it != run.counters.end() ? static_cast<double>(it->second) : 0.0;
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const char* path) const {
+    FILE* f = fopen(path, "w");
+    if (f == nullptr) return false;
+    fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      fprintf(f,
+              "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+              "\"items_per_second\": %.1f}%s\n",
+              e.name.c_str(), e.ns_per_op, e.items_per_second,
+              i + 1 < entries_.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* json_env = getenv("BENCH_MICRO_JSON");
+  if (json_env == nullptr) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    const char* path = (*json_env == '\0' || strcmp(json_env, "1") == 0)
+                           ? "BENCH_micro.json"
+                           : json_env;
+    JsonEmittingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (reporter.WriteJson(path)) {
+      fprintf(stderr, "wrote %s\n", path);
+    } else {
+      fprintf(stderr, "failed to write %s\n", path);
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

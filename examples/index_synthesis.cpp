@@ -2,22 +2,49 @@
 // *synthesizer* — hand it a key set and a size budget, get back the fastest
 // index configuration found by grid search, with the full candidate sweep
 // printed the way LIF "generates different index configurations, optimizes
-// them, and tests them automatically".
+// them, and tests them automatically". Covers all three index classes of
+// the paper: range (§3), point (§4), and existence (§5).
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "data/datasets.h"
+#include "data/strings.h"
 #include "lif/measure.h"
 #include "lif/synthesizer.h"
 
+using namespace li;
+
+namespace {
+
+void PrintReports(const std::vector<lif::CandidateReport>& reports,
+                  bool with_fpr) {
+  lif::Table table({"candidate", "size MB", "lookup ns",
+                    with_fpr ? "meas. FPR" : "model ns", "fits budget"});
+  for (const auto& r : reports) {
+    char size_mb[32], lookup[32], extra[32];
+    snprintf(size_mb, sizeof(size_mb), "%.3f", r.size_bytes / 1e6);
+    snprintf(lookup, sizeof(lookup), "%.0f", r.lookup_ns);
+    if (with_fpr) {
+      snprintf(extra, sizeof(extra), "%.2f%%", 100.0 * r.fpr);
+    } else {
+      snprintf(extra, sizeof(extra), "%.0f", r.model_ns);
+    }
+    table.AddRow({r.description, size_mb, lookup, extra,
+                  r.within_budget ? "yes" : "no"});
+  }
+  table.Print();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace li;
   const size_t n =
       (argc > 1 ? static_cast<size_t>(atol(argv[1])) : 1) * 1'000'000;
   const double budget_mb = argc > 2 ? atof(argv[2]) : 4.0;
 
-  printf("== LIF index synthesis ==\n");
+  // ---- Range index (§3): fastest LowerBound within the size budget ----
+  printf("== LIF range-index synthesis ==\n");
   const std::vector<uint64_t> keys = data::GenWeblog(n);
   printf("dataset: %zu weblog timestamps, size budget %.1f MB\n", n,
          budget_mb);
@@ -32,29 +59,67 @@ int main(int argc, char** argv) {
     fprintf(stderr, "synthesis failed: %s\n", s.ToString().c_str());
     return 1;
   }
-
-  lif::Table table({"candidate", "size MB", "lookup ns", "model ns",
-                    "max |err|", "fits budget"});
-  for (const auto& r : index.reports()) {
-    char size_mb[32], lookup[32], model[32], err[32];
-    snprintf(size_mb, sizeof(size_mb), "%.2f", r.size_bytes / 1e6);
-    snprintf(lookup, sizeof(lookup), "%.0f", r.lookup_ns);
-    snprintf(model, sizeof(model), "%.0f", r.model_ns);
-    snprintf(err, sizeof(err), "%lld", static_cast<long long>(r.max_abs_err));
-    table.AddRow({r.description, size_mb, lookup, model, err,
-                  r.within_budget ? "yes" : "no"});
-  }
-  table.Print();
-  printf("\nwinner: %s (%.2f MB)\n", index.description().c_str(),
+  PrintReports(index.reports(), /*with_fpr=*/false);
+  printf("winner: %s (%.2f MB)\n\n", index.description().c_str(),
          index.SizeBytes() / 1e6);
 
-  // The synthesized index is immediately usable.
   const auto queries = data::SampleKeys(keys, 10'000);
   size_t hits = 0;
   for (const uint64_t q : queries) {
     const size_t pos = index.LowerBound(q);
     hits += pos < keys.size() && keys[pos] == q;
   }
-  printf("verified %zu/%zu sampled lookups\n", hits, queries.size());
+  printf("verified %zu/%zu sampled range lookups\n\n", hits, queries.size());
+
+  // ---- Point index (§4): hash family x slot sweep x map family ----
+  printf("== LIF point-index synthesis ==\n");
+  std::vector<hash::Record> records;
+  records.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    records.push_back({keys[i], i, 0});
+  }
+  lif::PointSynthesisSpec pspec;
+  pspec.eval_queries = 10'000;
+  lif::SynthesizedPointIndex pindex;
+  if (const Status s = pindex.Synthesize(records, pspec); !s.ok()) {
+    fprintf(stderr, "point synthesis failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  PrintReports(pindex.reports(), /*with_fpr=*/false);
+  printf("winner: %s (%.2f MB incl. records)\n", pindex.description().c_str(),
+         pindex.SizeBytes() / 1e6);
+  hits = 0;
+  for (const uint64_t q : queries) hits += pindex.Find(q) != nullptr;
+  printf("verified %zu/%zu sampled point lookups\n\n", hits, queries.size());
+
+  // ---- Existence index (§5): smallest filter meeting the target FPR ----
+  printf("== LIF existence-index synthesis ==\n");
+  const size_t num_urls = 20'000;
+  data::UrlCorpus corpus = data::GenUrls(num_urls, num_urls);
+  const size_t third = corpus.random_negatives.size() / 3;
+  const std::vector<std::string> train_neg(
+      corpus.random_negatives.begin(), corpus.random_negatives.begin() + third);
+  const std::vector<std::string> valid_neg(
+      corpus.random_negatives.begin() + third,
+      corpus.random_negatives.begin() + 2 * third);
+  const std::vector<std::string> test_neg(
+      corpus.random_negatives.begin() + 2 * third,
+      corpus.random_negatives.end());
+  lif::ExistenceSynthesisSpec espec;
+  espec.target_fpr = 0.01;
+  lif::SynthesizedExistenceIndex eindex;
+  if (const Status s = eindex.Synthesize(corpus.keys, train_neg, valid_neg,
+                                         test_neg, espec);
+      !s.ok()) {
+    fprintf(stderr, "existence synthesis failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  PrintReports(eindex.reports(), /*with_fpr=*/true);
+  printf("winner: %s (%.3f MB, measured FPR %.2f%%)\n",
+         eindex.description().c_str(), eindex.SizeBytes() / 1e6,
+         100.0 * eindex.MeasuredFpr(test_neg));
+  size_t misses = 0;
+  for (const auto& k : corpus.keys) misses += !eindex.MightContain(k);
+  printf("false negatives: %zu (must be 0)\n", misses);
   return 0;
 }

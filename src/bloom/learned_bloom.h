@@ -9,7 +9,9 @@
 //    MightContain(key) is always true for keys.
 //
 // Templated on the classifier (GruClassifier, NgramLogistic, ...), which
-// must provide `double Predict(std::string_view)` and `SizeBytes()`.
+// must provide `double Predict(std::string_view)` and `SizeBytes()`. The
+// classifier is held by pointer and must outlive the filter. Satisfies
+// the index::ExistenceIndex contract.
 
 #ifndef LI_BLOOM_LEARNED_BLOOM_H_
 #define LI_BLOOM_LEARNED_BLOOM_H_
@@ -22,6 +24,7 @@
 
 #include "bloom/bloom_filter.h"
 #include "common/status.h"
+#include "index/existence_index.h"
 
 namespace li::bloom {
 
@@ -84,16 +87,14 @@ class LearnedBloomFilter {
   /// Figure-9(c): model first; below-threshold queries fall through to the
   /// overflow filter. Never false-negative for inserted keys.
   bool MightContain(std::string_view key) const {
+    if (classifier_ == nullptr) return false;  // never built: empty set
     if (classifier_->Predict(key) >= tau_) return true;
     return has_overflow_ && overflow_.MightContain(key);
   }
 
-  /// Measured FPR over a test set of non-keys.
-  double EmpiricalFpr(std::span<const std::string> test_non_keys) const {
-    if (test_non_keys.empty()) return 0.0;
-    size_t fp = 0;
-    for (const auto& s : test_non_keys) fp += MightContain(s);
-    return static_cast<double>(fp) / static_cast<double>(test_non_keys.size());
+  /// Measured FPR over a test set of non-keys (the contract-wide metric).
+  double MeasuredFpr(std::span<const std::string> test_non_keys) const {
+    return index::MeasureFprOver(*this, test_non_keys);
   }
 
   double tau() const { return tau_; }

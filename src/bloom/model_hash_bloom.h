@@ -8,7 +8,8 @@
 // Bloom filter (over all keys) agrees; the overall FPR is
 // FPR_m x FPR_B, so the backup is sized for FPR_B = p* / FPR_m
 // (Appendix E). No false negatives: every key sets its bit and is in the
-// backup filter.
+// backup filter. Satisfies the index::ExistenceIndex contract; the
+// classifier is held by pointer and must outlive the filter.
 
 #ifndef LI_BLOOM_MODEL_HASH_BLOOM_H_
 #define LI_BLOOM_MODEL_HASH_BLOOM_H_
@@ -22,6 +23,7 @@
 
 #include "bloom/bloom_filter.h"
 #include "common/status.h"
+#include "index/existence_index.h"
 
 namespace li::bloom {
 
@@ -69,15 +71,14 @@ class ModelHashBloomFilter {
   }
 
   bool MightContain(std::string_view key) const {
+    if (classifier_ == nullptr) return false;  // never built: empty set
     if (!TestBit(Discretize(classifier_->Predict(key)))) return false;
     return backup_.MightContain(key);
   }
 
-  double EmpiricalFpr(std::span<const std::string> test_non_keys) const {
-    if (test_non_keys.empty()) return 0.0;
-    size_t fp = 0;
-    for (const auto& s : test_non_keys) fp += MightContain(s);
-    return static_cast<double>(fp) / static_cast<double>(test_non_keys.size());
+  /// Measured FPR over a test set of non-keys (the contract-wide metric).
+  double MeasuredFpr(std::span<const std::string> test_non_keys) const {
+    return index::MeasureFprOver(*this, test_non_keys);
   }
 
   double fpr_m() const { return fpr_m_; }

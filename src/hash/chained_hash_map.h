@@ -5,53 +5,86 @@
 // "making it a 24Byte slot".
 //
 // The map is built once from a record set (the paper's experiments are
-// read-only); the slot count is a build parameter so the 75% / 100% / 125%
-// sweep of Figure 11 falls out directly. Reported size *includes* the
+// read-only) and satisfies the index::PointIndex contract: the slot count
+// and the hash family (random vs learned CDF) are build parameters, so the
+// 75% / 100% / 125% sweep of Figure 11 and the Figure-8 hash comparison
+// both fall out of one Build signature. Reported size *includes* the
 // record storage (the explicit accounting difference Appendix B notes).
 
 #ifndef LI_HASH_CHAINED_HASH_MAP_H_
 #define LI_HASH_CHAINED_HASH_MAP_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/bits.h"
 #include "common/status.h"
+#include "hash/hash_fn.h"
 #include "hash/record.h"
+#include "index/point_index.h"
 
 namespace li::hash {
 
-template <typename HashFn>
+struct ChainedHashMapConfig {
+  /// Primary slot count; 0 sizes the table at one slot per record.
+  uint64_t num_slots = 0;
+  HashConfig hash;
+};
+
 class ChainedHashMap {
  public:
+  using config_type = ChainedHashMapConfig;
+
   ChainedHashMap() = default;
 
-  /// Builds from `records`; `hash_fn` must map keys into
-  /// [0, num_slots). Duplicate keys keep the first record.
-  Status Build(std::span<const Record> records, uint64_t num_slots,
-               HashFn hash_fn) {
+  /// Builds from `records`. Duplicate keys keep the first record.
+  Status Build(std::span<const Record> records, const config_type& config) {
+    const uint64_t num_slots =
+        config.num_slots != 0 ? config.num_slots : records.size();
     if (num_slots == 0) {
-      return Status::InvalidArgument("ChainedHashMap: num_slots == 0");
+      return Status::InvalidArgument("ChainedHashMap: no slots (empty build)");
     }
-    hash_fn_ = std::move(hash_fn);
-    slots_.assign(num_slots, Slot{});
-    overflow_.clear();
-    num_records_ = 0;
-    for (const Record& r : records) {
-      Insert(r);
-    }
-    return Status::OK();
+    LI_RETURN_IF_ERROR(
+        BuildRecordHash(records, num_slots, config.hash, &hash_fn_));
+    return Populate(records, num_slots);
   }
 
-  /// Returns the record for `key`, or nullptr.
-  const Record* Find(uint64_t key) const {
-    const Slot* slot = &slots_[hash_fn_(key)];
-    if (!(slot->meta & kOccupied)) return nullptr;
-    while (true) {
-      if (slot->record.key == key) return &slot->record;
-      if (slot->next == kNull) return nullptr;
-      slot = &overflow_[slot->next - 1];
+  /// Fast-path Build for callers that already trained a hash over this
+  /// key set (the LIF slot sweep): copies `prebuilt` and re-aims it at
+  /// this table's slot count instead of training the CDF model again.
+  Status Build(std::span<const Record> records, const config_type& config,
+               const PointHash& prebuilt) {
+    const uint64_t num_slots =
+        config.num_slots != 0 ? config.num_slots : records.size();
+    if (num_slots == 0) {
+      return Status::InvalidArgument("ChainedHashMap: no slots (empty build)");
     }
+    hash_fn_ = prebuilt;
+    hash_fn_.Retarget(num_slots);
+    return Populate(records, num_slots);
+  }
+
+  /// Returns the record for `key`, or nullptr (including on a never-built
+  /// or empty map).
+  const Record* Find(uint64_t key) const {
+    if (slots_.empty()) return nullptr;
+    return FindFrom(&slots_[hash_fn_(key)], key);
+  }
+
+  /// Software-pipelined batch probe (hash + prefetch every home slot,
+  /// then chain walks) — see hash::PipelinedFindBatch.
+  void FindBatch(std::span<const uint64_t> keys,
+                 std::span<const Record*> out) const {
+    const size_t n = std::min(keys.size(), out.size());
+    if (slots_.empty()) {
+      for (size_t i = 0; i < n; ++i) out[i] = nullptr;
+      return;
+    }
+    PipelinedFindBatch(
+        keys, out, [&](uint64_t key) { return &slots_[hash_fn_(key)]; },
+        [&](const Slot* head, uint64_t key) { return FindFrom(head, key); });
   }
 
   /// Number of primary slots never filled — the "Empty Slots" / wasted
@@ -66,12 +99,38 @@ class ChainedHashMap {
   size_t num_records() const { return num_records_; }
   size_t overflow_size() const { return overflow_.size(); }
 
-  /// Total bytes including record storage (per Appendix B accounting).
+  /// Total bytes including record storage plus the hash function itself
+  /// (per Appendix B accounting: the learned model is part of the index).
   size_t SizeBytes() const {
-    return (slots_.size() + overflow_.size()) * sizeof(Slot);
+    return (slots_.size() + overflow_.size()) * sizeof(Slot) +
+           hash_fn_.SizeBytes();
   }
   /// Bytes wasted in never-used primary slots.
   size_t EmptySlotBytes() const { return EmptySlots() * sizeof(Slot); }
+
+  index::PointIndexStats Stats() const {
+    index::PointIndexStats stats;
+    stats.num_slots = slots_.size();
+    stats.empty_slots = EmptySlots();
+    stats.overflow = overflow_.size();
+    if (num_records_ > 0) {
+      // Every overflow entry at chain depth d costs d extra hops; summing
+      // per-chain arithmetic series over the chain-length histogram.
+      double total = 0.0;
+      for (const Slot& s : slots_) {
+        if (!(s.meta & kOccupied)) continue;
+        size_t len = 1;
+        const Slot* cursor = &s;
+        while (cursor->next != kNull) {
+          ++len;
+          cursor = &overflow_[cursor->next - 1];
+        }
+        total += static_cast<double>(len * (len + 1)) / 2.0;
+      }
+      stats.mean_probe = total / static_cast<double>(num_records_);
+    }
+    return stats;
+  }
 
  private:
   static constexpr uint32_t kNull = 0;
@@ -82,6 +141,25 @@ class ChainedHashMap {
     uint32_t meta = 0;   // bit 31: occupied; low bits mirror record.meta
     uint32_t next = kNull;  // 1-based index into overflow_
   };
+
+  Status Populate(std::span<const Record> records, uint64_t num_slots) {
+    slots_.assign(num_slots, Slot{});
+    overflow_.clear();
+    num_records_ = 0;
+    for (const Record& r : records) {
+      Insert(r);
+    }
+    return Status::OK();
+  }
+
+  const Record* FindFrom(const Slot* slot, uint64_t key) const {
+    if (!(slot->meta & kOccupied)) return nullptr;
+    while (true) {
+      if (slot->record.key == key) return &slot->record;
+      if (slot->next == kNull) return nullptr;
+      slot = &overflow_[slot->next - 1];
+    }
+  }
 
   void Insert(const Record& r) {
     Slot& head = slots_[hash_fn_(r.key)];
@@ -114,7 +192,7 @@ class ChainedHashMap {
     ++num_records_;
   }
 
-  HashFn hash_fn_{};
+  PointHash hash_fn_;
   std::vector<Slot> slots_;
   std::vector<Slot> overflow_;
   size_t num_records_ = 0;

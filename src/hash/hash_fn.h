@@ -7,14 +7,23 @@
 //    is a 2-stage RMI over the key CDF ("100k models on the 2nd stage and
 //    without any hidden layers", §4.2). If the model learned the empirical
 //    CDF perfectly, no conflicts would exist.
+//  * PointHash  — the config-selected union of the two, so the map
+//    families take the random-vs-learned choice as build configuration
+//    (the PointIndex contract) instead of a template parameter smuggled in
+//    by every caller.
 
 #ifndef LI_HASH_HASH_FN_H_
 #define LI_HASH_HASH_FN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <type_traits>
+#include <vector>
 
+#include "common/bits.h"
 #include "common/random.h"
+#include "hash/record.h"
 #include "rmi/rmi.h"
 
 namespace li::hash {
@@ -31,6 +40,10 @@ class RandomHash {
     return static_cast<uint64_t>(
         (static_cast<unsigned __int128>(h) * num_slots_) >> 64);
   }
+
+  /// Re-aims the hash at a new table size (the multiply-shift needs no
+  /// other state).
+  void Retarget(uint64_t num_slots) { num_slots_ = num_slots; }
 
   uint64_t num_slots() const { return num_slots_; }
   size_t SizeBytes() const { return 2 * sizeof(uint64_t); }
@@ -51,14 +64,35 @@ class LearnedHash {
   /// function itself does not touch the data afterwards.
   Status Build(std::span<const uint64_t> keys, uint64_t num_slots,
                const rmi::RmiConfig& config) {
-    num_slots_ = num_slots;
-    num_keys_ = keys.size();
+    num_keys_ = std::max<uint64_t>(1, keys.size());
+    Retarget(num_slots);
     return rmi_.Build(keys, config);
   }
 
+  /// Re-aims the hash at a new table size without retraining: the CDF
+  /// model depends only on the keys; num_slots enters through the rescale
+  /// factor alone. Used by the LIF slot sweep to train once per key set.
+  void Retarget(uint64_t num_slots) {
+    num_slots_ = num_slots;
+    // Fixed-point rescale factor: floor(M * 2^64 / N). The hot path then
+    // maps pos in [0, N) to [0, M) with a multiply + shift instead of the
+    // 128-bit division a naive (pos * M) / N would cost per lookup:
+    //   (pos * scale) >> 64 <= floor(pos * M / N) < M.
+    // The true product is < M * 2^64 < 2^128, so the mod-2^128 multiply
+    // is exact.
+    scale_ = (static_cast<unsigned __int128>(num_slots_) << 64) / num_keys_;
+  }
+
   uint64_t operator()(uint64_t key) const {
+    const size_t pos = rmi_.Predict(key).pos;  // pos in [0, N)
+    return static_cast<uint64_t>((scale_ * pos) >> 64);
+  }
+
+  /// The pre-optimization reference path (per-lookup 128-bit division);
+  /// kept so the microbenchmark can show the rescale delta and the tests
+  /// can bound the divergence (at most 1 slot, always in range).
+  uint64_t SlotViaDivision(uint64_t key) const {
     const size_t pos = rmi_.Predict(key).pos;
-    // pos is in [0, N); rescale to [0, M).
     return static_cast<uint64_t>(
         (static_cast<unsigned __int128>(pos) * num_slots_) / num_keys_);
   }
@@ -69,8 +103,124 @@ class LearnedHash {
  private:
   uint64_t num_slots_ = 1;
   uint64_t num_keys_ = 1;
+  unsigned __int128 scale_ = 0;
   rmi::Rmi<TopModel> rmi_;
 };
+
+/// Which hash-function family a point index builds with (§4.1 vs the
+/// MurmurHash3-like baseline).
+enum class HashKind {
+  kRandom,
+  kLearnedCdf,
+};
+
+/// The hash half of every point-index build config.
+struct HashConfig {
+  HashKind kind = HashKind::kRandom;
+  uint64_t seed = 0;
+  /// Second-stage model count for the learned CDF (§4.2's 100k). 0 picks
+  /// min(100'000, max(1, n/10)) from the key count, the benches' default.
+  size_t cdf_leaf_models = 0;
+};
+
+/// Config-selected hash function: random or learned CDF behind one call.
+/// The kind branch is perfectly predicted; the learned path dominates it
+/// by orders of magnitude (model execution), the random path by the mix.
+class PointHash {
+ public:
+  PointHash() = default;
+
+  /// `sorted_keys` is only read when kind == kLearnedCdf (CDF training)
+  /// and only during Build; it must be sorted ascending.
+  Status Build(std::span<const uint64_t> sorted_keys, uint64_t num_slots,
+               const HashConfig& config) {
+    kind_ = config.kind;
+    if (kind_ == HashKind::kRandom) {
+      random_ = RandomHash(num_slots, config.seed);
+      return Status::OK();
+    }
+    rmi::RmiConfig rc;
+    rc.num_leaf_models =
+        config.cdf_leaf_models != 0
+            ? config.cdf_leaf_models
+            : std::min<size_t>(100'000,
+                               std::max<size_t>(1, sorted_keys.size() / 10));
+    return learned_.Build(sorted_keys, num_slots, rc);
+  }
+
+  uint64_t operator()(uint64_t key) const {
+    return kind_ == HashKind::kLearnedCdf ? learned_(key) : random_(key);
+  }
+
+  /// Re-aims a built hash at a new table size without retraining the CDF
+  /// model — a copy + Retarget replaces a full Build when only the slot
+  /// count differs (the LIF slot sweep).
+  void Retarget(uint64_t num_slots) {
+    if (kind_ == HashKind::kLearnedCdf) {
+      learned_.Retarget(num_slots);
+    } else {
+      random_.Retarget(num_slots);
+    }
+  }
+
+  HashKind kind() const { return kind_; }
+  uint64_t num_slots() const {
+    return kind_ == HashKind::kLearnedCdf ? learned_.num_slots()
+                                          : random_.num_slots();
+  }
+  size_t SizeBytes() const {
+    return kind_ == HashKind::kLearnedCdf ? learned_.SizeBytes()
+                                          : random_.SizeBytes();
+  }
+
+ private:
+  HashKind kind_ = HashKind::kRandom;
+  RandomHash random_;
+  LearnedHash<models::LinearModel> learned_;
+};
+
+/// Builds the configured hash for a record set, hashing into
+/// [0, num_slots) — the shared first step of every map family's Build.
+/// The learned CDF trains on a sorted copy of the record keys; the keys
+/// are only read during Build (the RMI never dereferences them afterwards).
+inline Status BuildRecordHash(std::span<const Record> records,
+                              uint64_t num_slots, const HashConfig& config,
+                              PointHash* fn) {
+  if (config.kind == HashKind::kRandom) {
+    return fn->Build({}, num_slots, config);
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(records.size());
+  for (const Record& r : records) keys.push_back(r.key);
+  std::sort(keys.begin(), keys.end());
+  return fn->Build(keys, num_slots, config);
+}
+
+/// The shared software pipeline behind every single-home-slot map's
+/// FindBatch: per 16-key block, phase 1 resolves each key's head slot via
+/// `head_of(key)` and prefetches it, phase 2 answers via
+/// `probe(head, key)` — so the per-probe cache miss of neighboring keys
+/// overlaps instead of serializing (the same structure as the RMI
+/// LookupBatch). Mismatched span lengths clamp to the shorter one.
+template <typename HeadFn, typename ProbeFn>
+void PipelinedFindBatch(std::span<const uint64_t> keys,
+                        std::span<const Record*> out, HeadFn&& head_of,
+                        ProbeFn&& probe) {
+  using HeadPtr = std::invoke_result_t<HeadFn&, uint64_t>;
+  const size_t n = std::min(keys.size(), out.size());
+  constexpr size_t kBlock = 16;
+  HeadPtr heads[kBlock];
+  for (size_t base = 0; base < n; base += kBlock) {
+    const size_t b = std::min(kBlock, n - base);
+    for (size_t k = 0; k < b; ++k) {
+      heads[k] = head_of(keys[base + k]);
+      PrefetchRead(heads[k]);
+    }
+    for (size_t k = 0; k < b; ++k) {
+      out[base + k] = probe(heads[k], keys[base + k]);
+    }
+  }
+}
 
 /// Fraction of keys that land in an already-occupied slot — the Figure-8
 /// metric ("% Conflicts"). Uses a bitmap over `num_slots`.

@@ -9,99 +9,113 @@
 // cache misses."
 //
 // Exactly n slots for n records; slot = record + chain offset + home flag.
+// Satisfies the index::PointIndex contract: the hash family is build
+// configuration, duplicate keys keep the first record (later duplicates
+// are dropped, leaving their slot free).
 
 #ifndef LI_HASH_INPLACE_CHAINED_MAP_H_
 #define LI_HASH_INPLACE_CHAINED_MAP_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/bits.h"
 #include "common/status.h"
+#include "hash/hash_fn.h"
 #include "hash/record.h"
+#include "index/point_index.h"
 
 namespace li::hash {
 
-template <typename HashFn>
+struct InplaceChainedMapConfig {
+  HashConfig hash;
+};
+
 class InplaceChainedMap {
  public:
+  using config_type = InplaceChainedMapConfig;
+
   InplaceChainedMap() = default;
 
-  /// `hash_fn` must map into [0, records.size()). Keys must be unique.
-  Status Build(std::span<const Record> records, HashFn hash_fn) {
-    hash_fn_ = std::move(hash_fn);
-    const size_t n = records.size();
-    slots_.assign(n, Slot{});
-    if (n == 0) return Status::OK();
-
-    // Pass 1: place records whose home slot is free.
-    std::vector<uint32_t> skipped;
-    for (uint32_t i = 0; i < n; ++i) {
-      const uint64_t slot = hash_fn_(records[i].key);
-      Slot& s = slots_[slot];
-      if (s.flags & kOccupied) {
-        skipped.push_back(i);
-      } else {
-        s.record = records[i];
-        s.flags = kOccupied | kHome;
-        s.next = kNull;
-      }
-    }
-    // Pass 2: stream skipped records into the remaining free slots and
-    // link them from their home slot's chain.
-    size_t free_cursor = 0;
-    for (const uint32_t i : skipped) {
-      while (free_cursor < n && (slots_[free_cursor].flags & kOccupied)) {
-        ++free_cursor;
-      }
-      if (free_cursor >= n) {
-        return Status::Internal("InplaceChainedMap: no free slot (dup keys?)");
-      }
-      Slot& dst = slots_[free_cursor];
-      dst.record = records[i];
-      dst.flags = kOccupied;  // not home
-      dst.next = kNull;
-      // Append to the home chain.
-      uint32_t cursor = static_cast<uint32_t>(hash_fn_(records[i].key));
-      while (slots_[cursor].next != kNull) cursor = slots_[cursor].next - 1;
-      slots_[cursor].next = static_cast<uint32_t>(free_cursor) + 1;
-    }
-    return Status::OK();
+  Status Build(std::span<const Record> records, const config_type& config) {
+    LI_RETURN_IF_ERROR(
+        BuildRecordHash(records, records.size(), config.hash, &hash_fn_));
+    return Populate(records);
   }
 
+  /// Fast-path Build from an already-trained hash (see
+  /// ChainedHashMap::Build): copied and re-aimed at this table's n slots.
+  Status Build(std::span<const Record> records, const config_type& config,
+               const PointHash& prebuilt) {
+    (void)config;  // the hash half is superseded by `prebuilt`
+    hash_fn_ = prebuilt;
+    hash_fn_.Retarget(records.size());
+    return Populate(records);
+  }
+
+  /// Returns the record for `key`, or nullptr (including on a never-built
+  /// or empty map).
   const Record* Find(uint64_t key) const {
-    uint32_t cursor = static_cast<uint32_t>(hash_fn_(key));
-    const Slot* s = &slots_[cursor];
-    // A non-home occupant means no record hashes here — absent key.
-    if (!(s->flags & kHome)) return nullptr;
-    while (true) {
-      if (s->record.key == key) return &s->record;
-      if (s->next == kNull) return nullptr;
-      s = &slots_[s->next - 1];
+    if (slots_.empty()) return nullptr;
+    return FindFrom(&slots_[hash_fn_(key)], key);
+  }
+
+  /// Software-pipelined batch probe (hash + prefetch every home slot,
+  /// then chain walks) — see hash::PipelinedFindBatch.
+  void FindBatch(std::span<const uint64_t> keys,
+                 std::span<const Record*> out) const {
+    const size_t n = std::min(keys.size(), out.size());
+    if (slots_.empty()) {
+      for (size_t i = 0; i < n; ++i) out[i] = nullptr;
+      return;
     }
+    PipelinedFindBatch(
+        keys, out, [&](uint64_t key) { return &slots_[hash_fn_(key)]; },
+        [&](const Slot* head, uint64_t key) { return FindFrom(head, key); });
   }
 
   size_t num_slots() const { return slots_.size(); }
-  double utilization() const { return slots_.empty() ? 0.0 : 1.0; }
-  size_t SizeBytes() const { return slots_.size() * sizeof(Slot); }
+  size_t num_records() const { return num_records_; }
+  double utilization() const {
+    return slots_.empty() ? 0.0
+                          : static_cast<double>(num_records_) /
+                                static_cast<double>(slots_.size());
+  }
+  size_t SizeBytes() const {
+    return slots_.size() * sizeof(Slot) + hash_fn_.SizeBytes();
+  }
 
-  /// Average probe-chain length over all stored records (cache-miss proxy).
-  double MeanChainLength() const {
-    if (slots_.empty()) return 0.0;
+  /// Average probe depth (hops from the home slot, home = 1) over all
+  /// stored records — the cache-miss proxy of Appendix C.
+  double MeanChainLength() const { return Stats().mean_probe; }
+
+  index::PointIndexStats Stats() const {
+    index::PointIndexStats stats;
+    stats.num_slots = slots_.size();
     double total = 0.0;
-    size_t count = 0;
     for (const Slot& s : slots_) {
-      if (!(s.flags & kHome)) continue;
+      if (!(s.flags & kOccupied)) {
+        ++stats.empty_slots;
+        continue;
+      }
+      if (!(s.flags & kHome)) {
+        ++stats.overflow;
+        continue;
+      }
       size_t len = 1;
       const Slot* cursor = &s;
       while (cursor->next != kNull) {
         ++len;
         cursor = &slots_[cursor->next - 1];
       }
-      total += len;
-      ++count;
+      total += static_cast<double>(len * (len + 1)) / 2.0;
     }
-    return count ? total / static_cast<double>(count) : 0.0;
+    if (num_records_ > 0) {
+      stats.mean_probe = total / static_cast<double>(num_records_);
+    }
+    return stats;
   }
 
  private:
@@ -115,8 +129,71 @@ class InplaceChainedMap {
     uint8_t flags = 0;
   };
 
-  HashFn hash_fn_{};
+  Status Populate(std::span<const Record> records) {
+    const size_t n = records.size();
+    slots_.assign(n, Slot{});
+    num_records_ = 0;
+    if (n == 0) return Status::OK();
+
+    // Pass 1: place records whose home slot is free.
+    std::vector<uint32_t> skipped;
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t slot = hash_fn_(records[i].key);
+      Slot& s = slots_[slot];
+      if (s.flags & kOccupied) {
+        skipped.push_back(i);
+      } else {
+        s.record = records[i];
+        s.flags = kOccupied | kHome;
+        s.next = kNull;
+        ++num_records_;
+      }
+    }
+    // Pass 2: stream skipped records into the remaining free slots and
+    // link them from their home slot's chain. A skipped record whose key
+    // is already in the chain is a duplicate — dropped, first one wins.
+    size_t free_cursor = 0;
+    for (const uint32_t i : skipped) {
+      uint32_t cursor = static_cast<uint32_t>(hash_fn_(records[i].key));
+      bool duplicate = false;
+      while (true) {
+        if (slots_[cursor].record.key == records[i].key) {
+          duplicate = true;
+          break;
+        }
+        if (slots_[cursor].next == kNull) break;
+        cursor = slots_[cursor].next - 1;
+      }
+      if (duplicate) continue;
+      while (free_cursor < n && (slots_[free_cursor].flags & kOccupied)) {
+        ++free_cursor;
+      }
+      if (free_cursor >= n) {
+        return Status::Internal("InplaceChainedMap: no free slot");
+      }
+      Slot& dst = slots_[free_cursor];
+      dst.record = records[i];
+      dst.flags = kOccupied;  // not home
+      dst.next = kNull;
+      slots_[cursor].next = static_cast<uint32_t>(free_cursor) + 1;
+      ++num_records_;
+    }
+    return Status::OK();
+  }
+
+  const Record* FindFrom(const Slot* s, uint64_t key) const {
+    // A non-home occupant means no record hashes here — absent key.
+    if (!(s->flags & kHome)) return nullptr;
+    while (true) {
+      if (s->record.key == key) return &s->record;
+      if (s->next == kNull) return nullptr;
+      s = &slots_[s->next - 1];
+    }
+  }
+
+  PointHash hash_fn_;
   std::vector<Slot> slots_;
+  size_t num_records_ = 0;
 };
 
 }  // namespace li::hash

@@ -1,0 +1,113 @@
+// The library-wide lookup contract, part 4: the `ExistenceIndex` concept.
+//
+// Everything that answers set-membership queries — the standard Bloom
+// filter, the learned Bloom filter (classifier + overflow, §5.1.1), the
+// model-hash sandwich (§5.1.2 / Appendix E) — satisfies one interface:
+//
+//   MightContain(key) -> bool     (never false-negative for inserted keys)
+//   SizeBytes()       -> size_t   (bits + classifier, the §5 metric)
+//   MeasuredFpr(span<const string> non_keys) -> double
+//
+// Build is *not* part of the contract: construction recipes differ
+// fundamentally (geometry from (n, p*) vs a trained classifier plus
+// validation non-keys), so candidates are built concretely and erased into
+// AnyExistenceIndex — the seam the LIF synthesizer (§3.1) and the §5
+// benches enumerate over, mirroring AnyRangeIndex / AnyPointIndex.
+
+#ifndef LI_INDEX_EXISTENCE_INDEX_H_
+#define LI_INDEX_EXISTENCE_INDEX_H_
+
+#include <concepts>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+namespace li::index {
+
+/// The one definition of "measured FPR": the false-positive fraction of
+/// `MightContain` over a non-key test set. Every filter's MeasuredFpr
+/// member delegates here so the metric cannot drift between
+/// implementations.
+template <typename F>
+double MeasureFprOver(const F& filter,
+                      std::span<const std::string> test_non_keys) {
+  if (test_non_keys.empty()) return 0.0;
+  size_t fp = 0;
+  for (const auto& s : test_non_keys) {
+    fp += filter.MightContain(std::string_view(s));
+  }
+  return static_cast<double>(fp) /
+         static_cast<double>(test_non_keys.size());
+}
+
+template <typename F>
+concept ExistenceIndex =
+    std::movable<F> &&
+    requires(const F& f, std::string_view key,
+             std::span<const std::string> non_keys) {
+      { f.MightContain(key) } -> std::same_as<bool>;
+      { f.SizeBytes() } -> std::same_as<size_t>;
+      { f.MeasuredFpr(non_keys) } -> std::same_as<double>;
+    };
+
+/// Type-erased ExistenceIndex. An empty handle behaves like a filter over
+/// the empty set: MightContain is always false, FPR is 0.
+class AnyExistenceIndex {
+ public:
+  AnyExistenceIndex() = default;
+
+  template <typename F>
+    requires ExistenceIndex<std::remove_cvref_t<F>> &&
+             (!std::same_as<std::remove_cvref_t<F>, AnyExistenceIndex>)
+  explicit AnyExistenceIndex(F&& impl)
+      : impl_(std::make_unique<Holder<std::remove_cvref_t<F>>>(
+            std::forward<F>(impl))) {}
+
+  AnyExistenceIndex(AnyExistenceIndex&&) noexcept = default;
+  AnyExistenceIndex& operator=(AnyExistenceIndex&&) noexcept = default;
+
+  bool empty() const { return impl_ == nullptr; }
+
+  bool MightContain(std::string_view key) const {
+    return impl_ != nullptr && impl_->MightContain(key);
+  }
+  size_t SizeBytes() const { return impl_ ? impl_->SizeBytes() : 0; }
+  double MeasuredFpr(std::span<const std::string> non_keys) const {
+    return impl_ ? impl_->MeasuredFpr(non_keys) : 0.0;
+  }
+
+ private:
+  struct Iface {
+    virtual ~Iface() = default;
+    virtual bool MightContain(std::string_view key) const = 0;
+    virtual size_t SizeBytes() const = 0;
+    virtual double MeasuredFpr(
+        std::span<const std::string> non_keys) const = 0;
+  };
+
+  template <typename F>
+  struct Holder final : Iface {
+    template <typename U>
+    explicit Holder(U&& v) : impl(std::forward<U>(v)) {}
+
+    bool MightContain(std::string_view key) const override {
+      return impl.MightContain(key);
+    }
+    size_t SizeBytes() const override { return impl.SizeBytes(); }
+    double MeasuredFpr(std::span<const std::string> non_keys) const override {
+      return impl.MeasuredFpr(non_keys);
+    }
+
+    F impl;
+  };
+
+  std::unique_ptr<const Iface> impl_;
+};
+
+}  // namespace li::index
+
+#endif  // LI_INDEX_EXISTENCE_INDEX_H_

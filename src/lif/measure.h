@@ -31,6 +31,22 @@ double MeasureNsPerOp(const std::vector<Q>& queries, int repeats, Fn&& fn) {
   return ns / (static_cast<double>(queries.size()) * repeats);
 }
 
+/// Times one full batch call (warm-up run, then a timed run) and returns
+/// average nanoseconds per item. `run_batch` must perform the entire
+/// batch and return something tied to its output (e.g. `out.data()`) so
+/// the work cannot be elided. The batched counterpart of MeasureNsPerOp,
+/// shared by every bench that compares Find vs FindBatch.
+template <typename BatchFn>
+double MeasureBatchNsPerOp(size_t batch_size, BatchFn&& run_batch) {
+  if (batch_size == 0) return 0.0;
+  DoNotOptimize(run_batch());  // warm-up (caches, branch predictors)
+  Timer timer;
+  auto sink = run_batch();
+  const double ns = timer.ElapsedNanos();
+  DoNotOptimize(sink);
+  return ns / static_cast<double>(batch_size);
+}
+
 /// Fixed-width table printer echoing the layout of the paper's figures
 /// (config column, then metric columns, factors in parentheses).
 class Table {

@@ -2,11 +2,25 @@
 // given an index specification, LIF generates different index
 // configurations, optimizes them, and tests them automatically."
 //
-// The synthesizer grid-searches over top-model families (linear,
-// multivariate with auto feature selection, NNs with 0-2 hidden layers and
-// widths 4..32 — the §3.7.1 search space) crossed with second-stage model
-// counts, builds each candidate, measures real lookup latency on a sampled
-// workload, and returns the fastest index that fits the size budget.
+// The synthesizer is class-aware — it covers all three index classes of
+// the paper behind the three library-wide contracts:
+//
+//  * SynthesizedIndex          (range, §3)    — grid-searches top-model
+//    families (linear, multivariate with auto feature selection, NNs with
+//    0-2 hidden layers and widths 4..32, the §3.7.1 space) crossed with
+//    second-stage model counts; erases the winner into AnyRangeIndex.
+//  * SynthesizedPointIndex     (point, §4)    — grid-searches
+//    {random, learned-CDF} hash x slot-count sweep x map family
+//    (separate-chaining, in-place chained, bucketized cuckoo); erases the
+//    winner into AnyPointIndex.
+//  * SynthesizedExistenceIndex (existence, §5) — searches classifier
+//    capacity x construction (plain Bloom, classifier + overflow,
+//    model-hash sandwich) x bitmap sizes at a fixed target FPR; erases
+//    the winner into AnyExistenceIndex.
+//
+// Every grid point is built, measured on a sampled workload with the
+// measure.h harness, and reported as a CandidateReport so benches can
+// print the full sweep, not just the winner.
 
 #ifndef LI_LIF_SYNTHESIZER_H_
 #define LI_LIF_SYNTHESIZER_H_
@@ -19,6 +33,8 @@
 
 #include "common/status.h"
 #include "index/any_range_index.h"
+#include "index/existence_index.h"
+#include "index/point_index.h"
 #include "rmi/rmi.h"
 
 namespace li::lif {
@@ -36,20 +52,25 @@ struct SynthesisSpec {
 };
 
 /// One evaluated candidate (every grid point is reported so benches can
-/// print the full sweep, not just the winner).
+/// print the full sweep, not just the winner). Shared by all three index
+/// classes; fields that don't apply to a class stay at their defaults.
 struct CandidateReport {
   std::string description;
-  size_t stage2 = 0;
+  size_t stage2 = 0;          // range: leaf models; point: primary slots
   size_t size_bytes = 0;
   double lookup_ns = 0.0;
-  double model_ns = 0.0;
-  int64_t max_abs_err = 0;
+  double model_ns = 0.0;      // model/hash/classifier execution only
+  int64_t max_abs_err = 0;    // range: |err| bound; point: overflow entries
+  double fpr = 0.0;           // existence: measured FPR on the eval set
+  double valid_fpr = 0.0;     // existence: FPR on the validation split
+                              // (the qualification gate)
   bool within_budget = true;
 };
 
-/// The synthesized index: whichever candidate won the grid search, held
-/// through the type-erased index::AnyRangeIndex so LIF can enumerate any
-/// RangeIndex implementation — not just RMIs — without changing this API.
+/// The synthesized range index: whichever candidate won the grid search,
+/// held through the type-erased index::AnyRangeIndex so LIF can enumerate
+/// any RangeIndex implementation — not just RMIs — without changing this
+/// API.
 class SynthesizedIndex {
  public:
   SynthesizedIndex() = default;
@@ -72,6 +93,99 @@ class SynthesizedIndex {
 
  private:
   index::AnyRangeIndex winner_;
+  std::string description_;
+  std::vector<CandidateReport> reports_;
+};
+
+struct PointSynthesisSpec {
+  /// Primary-slot budgets for the separate-chaining family, as percent of
+  /// the record count — Figure 11's 75 / 100 / 125 sweep.
+  std::vector<int> slot_percents = {75, 100, 125};
+  bool try_random_hash = true;
+  bool try_learned_hash = true;
+  bool try_chained = true;
+  bool try_inplace = true;
+  bool try_cuckoo = true;
+  double cuckoo_load_factor = 0.99;
+  size_t cdf_leaf_models = 0;  // 0 = auto (min(100k, n/10), §4.2)
+  size_t size_budget_bytes = std::numeric_limits<size_t>::max();
+  size_t eval_queries = 20'000;
+  uint64_t seed = 99;
+};
+
+/// The synthesized point index: fastest probe within the size budget,
+/// erased into index::AnyPointIndex.
+class SynthesizedPointIndex {
+ public:
+  SynthesizedPointIndex() = default;
+
+  const hash::Record* Find(uint64_t key) const { return winner_.Find(key); }
+  void FindBatch(std::span<const uint64_t> keys,
+                 std::span<const hash::Record*> out) const {
+    winner_.FindBatch(keys, out);
+  }
+  size_t SizeBytes() const { return winner_.SizeBytes(); }
+  index::PointIndexStats Stats() const { return winner_.Stats(); }
+  const std::string& description() const { return description_; }
+  const std::vector<CandidateReport>& reports() const { return reports_; }
+
+  /// Runs the grid search over `records` (caller owns the data during
+  /// Synthesize only).
+  Status Synthesize(std::span<const hash::Record> records,
+                    const PointSynthesisSpec& spec);
+
+ private:
+  index::AnyPointIndex winner_;
+  std::string description_;
+  std::vector<CandidateReport> reports_;
+};
+
+struct ExistenceSynthesisSpec {
+  double target_fpr = 0.01;
+  /// A candidate qualifies if its measured FPR on the validation split is
+  /// at most target_fpr * fpr_slack (measured FPRs wobble with the split).
+  double fpr_slack = 2.0;
+  /// Classifier capacity sweep: hashed n-gram feature-table sizes.
+  std::vector<size_t> ngram_buckets = {1024, 4096, 16384};
+  bool try_plain_bloom = true;
+  bool try_learned = true;
+  bool try_model_hash = true;
+  /// Model-hash bitmap sizes, in bits per key.
+  std::vector<double> bitmap_bits_per_key = {0.3, 0.6};
+  size_t size_budget_bytes = std::numeric_limits<size_t>::max();
+  uint64_t seed = 99;
+};
+
+/// The synthesized existence index: the *smallest* qualifying candidate
+/// (the paper's §5 metric is memory at a fixed FPR, not latency), erased
+/// into index::AnyExistenceIndex. Classifier ownership is folded into the
+/// erased winner, so the handle is self-contained.
+class SynthesizedExistenceIndex {
+ public:
+  SynthesizedExistenceIndex() = default;
+
+  bool MightContain(std::string_view key) const {
+    return winner_.MightContain(key);
+  }
+  size_t SizeBytes() const { return winner_.SizeBytes(); }
+  double MeasuredFpr(std::span<const std::string> non_keys) const {
+    return winner_.MeasuredFpr(non_keys);
+  }
+  const std::string& description() const { return description_; }
+  const std::vector<CandidateReport>& reports() const { return reports_; }
+
+  /// Trains classifiers on (keys, train_non_keys), calibrates thresholds
+  /// and qualifies candidates on valid_non_keys, and reports the winner's
+  /// unbiased FPR on eval_non_keys — the §5.2 train / validation / test
+  /// protocol. All spans are caller-owned and only read during Synthesize.
+  Status Synthesize(std::span<const std::string> keys,
+                    std::span<const std::string> train_non_keys,
+                    std::span<const std::string> valid_non_keys,
+                    std::span<const std::string> eval_non_keys,
+                    const ExistenceSynthesisSpec& spec);
+
+ private:
+  index::AnyExistenceIndex winner_;
   std::string description_;
   std::vector<CandidateReport> reports_;
 };

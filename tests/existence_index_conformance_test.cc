@@ -1,0 +1,152 @@
+// Conformance suite for the library-wide ExistenceIndex contract: every
+// filter — standard Bloom, learned Bloom (classifier + overflow, §5.1.1),
+// model-hash sandwich (§5.1.2) — is (a) statically asserted to satisfy
+// the index::ExistenceIndex concept and (b) driven over the same URL
+// corpus through identical dynamic checks: zero false negatives for every
+// inserted key, MeasuredFpr consistent with a manual probe count and
+// bounded for a calibrated filter, and the type-erased AnyExistenceIndex
+// answering exactly like the concrete filter it wraps.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/learned_bloom.h"
+#include "bloom/model_hash_bloom.h"
+#include "classifier/ngram_logistic.h"
+#include "data/strings.h"
+#include "index/existence_index.h"
+
+namespace li {
+namespace {
+
+// ---- Static acceptance gate: the contract holds for every filter ----
+static_assert(index::ExistenceIndex<bloom::BloomFilter>);
+static_assert(
+    index::ExistenceIndex<bloom::LearnedBloomFilter<classifier::NgramLogistic>>);
+static_assert(index::ExistenceIndex<
+              bloom::ModelHashBloomFilter<classifier::NgramLogistic>>);
+// The erased handle itself satisfies the concept, so erased filters can
+// be re-erased / stored wherever a concrete filter is expected.
+static_assert(index::ExistenceIndex<index::AnyExistenceIndex>);
+
+class ExistenceConformanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new data::UrlCorpus(data::GenUrls(15'000, 24'000, 61));
+    const size_t third = corpus_->random_negatives.size() / 3;
+    train_neg_ = new std::vector<std::string>(
+        corpus_->random_negatives.begin(),
+        corpus_->random_negatives.begin() + third);
+    valid_neg_ = new std::vector<std::string>(
+        corpus_->random_negatives.begin() + third,
+        corpus_->random_negatives.begin() + 2 * third);
+    test_neg_ = new std::vector<std::string>(
+        corpus_->random_negatives.begin() + 2 * third,
+        corpus_->random_negatives.end());
+    model_ = new classifier::NgramLogistic();
+    classifier::NgramConfig config;
+    config.num_buckets = 2048;
+    ASSERT_TRUE(model_->Train(corpus_->keys, *train_neg_, config).ok());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete test_neg_;
+    delete valid_neg_;
+    delete train_neg_;
+    delete corpus_;
+    model_ = nullptr;
+    corpus_ = nullptr;
+    train_neg_ = valid_neg_ = test_neg_ = nullptr;
+  }
+
+  /// The shared dynamic checks, applied to concrete and erased handles
+  /// alike (the contract surface is identical).
+  template <typename F>
+  static void CheckContract(const F& filter, double fpr_bound) {
+    // Zero false negatives — the non-negotiable §5 invariant.
+    for (const auto& k : corpus_->keys) {
+      ASSERT_TRUE(filter.MightContain(k)) << k;
+    }
+    // MeasuredFpr agrees with a manual probe count.
+    size_t fp = 0;
+    for (const auto& s : *test_neg_) {
+      fp += filter.MightContain(std::string_view(s));
+    }
+    const double manual =
+        static_cast<double>(fp) / static_cast<double>(test_neg_->size());
+    EXPECT_DOUBLE_EQ(filter.MeasuredFpr(*test_neg_), manual);
+    EXPECT_LE(manual, fpr_bound);
+    EXPECT_GT(filter.SizeBytes(), 0u);
+  }
+
+  static data::UrlCorpus* corpus_;
+  static std::vector<std::string>* train_neg_;
+  static std::vector<std::string>* valid_neg_;
+  static std::vector<std::string>* test_neg_;
+  static classifier::NgramLogistic* model_;
+};
+
+data::UrlCorpus* ExistenceConformanceTest::corpus_ = nullptr;
+std::vector<std::string>* ExistenceConformanceTest::train_neg_ = nullptr;
+std::vector<std::string>* ExistenceConformanceTest::valid_neg_ = nullptr;
+std::vector<std::string>* ExistenceConformanceTest::test_neg_ = nullptr;
+classifier::NgramLogistic* ExistenceConformanceTest::model_ = nullptr;
+
+TEST_F(ExistenceConformanceTest, PlainBloomSatisfiesContract) {
+  bloom::BloomFilter filter;
+  ASSERT_TRUE(filter.Init(corpus_->keys.size(), 0.01).ok());
+  for (const auto& k : corpus_->keys) filter.Add(std::string_view(k));
+  CheckContract(filter, 0.03);
+
+  const index::AnyExistenceIndex erased(std::move(filter));
+  CheckContract(erased, 0.03);
+}
+
+TEST_F(ExistenceConformanceTest, LearnedBloomSatisfiesContract) {
+  bloom::LearnedBloomFilter<classifier::NgramLogistic> filter;
+  ASSERT_TRUE(filter.Build(model_, corpus_->keys, *valid_neg_, 0.01).ok());
+  CheckContract(filter, 0.05);
+
+  // Erasure preserves every answer bit-for-bit.
+  bloom::LearnedBloomFilter<classifier::NgramLogistic> twin;
+  ASSERT_TRUE(twin.Build(model_, corpus_->keys, *valid_neg_, 0.01).ok());
+  const index::AnyExistenceIndex erased(std::move(twin));
+  for (size_t i = 0; i < test_neg_->size(); i += 7) {
+    ASSERT_EQ(erased.MightContain((*test_neg_)[i]),
+              filter.MightContain((*test_neg_)[i]));
+  }
+  CheckContract(erased, 0.05);
+}
+
+TEST_F(ExistenceConformanceTest, ModelHashBloomSatisfiesContract) {
+  bloom::ModelHashBloomFilter<classifier::NgramLogistic> filter;
+  ASSERT_TRUE(
+      filter.Build(model_, corpus_->keys, *valid_neg_, 0.01, 500'000).ok());
+  CheckContract(filter, 0.05);
+
+  const index::AnyExistenceIndex erased(std::move(filter));
+  CheckContract(erased, 0.05);
+}
+
+TEST_F(ExistenceConformanceTest, EmptyHandleIsTheEmptySet) {
+  index::AnyExistenceIndex empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.MightContain("anything"));
+  EXPECT_EQ(empty.SizeBytes(), 0u);
+  EXPECT_DOUBLE_EQ(empty.MeasuredFpr(*test_neg_), 0.0);
+}
+
+TEST_F(ExistenceConformanceTest, NeverBuiltFiltersAnswerEmptySet) {
+  // Contract edge: a default-constructed learned filter has no classifier
+  // and must behave like a filter over the empty set, not crash.
+  bloom::LearnedBloomFilter<classifier::NgramLogistic> learned;
+  EXPECT_FALSE(learned.MightContain("x"));
+  bloom::ModelHashBloomFilter<classifier::NgramLogistic> model_hash;
+  EXPECT_FALSE(model_hash.MightContain("x"));
+}
+
+}  // namespace
+}  // namespace li

@@ -78,12 +78,12 @@ TEST(IntegrationTest, HashMapBuiltFromRangeIndexKeys) {
   for (size_t i = 0; i < keys.size(); ++i) {
     records.push_back({keys[i], i, 0});
   }
-  hash::LearnedHash<models::LinearModel> fn;
-  rmi::RmiConfig hash_cfg;
-  hash_cfg.num_leaf_models = 10'000;
-  ASSERT_TRUE(fn.Build(keys, keys.size(), hash_cfg).ok());
-  hash::ChainedHashMap<hash::LearnedHash<models::LinearModel>> map;
-  ASSERT_TRUE(map.Build(records, keys.size(), fn).ok());
+  hash::ChainedHashMapConfig map_cfg;
+  map_cfg.num_slots = keys.size();
+  map_cfg.hash.kind = hash::HashKind::kLearnedCdf;
+  map_cfg.hash.cdf_leaf_models = 10'000;
+  hash::ChainedHashMap map;
+  ASSERT_TRUE(map.Build(records, map_cfg).ok());
 
   Xorshift128Plus rng(82);
   for (int i = 0; i < 20'000; ++i) {

@@ -1,10 +1,13 @@
-// Tests for the LIF synthesizer and measurement harness.
+// Tests for the LIF synthesizer (all three index classes) and the
+// measurement harness.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "data/datasets.h"
+#include "data/strings.h"
 #include "lif/measure.h"
 #include "lif/synthesizer.h"
 
@@ -82,6 +85,140 @@ TEST(SynthesizerTest, ImpossibleBudgetFails) {
 TEST(SynthesizerTest, EmptyKeysRejected) {
   SynthesizedIndex index;
   EXPECT_FALSE(index.Synthesize({}, SynthesisSpec{}).ok());
+}
+
+TEST(PointSynthesizerTest, EnumeratesAllFamiliesAndFindsCorrectIndex) {
+  const auto keys = data::GenMaps(40'000, 71);
+  std::vector<hash::Record> records;
+  records.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    records.push_back({keys[i], i, 0});
+  }
+  PointSynthesisSpec spec;
+  spec.slot_percents = {75, 100};
+  spec.cdf_leaf_models = 2000;
+  spec.eval_queries = 2000;
+  SynthesizedPointIndex index;
+  ASSERT_TRUE(index.Synthesize(records, spec).ok());
+  // 2 hash families x (2 chained slot budgets + inplace) + 2 cuckoo modes.
+  EXPECT_EQ(index.reports().size(), 2u * 3u + 2u);
+  EXPECT_FALSE(index.description().empty());
+  // The synthesized index must be correct for hits and misses.
+  const std::set<uint64_t> keyset(keys.begin(), keys.end());
+  for (size_t i = 0; i < keys.size(); i += 37) {
+    const hash::Record* r = index.Find(keys[i]);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->key, keys[i]);
+  }
+  uint64_t absent = 1;
+  while (keyset.count(absent)) ++absent;
+  EXPECT_EQ(index.Find(absent), nullptr);
+  // Batch probes route through the erased winner too.
+  std::vector<const hash::Record*> out(keys.size());
+  index.FindBatch(keys, out);
+  for (size_t i = 0; i < keys.size(); i += 53) {
+    ASSERT_EQ(out[i], index.Find(keys[i]));
+  }
+  EXPECT_GT(index.SizeBytes(), 0u);
+  EXPECT_GT(index.Stats().num_slots, 0u);
+}
+
+TEST(PointSynthesizerTest, BudgetExcludesOversizedCandidates) {
+  const auto keys = data::GenLognormal(20'000, 72);
+  std::vector<hash::Record> records;
+  for (size_t i = 0; i < keys.size(); ++i) records.push_back({keys[i], i, 0});
+  PointSynthesisSpec spec;
+  spec.slot_percents = {100, 125};
+  spec.try_learned_hash = false;
+  spec.try_cuckoo = false;
+  spec.eval_queries = 1000;
+  // Fits the 100% chained map and the inplace map, not the 125% table.
+  spec.size_budget_bytes = (keys.size() + keys.size() / 20) * 32;
+  SynthesizedPointIndex index;
+  ASSERT_TRUE(index.Synthesize(records, spec).ok());
+  EXPECT_LE(index.SizeBytes(), spec.size_budget_bytes);
+  bool saw_over_budget = false;
+  for (const auto& r : index.reports()) saw_over_budget |= !r.within_budget;
+  EXPECT_TRUE(saw_over_budget);
+}
+
+TEST(PointSynthesizerTest, EmptyRecordsRejected) {
+  SynthesizedPointIndex index;
+  EXPECT_FALSE(index.Synthesize({}, PointSynthesisSpec{}).ok());
+}
+
+class ExistenceSynthesizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = data::GenUrls(8000, 12'000, 73);
+    const size_t third = corpus_.random_negatives.size() / 3;
+    train_neg_.assign(corpus_.random_negatives.begin(),
+                      corpus_.random_negatives.begin() + third);
+    valid_neg_.assign(corpus_.random_negatives.begin() + third,
+                      corpus_.random_negatives.begin() + 2 * third);
+    test_neg_.assign(corpus_.random_negatives.begin() + 2 * third,
+                     corpus_.random_negatives.end());
+  }
+
+  data::UrlCorpus corpus_;
+  std::vector<std::string> train_neg_, valid_neg_, test_neg_;
+};
+
+TEST_F(ExistenceSynthesizerTest, SweepsConstructionsAndMeetsFprTarget) {
+  ExistenceSynthesisSpec spec;
+  spec.target_fpr = 0.01;
+  spec.ngram_buckets = {1024, 4096};
+  SynthesizedExistenceIndex index;
+  ASSERT_TRUE(index.Synthesize(corpus_.keys, train_neg_, valid_neg_,
+                               test_neg_, spec)
+                  .ok());
+  // plain + per-capacity (learned + 2 bitmap sizes).
+  EXPECT_EQ(index.reports().size(), 1u + 2u * 3u);
+  EXPECT_FALSE(index.description().empty());
+  // Zero false negatives — the winner must keep the §5 invariant.
+  for (const auto& k : corpus_.keys) {
+    ASSERT_TRUE(index.MightContain(k)) << k;
+  }
+  EXPECT_GT(index.SizeBytes(), 0u);
+  // The winner is the smallest candidate qualifying on the validation
+  // split (the same gate the synthesizer applies; the eval-split r.fpr is
+  // reporting only).
+  EXPECT_LE(index.MeasuredFpr(valid_neg_), spec.target_fpr * spec.fpr_slack);
+  for (const auto& r : index.reports()) {
+    if (r.within_budget && r.valid_fpr <= spec.target_fpr * spec.fpr_slack) {
+      EXPECT_LE(index.SizeBytes(), r.size_bytes) << r.description;
+    }
+  }
+}
+
+TEST_F(ExistenceSynthesizerTest, LearnedCandidateBeatsPlainBloomOnUrls) {
+  // The §5.2 headline must fall out of the synthesizer: on a learnable
+  // corpus some learned candidate is smaller than the plain filter.
+  ExistenceSynthesisSpec spec;
+  spec.target_fpr = 0.01;
+  SynthesizedExistenceIndex index;
+  ASSERT_TRUE(index.Synthesize(corpus_.keys, train_neg_, valid_neg_,
+                               test_neg_, spec)
+                  .ok());
+  size_t plain_bytes = 0;
+  for (const auto& r : index.reports()) {
+    if (r.description == "plain bloom") plain_bytes = r.size_bytes;
+  }
+  ASSERT_GT(plain_bytes, 0u);
+  EXPECT_LT(index.SizeBytes(), plain_bytes);
+}
+
+TEST_F(ExistenceSynthesizerTest, BadInputsRejected) {
+  SynthesizedExistenceIndex index;
+  ExistenceSynthesisSpec spec;
+  EXPECT_FALSE(
+      index.Synthesize({}, train_neg_, valid_neg_, test_neg_, spec).ok());
+  EXPECT_FALSE(
+      index.Synthesize(corpus_.keys, train_neg_, {}, test_neg_, spec).ok());
+  spec.target_fpr = 0.0;
+  EXPECT_FALSE(
+      index.Synthesize(corpus_.keys, train_neg_, valid_neg_, test_neg_, spec)
+          .ok());
 }
 
 }  // namespace

@@ -91,16 +91,17 @@ TEST_P(HashMapDifferentialTest, ThreeImplementationsAgree) {
     oracle[keys[i]] = i;
   }
 
-  hash::ChainedHashMap<hash::RandomHash> chained;
-  ASSERT_TRUE(
-      chained.Build(records, keys.size(), hash::RandomHash(keys.size(), seed))
-          .ok());
-  hash::InplaceChainedMap<hash::RandomHash> inplace;
-  ASSERT_TRUE(
-      inplace.Build(records, hash::RandomHash(keys.size(), seed + 1)).ok());
-  std::vector<hash::Record> values = records;
+  hash::ChainedHashMapConfig chained_cfg;
+  chained_cfg.num_slots = keys.size();
+  chained_cfg.hash.seed = seed;
+  hash::ChainedHashMap chained;
+  ASSERT_TRUE(chained.Build(records, chained_cfg).ok());
+  hash::InplaceChainedMapConfig inplace_cfg;
+  inplace_cfg.hash.seed = seed + 1;
+  hash::InplaceChainedMap inplace;
+  ASSERT_TRUE(inplace.Build(records, inplace_cfg).ok());
   hash::CuckooMap<hash::Record> cuckoo;
-  ASSERT_TRUE(cuckoo.Build(keys, values, {}).ok());
+  ASSERT_TRUE(cuckoo.Build(records, {}).ok());
 
   Xorshift128Plus rng(seed + 2);
   for (int probe = 0; probe < 30'000; ++probe) {
