@@ -1,0 +1,54 @@
+// Shared machine-readable bench output: every bench that participates in
+// the perf-tracking CI pipeline emits the same one-document shape,
+//   {"benchmarks": [{"name", "ns_per_op", "items_per_second"}]}
+// so BENCH_*.json artifacts accumulate comparably across PRs. The
+// BENCH_MICRO_JSON environment variable toggles emission: unset = console
+// only, "1"/"" = the bench's default file name, anything else = that path.
+
+#ifndef LI_BENCH_JSON_OUT_H_
+#define LI_BENCH_JSON_OUT_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace li::bench_json {
+
+struct Entry {
+  std::string name;
+  double ns_per_op = 0.0;
+  double items_per_second = 0.0;
+};
+
+/// Maps the BENCH_MICRO_JSON value to an output path ("1" or empty selects
+/// the bench's default file name).
+inline const char* ResolvePath(const char* env_value,
+                               const char* default_path) {
+  return (env_value == nullptr || *env_value == '\0' ||
+          std::strcmp(env_value, "1") == 0)
+             ? default_path
+             : env_value;
+}
+
+/// Writes the entries as one JSON document; false on I/O failure.
+inline bool Write(const char* path, const std::vector<Entry>& entries) {
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) return false;
+  fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    fprintf(f,
+            "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
+            "\"items_per_second\": %.1f}%s\n",
+            e.name.c_str(), e.ns_per_op, e.items_per_second,
+            i + 1 < entries.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  return true;
+}
+
+}  // namespace li::bench_json
+
+#endif  // LI_BENCH_JSON_OUT_H_

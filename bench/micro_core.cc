@@ -6,8 +6,8 @@
 // execution" numbers.
 //
 // Set BENCH_MICRO_JSON=<path> (or =1 for ./BENCH_micro.json) to also emit
-// a machine-readable {"benchmarks": [{name, ns_per_op, items_per_second}]}
-// file, so the perf trajectory accumulates across PRs.
+// the shared bench_json document (see bench/json_out.h), so the perf
+// trajectory accumulates across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "json_out.h"
 #include "btree/readonly_btree.h"
 #include "data/datasets.h"
 #include "hash/chained_hash_map.h"
@@ -362,14 +363,14 @@ BENCHMARK(BM_CuckooMapFindBatch);
 // ---- optional machine-readable output (BENCH_micro.json) ----
 
 // Console output stays the default; when BENCH_MICRO_JSON is set, every
-// per-iteration result is also collected as {name, ns_per_op,
-// items_per_second} and written as one JSON document on exit.
+// per-iteration result is also collected and written through the shared
+// bench_json emitter on exit.
 class JsonEmittingReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
-      Entry e;
+      bench_json::Entry e;
       e.name = run.benchmark_name();
       e.ns_per_op = run.GetAdjustedRealTime();  // default unit: ns
       const auto it = run.counters.find("items_per_second");
@@ -381,29 +382,11 @@ class JsonEmittingReporter : public benchmark::ConsoleReporter {
   }
 
   bool WriteJson(const char* path) const {
-    FILE* f = fopen(path, "w");
-    if (f == nullptr) return false;
-    fprintf(f, "{\n  \"benchmarks\": [\n");
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      const Entry& e = entries_[i];
-      fprintf(f,
-              "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
-              "\"items_per_second\": %.1f}%s\n",
-              e.name.c_str(), e.ns_per_op, e.items_per_second,
-              i + 1 < entries_.size() ? "," : "");
-    }
-    fprintf(f, "  ]\n}\n");
-    fclose(f);
-    return true;
+    return bench_json::Write(path, entries_);
   }
 
  private:
-  struct Entry {
-    std::string name;
-    double ns_per_op = 0.0;
-    double items_per_second = 0.0;
-  };
-  std::vector<Entry> entries_;
+  std::vector<bench_json::Entry> entries_;
 };
 
 }  // namespace
@@ -415,9 +398,7 @@ int main(int argc, char** argv) {
   if (json_env == nullptr) {
     benchmark::RunSpecifiedBenchmarks();
   } else {
-    const char* path = (*json_env == '\0' || strcmp(json_env, "1") == 0)
-                           ? "BENCH_micro.json"
-                           : json_env;
+    const char* path = bench_json::ResolvePath(json_env, "BENCH_micro.json");
     JsonEmittingReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     if (reporter.WriteJson(path)) {

@@ -1,0 +1,309 @@
+// DeltaRangeIndex<Base> — the writable-index subsystem's core (Appendix
+// D.1): an immutable learned (or classic) base index over a sorted key
+// array, plus a DeltaBuffer of unmerged writes, behind the library-wide
+// WritableRangeIndex contract.
+//
+//  * Reads serve from base + delta: Lookup stays exact lower_bound over
+//    the live key set (base rank + delta rank adjustment, two binary
+//    searches over the delta runs); Contains checks the delta first
+//    (newest write wins) and falls back to the base; Scan merges the two
+//    sorted views, applying tombstones.
+//  * Writes go to the delta only. Each write resolves the key's base
+//    membership once (one base lookup) and freezes it in the entry, which
+//    is what keeps the rank arithmetic exact until the next merge.
+//  * Merge() folds the delta into a fresh sorted array and retrains the
+//    base — through the base's Rebuild() retrain-reuse hook when it has
+//    one (the RMI reuses its stored config and leaf-table allocation),
+//    otherwise via a transactional Build of a fresh base. Pluggable
+//    policies (merge_policy.h) decide when writes trigger this
+//    automatically.
+//
+// Base can be *any* RangeIndex with uint64/double/string keys — the same
+// genericity seam the rest of the library builds on — so a learned RMI, a
+// read-only B-Tree or a lookup table all become writable by wrapping.
+
+#ifndef LI_DYNAMIC_DELTA_RANGE_INDEX_H_
+#define LI_DYNAMIC_DELTA_RANGE_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "dynamic/delta_buffer.h"
+#include "dynamic/merge_policy.h"
+#include "index/approx.h"
+#include "index/range_index.h"
+#include "index/writable_range_index.h"
+
+namespace li::dynamic {
+
+/// True when the base ships a retrain hook that reuses its stored config
+/// (and internal allocations) instead of a from-scratch Build.
+template <typename B>
+concept HasRebuild =
+    requires(B& base, std::span<const typename B::key_type> keys) {
+      { base.Rebuild(keys) } -> std::same_as<Status>;
+    };
+
+template <index::RangeIndex Base>
+class DeltaRangeIndex {
+ public:
+  using key_type = typename Base::key_type;
+  using base_config_type = typename Base::config_type;
+
+  struct Config {
+    base_config_type base{};
+    MergePolicy policy{};
+    /// Active-run capacity of the delta buffer: larger absorbs write
+    /// bursts cheaper, smaller keeps consolidation latency lower.
+    size_t active_cap = 256;
+  };
+  using config_type = Config;
+
+  DeltaRangeIndex() = default;
+  // The base holds a span into base_keys_; copying would alias the source's
+  // storage, moving keeps the heap buffer (and the span) stable.
+  DeltaRangeIndex(const DeltaRangeIndex&) = delete;
+  DeltaRangeIndex& operator=(const DeltaRangeIndex&) = delete;
+  DeltaRangeIndex(DeltaRangeIndex&&) noexcept = default;
+  DeltaRangeIndex& operator=(DeltaRangeIndex&&) noexcept = default;
+
+  /// Builds the immutable base over `keys` (sorted, strictly increasing;
+  /// copied — unlike raw bases, the wrapper owns its data because merges
+  /// replace it) and starts with an empty delta.
+  Status Build(std::span<const key_type> keys, const Config& config) {
+    config_ = config;
+    base_keys_.assign(keys.begin(), keys.end());
+    delta_ = DeltaBuffer<key_type>(config.active_cap);
+    stats_ = {};
+    writes_since_merge_ = 0;
+    reads_since_merge_ = 0;
+    return base_.Build(std::span<const key_type>(base_keys_), config.base);
+  }
+
+  // ---- RangeIndex: reads over the live key set ----
+
+  /// lower_bound rank over the live keys: #live keys < `key`.
+  size_t Lookup(const key_type& key) const {
+    ++stats_.lookups;
+    ++reads_since_merge_;
+    return RawLookup(key);
+  }
+
+  size_t LowerBound(const key_type& key) const { return Lookup(key); }
+
+  index::Approx ApproxPos(const key_type& key) const {
+    return index::Approx::Exact(RawLookup(key), size());
+  }
+
+  /// Batched rank lookups: routes the base part through the base's native
+  /// batch path (the RMI software pipeline), then applies the delta rank
+  /// adjustment per key — so with an empty delta this runs at base batch
+  /// throughput.
+  void LookupBatch(std::span<const key_type> keys,
+                   std::span<size_t> out) const {
+    index::LookupBatch(base_, keys, out);
+    const size_t n = std::min(keys.size(), out.size());
+    stats_.lookups += n;
+    reads_since_merge_ += n;
+    if (delta_.empty()) return;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<size_t>(static_cast<int64_t>(out[i]) +
+                                   delta_.RankAdjustBelow(keys[i]));
+    }
+  }
+
+  /// Base overhead + delta memory. The delta counts in full: it is the
+  /// price of writability, unlike the base data array which stays
+  /// excluded per the library's index-overhead accounting.
+  size_t SizeBytes() const { return base_.SizeBytes() + delta_.SizeBytes(); }
+
+  // ---- WritableRangeIndex: the write path ----
+
+  /// Buffers an insert; true iff `key` was not live before.
+  bool Insert(const key_type& key) {
+    ++stats_.inserts;
+    ++writes_since_merge_;
+    const auto prev = delta_.Find(key);
+    const bool in_base = prev ? prev->in_base : BaseContains(key);
+    const bool was_live = prev ? !prev->tombstone : in_base;
+    delta_.Upsert(key, /*tombstone=*/false, in_base);
+    MaybeMerge();
+    return !was_live;
+  }
+
+  /// Buffers an erase (tombstone); true iff `key` was live before.
+  bool Erase(const key_type& key) {
+    ++stats_.erases;
+    ++writes_since_merge_;
+    const auto prev = delta_.Find(key);
+    const bool in_base = prev ? prev->in_base : BaseContains(key);
+    const bool was_live = prev ? !prev->tombstone : in_base;
+    delta_.Upsert(key, /*tombstone=*/true, in_base);
+    MaybeMerge();
+    return was_live;
+  }
+
+  /// Membership over the live key set; the delta answers first.
+  bool Contains(const key_type& key) const {
+    ++stats_.lookups;
+    ++stats_.contains;
+    ++reads_since_merge_;
+    if (const auto e = delta_.Find(key)) {
+      ++stats_.delta_hits;
+      return !e->tombstone;
+    }
+    return BaseContains(key);
+  }
+
+  /// Up to `limit` live keys >= `from`, ascending: a three-way merge of
+  /// the base array and the two delta runs, tombstones dropped, delta
+  /// entries shadowing equal base keys.
+  std::vector<key_type> Scan(const key_type& from, size_t limit) const {
+    std::vector<key_type> out;
+    if (limit == 0) return out;
+    out.reserve(std::min(limit, size_t{1024}));
+    // Streamed merge: base keys are drained up to each visited delta
+    // entry, and the visit stops as soon as the window fills — O(limit)
+    // work, not O(delta).
+    size_t bi = base_.Lookup(from);
+    delta_.VisitFrom(from, [&](const DeltaEntry<key_type>& e) {
+      while (bi < base_keys_.size() && base_keys_[bi] < e.key &&
+             out.size() < limit) {
+        out.push_back(base_keys_[bi++]);
+      }
+      if (out.size() >= limit) return false;
+      if (bi < base_keys_.size() && base_keys_[bi] == e.key) ++bi;
+      if (!e.tombstone) out.push_back(e.key);
+      return out.size() < limit;
+    });
+    while (bi < base_keys_.size() && out.size() < limit) {
+      out.push_back(base_keys_[bi++]);
+    }
+    return out;
+  }
+
+  /// Live key count: base keys + net delta contribution.
+  size_t size() const {
+    return static_cast<size_t>(static_cast<int64_t>(base_keys_.size()) +
+                               delta_.LiveAdjustTotal());
+  }
+
+  /// The Appendix-D.1 cycle: fold the delta into a fresh sorted base
+  /// array, retrain the base, clear the delta. On failure the previous
+  /// base and delta are left intact (the index stays consistent).
+  Status Merge() {
+    if (delta_.empty()) return Status::OK();
+    Timer timer;
+    std::vector<key_type> merged = MergedLiveKeys();
+    if constexpr (HasRebuild<Base>) {
+      // In-place retrain. On failure, restore the previous key array and
+      // retrain over it (that configuration built successfully before),
+      // so the index stays consistent — delta intact, in_base flags still
+      // valid against the restored base.
+      std::swap(base_keys_, merged);
+      const Status s = base_.Rebuild(std::span<const key_type>(base_keys_));
+      if (!s.ok()) {
+        std::swap(base_keys_, merged);
+        (void)base_.Rebuild(std::span<const key_type>(base_keys_));
+        return s;
+      }
+    } else {
+      Base fresh;
+      LI_RETURN_IF_ERROR(
+          fresh.Build(std::span<const key_type>(merged), config_.base));
+      base_keys_ = std::move(merged);  // heap buffer (and span) unmoved
+      base_ = std::move(fresh);
+    }
+    stats_.merged_keys += base_keys_.size();
+    ++stats_.merges;
+    stats_.last_merge_ns = timer.ElapsedNanos();
+    stats_.total_merge_ns += stats_.last_merge_ns;
+    delta_.Clear();
+    writes_since_merge_ = 0;
+    reads_since_merge_ = 0;
+    return Status::OK();
+  }
+
+  index::WritableIndexStats Stats() const {
+    index::WritableIndexStats s = stats_;
+    s.delta_entries = delta_.entry_count();
+    s.delta_bytes = delta_.SizeBytes();
+    s.base_keys = base_keys_.size();
+    return s;
+  }
+
+  const Base& base() const { return base_; }
+  std::span<const key_type> base_keys() const { return base_keys_; }
+  size_t delta_entries() const { return delta_.entry_count(); }
+  const Config& config() const { return config_; }
+
+  /// Outcome of the most recent policy-triggered merge. Insert/Erase keep
+  /// their boolean liveness contract, so a failed auto-merge (possible
+  /// only with bases whose Build/Rebuild can fail) surfaces here; the
+  /// index itself stays consistent either way (Merge is transactional).
+  const Status& last_auto_merge_status() const {
+    return last_auto_merge_status_;
+  }
+
+ private:
+  bool BaseContains(const key_type& key) const {
+    const size_t pos = base_.Lookup(key);
+    return pos < base_keys_.size() && base_keys_[pos] == key;
+  }
+
+  size_t RawLookup(const key_type& key) const {
+    const int64_t rank = static_cast<int64_t>(base_.Lookup(key)) +
+                         (delta_.empty() ? 0 : delta_.RankAdjustBelow(key));
+    return static_cast<size_t>(rank);
+  }
+
+  void MaybeMerge() {
+    if (ShouldMerge(config_.policy, delta_.entry_count(), base_keys_.size(),
+                    writes_since_merge_, reads_since_merge_)) {
+      last_auto_merge_status_ = Merge();
+    }
+  }
+
+  /// The merged live key set: base keys + delta inserts - tombstones.
+  std::vector<key_type> MergedLiveKeys() const {
+    std::vector<DeltaEntry<key_type>> dv;
+    delta_.VisitAll([&](const DeltaEntry<key_type>& e) {
+      dv.push_back(e);
+      return true;
+    });
+    std::vector<key_type> merged;
+    merged.reserve(base_keys_.size() + dv.size());
+    size_t bi = 0, di = 0;
+    while (bi < base_keys_.size() || di < dv.size()) {
+      const bool has_b = bi < base_keys_.size();
+      const bool has_d = di < dv.size();
+      if (has_b && (!has_d || base_keys_[bi] < dv[di].key)) {
+        merged.push_back(base_keys_[bi++]);
+      } else {
+        if (has_b && base_keys_[bi] == dv[di].key) ++bi;  // one copy only
+        if (!dv[di].tombstone) merged.push_back(dv[di].key);
+        ++di;
+      }
+    }
+    return merged;
+  }
+
+  Config config_{};
+  std::vector<key_type> base_keys_;  // the immutable base's data, owned
+  Base base_{};
+  DeltaBuffer<key_type> delta_{};
+  mutable index::WritableIndexStats stats_{};
+  mutable uint64_t writes_since_merge_ = 0;
+  mutable uint64_t reads_since_merge_ = 0;
+  Status last_auto_merge_status_{};
+};
+
+}  // namespace li::dynamic
+
+#endif  // LI_DYNAMIC_DELTA_RANGE_INDEX_H_

@@ -1,0 +1,198 @@
+// The library-wide lookup contract, part 3: writable range indexes.
+//
+// The paper's learned structures are built over an immutable sorted array;
+// Appendix D.1 sketches the write path: "all inserts are kept in buffer
+// and from time to time merged with a potential retraining of the model
+// ... already widely used, for example in Bigtable". `WritableRangeIndex`
+// is the contract for that shape of index: everything a `RangeIndex` can
+// answer, plus point writes (Insert/Erase), membership, ordered scans and
+// an explicit Merge() that folds buffered writes into the base structure.
+//
+// The canonical implementation is dynamic::DeltaRangeIndex<Base>, which
+// wraps *any* RangeIndex base; the concept itself is implementation-
+// agnostic so the LIF synthesizer and conformance suite can enumerate
+// writable candidates the same way they enumerate read-only ones.
+
+#ifndef LI_INDEX_WRITABLE_RANGE_INDEX_H_
+#define LI_INDEX_WRITABLE_RANGE_INDEX_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "index/approx.h"
+#include "index/range_index.h"
+
+namespace li::index {
+
+/// Per-op counters every writable index reports — the observability the
+/// merge policies act on (delta pressure) and benches print (hit rates,
+/// merge amortization).
+struct WritableIndexStats {
+  uint64_t lookups = 0;        // Lookup + LookupBatch + Contains calls
+  uint64_t contains = 0;       // Contains calls only
+  uint64_t inserts = 0;
+  uint64_t erases = 0;
+  uint64_t delta_hits = 0;     // Contains calls answered by the delta
+  uint64_t merges = 0;         // completed merge+retrain cycles
+  uint64_t merged_keys = 0;    // keys written across all merges
+  double last_merge_ns = 0.0;
+  double total_merge_ns = 0.0;
+  size_t delta_entries = 0;    // buffered writes not yet merged
+  size_t delta_bytes = 0;      // memory held by the delta structure
+  size_t base_keys = 0;        // keys in the immutable base
+
+  /// Fraction of Contains calls the delta resolved without touching the
+  /// base — the locality signal for merge tuning.
+  double DeltaHitRate() const {
+    return contains == 0 ? 0.0
+                         : static_cast<double>(delta_hits) /
+                               static_cast<double>(contains);
+  }
+};
+
+/// A RangeIndex that also accepts point writes. Lookup keeps lower_bound
+/// semantics over the *live* key set (base plus unmerged inserts, minus
+/// erases), so read-only call sites keep working unmodified; Insert/Erase
+/// return whether the key's liveness changed; Scan yields up to `limit`
+/// live keys >= the probe in ascending order; Merge folds the delta into
+/// the base (retraining learned bases) and is also what the automatic
+/// merge policies invoke.
+template <typename I>
+concept WritableRangeIndex =
+    RangeIndex<I> &&
+    requires(I& mut, const I& idx, const typename I::key_type& key,
+             size_t limit) {
+      { mut.Insert(key) } -> std::same_as<bool>;
+      { mut.Erase(key) } -> std::same_as<bool>;
+      { idx.Contains(key) } -> std::same_as<bool>;
+      {
+        idx.Scan(key, limit)
+      } -> std::same_as<std::vector<typename I::key_type>>;
+      { idx.size() } -> std::same_as<size_t>;
+      { mut.Merge() } -> std::same_as<Status>;
+      { idx.Stats() } -> std::same_as<WritableIndexStats>;
+    };
+
+/// Type-erased WritableRangeIndex — the runtime face of the write path,
+/// mirroring AnyRangeIndexOf: the LIF synthesizer grid-searches over
+/// heterogeneous delta-wrapped candidates and hands back "whichever won"
+/// without threading base template parameters everywhere. Build is not
+/// erased (config types differ per base); candidates are built concretely
+/// and moved in.
+template <typename Key>
+class AnyWritableRangeIndexOf {
+ public:
+  using key_type = Key;
+
+  AnyWritableRangeIndexOf() = default;
+
+  template <typename I>
+    requires WritableRangeIndex<std::remove_cvref_t<I>> &&
+             std::same_as<typename std::remove_cvref_t<I>::key_type, Key> &&
+             (!std::same_as<std::remove_cvref_t<I>, AnyWritableRangeIndexOf>)
+  explicit AnyWritableRangeIndexOf(I&& impl)
+      : impl_(std::make_unique<Holder<std::remove_cvref_t<I>>>(
+            std::forward<I>(impl))) {}
+
+  AnyWritableRangeIndexOf(AnyWritableRangeIndexOf&&) noexcept = default;
+  AnyWritableRangeIndexOf& operator=(AnyWritableRangeIndexOf&&) noexcept =
+      default;
+
+  /// True when no index has been wrapped yet; reads then answer like an
+  /// empty index and writes are dropped (returning false).
+  bool empty() const { return impl_ == nullptr; }
+
+  bool Insert(const Key& key) { return impl_ ? impl_->Insert(key) : false; }
+  bool Erase(const Key& key) { return impl_ ? impl_->Erase(key) : false; }
+  bool Contains(const Key& key) const {
+    return impl_ ? impl_->Contains(key) : false;
+  }
+  size_t Lookup(const Key& key) const {
+    return impl_ ? impl_->Lookup(key) : 0;
+  }
+  size_t LowerBound(const Key& key) const { return Lookup(key); }
+  Approx ApproxPos(const Key& key) const {
+    return impl_ ? impl_->ApproxPos(key) : Approx{};
+  }
+  void LookupBatch(std::span<const Key> keys, std::span<size_t> out) const {
+    if (impl_ != nullptr) {
+      impl_->LookupBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < out.size(); ++i) out[i] = 0;
+    }
+  }
+  std::vector<Key> Scan(const Key& from, size_t limit) const {
+    return impl_ ? impl_->Scan(from, limit) : std::vector<Key>{};
+  }
+  Status Merge() {
+    return impl_ ? impl_->Merge()
+                 : Status::FailedPrecondition("AnyWritableRangeIndex: empty");
+  }
+  size_t size() const { return impl_ ? impl_->size() : 0; }
+  size_t SizeBytes() const { return impl_ ? impl_->SizeBytes() : 0; }
+  WritableIndexStats Stats() const {
+    return impl_ ? impl_->Stats() : WritableIndexStats{};
+  }
+
+ private:
+  struct Iface {
+    virtual ~Iface() = default;
+    virtual bool Insert(const Key& key) = 0;
+    virtual bool Erase(const Key& key) = 0;
+    virtual bool Contains(const Key& key) const = 0;
+    virtual size_t Lookup(const Key& key) const = 0;
+    virtual Approx ApproxPos(const Key& key) const = 0;
+    virtual void LookupBatch(std::span<const Key> keys,
+                             std::span<size_t> out) const = 0;
+    virtual std::vector<Key> Scan(const Key& from, size_t limit) const = 0;
+    virtual Status Merge() = 0;
+    virtual size_t size() const = 0;
+    virtual size_t SizeBytes() const = 0;
+    virtual WritableIndexStats Stats() const = 0;
+  };
+
+  template <typename I>
+  struct Holder final : Iface {
+    template <typename U>
+    explicit Holder(U&& v) : impl(std::forward<U>(v)) {}
+
+    bool Insert(const Key& key) override { return impl.Insert(key); }
+    bool Erase(const Key& key) override { return impl.Erase(key); }
+    bool Contains(const Key& key) const override {
+      return impl.Contains(key);
+    }
+    size_t Lookup(const Key& key) const override { return impl.Lookup(key); }
+    Approx ApproxPos(const Key& key) const override {
+      return impl.ApproxPos(key);
+    }
+    void LookupBatch(std::span<const Key> keys,
+                     std::span<size_t> out) const override {
+      index::LookupBatch(impl, keys, out);
+    }
+    std::vector<Key> Scan(const Key& from, size_t limit) const override {
+      return impl.Scan(from, limit);
+    }
+    Status Merge() override { return impl.Merge(); }
+    size_t size() const override { return impl.size(); }
+    size_t SizeBytes() const override { return impl.SizeBytes(); }
+    WritableIndexStats Stats() const override { return impl.Stats(); }
+
+    I impl;
+  };
+
+  std::unique_ptr<Iface> impl_;
+};
+
+/// The common case: integer-keyed writable indexes.
+using AnyWritableRangeIndex = AnyWritableRangeIndexOf<uint64_t>;
+
+}  // namespace li::index
+
+#endif  // LI_INDEX_WRITABLE_RANGE_INDEX_H_

@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/random.h"
+#include "data/datasets.h"
+
 namespace li::lif {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -72,6 +75,42 @@ size_t BenchScaleKeys(size_t default_millions) {
     if (v > 0) millions = static_cast<size_t>(v);
   }
   return millions * 1'000'000;
+}
+
+ReadWriteWorkload MakeReadWriteWorkload(std::span<const uint64_t> keys,
+                                        size_t ops, double insert_ratio,
+                                        size_t lookup_probes, uint64_t seed) {
+  ReadWriteWorkload w;
+  const double ratio = std::clamp(insert_ratio, 0.0, 1.0);
+  const size_t want =
+      std::min(keys.size() / 2,
+               static_cast<size_t>(static_cast<double>(ops) * ratio));
+  const size_t stride =
+      want == 0 ? 0 : std::max<size_t>(2, keys.size() / want);
+  w.base.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (stride != 0 && i % stride == 1 && w.inserts.size() < want) {
+      w.inserts.push_back(keys[i]);
+    } else {
+      w.base.push_back(keys[i]);
+    }
+  }
+  w.lookups =
+      data::SampleKeys(w.base, std::max<size_t>(lookup_probes, 1), seed);
+  // Fine-grained (2^-20) ratio resolution so small ratios still schedule
+  // inserts; the budget guard keeps the stream honest when the held-out
+  // pool is smaller than ratio * ops.
+  Xorshift128Plus rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  w.is_insert.resize(ops);
+  size_t budget = w.inserts.size();
+  for (size_t i = 0; i < ops; ++i) {
+    const bool ins = budget > 0 &&
+                     static_cast<double>(rng.NextBounded(1u << 20)) <
+                         ratio * static_cast<double>(1u << 20);
+    if (ins) --budget;
+    w.is_insert[i] = ins ? 1 : 0;
+  }
+  return w;
 }
 
 }  // namespace li::lif

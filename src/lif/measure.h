@@ -5,7 +5,9 @@
 #ifndef LI_LIF_MEASURE_H_
 #define LI_LIF_MEASURE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,6 +77,24 @@ class Table {
 /// Benchmark scale: number of keys in millions, overridable with the
 /// REPRO_SCALE_M environment variable (paper scale would be 200).
 size_t BenchScaleKeys(size_t default_millions = 2);
+
+/// A mixed read/write evaluation workload over a sorted key set: held-out
+/// keys form the insert stream (evenly spaced, so inserts match the data
+/// distribution), lookup probes sample the build split, and a
+/// deterministic schedule interleaves the two at the target insert ratio.
+/// Shared by the LIF writable synthesizer and bench_readwrite, so the
+/// bench's consistency checks exercise the same workload class the
+/// synthesizer qualifies candidates on.
+struct ReadWriteWorkload {
+  std::vector<uint64_t> base;      // build split, sorted
+  std::vector<uint64_t> inserts;   // held-out insert stream
+  std::vector<uint64_t> lookups;   // probes over the build split
+  std::vector<uint8_t> is_insert;  // op schedule, one entry per op
+};
+
+ReadWriteWorkload MakeReadWriteWorkload(std::span<const uint64_t> keys,
+                                        size_t ops, double insert_ratio,
+                                        size_t lookup_probes, uint64_t seed);
 
 }  // namespace li::lif
 

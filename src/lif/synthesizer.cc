@@ -1,14 +1,17 @@
 #include "lif/synthesizer.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <utility>
 
 #include "bloom/bloom_filter.h"
 #include "bloom/learned_bloom.h"
 #include "bloom/model_hash_bloom.h"
+#include "btree/readonly_btree.h"
 #include "classifier/ngram_logistic.h"
 #include "data/datasets.h"
+#include "dynamic/delta_range_index.h"
 #include "hash/chained_hash_map.h"
 #include "hash/cuckoo_map.h"
 #include "hash/inplace_chained_map.h"
@@ -405,6 +408,127 @@ Status SynthesizedExistenceIndex::Synthesize(
         "the size budget");
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Writable synthesis (Appendix D.1): which delta-wrapped base serves a
+// mixed insert/lookup workload fastest?
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Builds a candidate over the base split, drives it through the op
+/// stream, and fills the report (mixed_ns is the qualification metric;
+/// lookup_ns is measured after the stream, delta populated).
+template <typename Idx, typename BuildFn>
+Status EvaluateWritableCandidate(const ReadWriteWorkload& w, BuildFn&& build,
+                                 const std::string& description,
+                                 CandidateReport* report) {
+  Idx idx;
+  LI_RETURN_IF_ERROR(build(std::span<const uint64_t>(w.base), &idx));
+  size_t ii = 0, li = 0;
+  uint64_t sink = 0;
+  Timer timer;
+  for (const uint8_t op : w.is_insert) {
+    if (op != 0 && ii < w.inserts.size()) {
+      sink += idx.Insert(w.inserts[ii++]) ? 1 : 0;
+    } else {
+      sink += idx.Lookup(w.lookups[li++ % w.lookups.size()]);
+    }
+  }
+  const double total_ns = timer.ElapsedNanos();
+  DoNotOptimize(sink);
+  report->description = description;
+  report->mixed_ns =
+      total_ns / static_cast<double>(std::max<size_t>(w.is_insert.size(), 1));
+  report->lookup_ns = MeasureNsPerOp(w.lookups, 1,
+                                     [&](uint64_t q) { return idx.Lookup(q); });
+  report->size_bytes = idx.SizeBytes();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SynthesizedWritableIndex::Synthesize(std::span<const uint64_t> keys,
+                                            const WritableSynthesisSpec& spec) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("SynthesizeWritable: empty key set");
+  }
+  if (spec.insert_ratio < 0.0 || spec.insert_ratio > 1.0) {
+    return Status::InvalidArgument("SynthesizeWritable: bad insert ratio");
+  }
+  reports_.clear();
+  const ReadWriteWorkload w = MakeReadWriteWorkload(
+      keys, spec.eval_ops, spec.insert_ratio, spec.eval_ops, spec.seed);
+
+  double best_ns = std::numeric_limits<double>::infinity();
+  // The winner is re-built over the *full* key set (the measured instance
+  // absorbed the held-out insert stream), then erased.
+  std::function<Status()> rebuild_winner;
+
+  auto consider = [&](const CandidateReport& report, auto&& rebuild) {
+    reports_.push_back(report);
+    if (!report.within_budget) return;
+    if (report.mixed_ns < best_ns) {
+      best_ns = report.mixed_ns;
+      description_ = report.description;
+      rebuild_winner = rebuild;
+    }
+  };
+
+  if (spec.try_delta_rmi) {
+    using DeltaRmi = dynamic::DeltaRangeIndex<rmi::LinearRmi>;
+    for (const size_t m : spec.stage2_sizes) {
+      DeltaRmi::Config cfg;
+      cfg.base.num_leaf_models = m;
+      cfg.base.strategy = spec.strategy;
+      cfg.policy = spec.policy;
+      auto build = [&cfg](std::span<const uint64_t> ks, DeltaRmi* out) {
+        return out->Build(ks, cfg);
+      };
+      CandidateReport report;
+      report.stage2 = m;
+      LI_RETURN_IF_ERROR(EvaluateWritableCandidate<DeltaRmi>(
+          w, build,
+          "delta[rmi linear / " + std::to_string(m) + " leaves]", &report));
+      report.within_budget = report.size_bytes <= spec.size_budget_bytes;
+      consider(report, [this, cfg, keys]() {
+        DeltaRmi full;
+        LI_RETURN_IF_ERROR(full.Build(keys, cfg));
+        winner_ = index::AnyWritableRangeIndex(std::move(full));
+        return Status::OK();
+      });
+    }
+  }
+  if (spec.try_delta_btree) {
+    using DeltaBtree = dynamic::DeltaRangeIndex<btree::ReadOnlyBTree>;
+    for (const size_t page : spec.btree_pages) {
+      DeltaBtree::Config cfg;
+      cfg.base.keys_per_page = page;
+      cfg.policy = spec.policy;
+      auto build = [&cfg](std::span<const uint64_t> ks, DeltaBtree* out) {
+        return out->Build(ks, cfg);
+      };
+      CandidateReport report;
+      report.stage2 = page;
+      LI_RETURN_IF_ERROR(EvaluateWritableCandidate<DeltaBtree>(
+          w, build, "delta[btree / " + std::to_string(page) + " keys/page]",
+          &report));
+      report.within_budget = report.size_bytes <= spec.size_budget_bytes;
+      consider(report, [this, cfg, keys]() {
+        DeltaBtree full;
+        LI_RETURN_IF_ERROR(full.Build(keys, cfg));
+        winner_ = index::AnyWritableRangeIndex(std::move(full));
+        return Status::OK();
+      });
+    }
+  }
+
+  if (!rebuild_winner) {
+    return Status::NotFound(
+        "SynthesizeWritable: no candidate fits the size budget");
+  }
+  return rebuild_winner();
 }
 
 }  // namespace li::lif

@@ -32,9 +32,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "dynamic/merge_policy.h"
 #include "index/any_range_index.h"
 #include "index/existence_index.h"
 #include "index/point_index.h"
+#include "index/writable_range_index.h"
 #include "rmi/rmi.h"
 
 namespace li::lif {
@@ -64,6 +66,8 @@ struct CandidateReport {
   double fpr = 0.0;           // existence: measured FPR on the eval set
   double valid_fpr = 0.0;     // existence: FPR on the validation split
                               // (the qualification gate)
+  double mixed_ns = 0.0;      // writable: ns/op over the read/write stream
+                              // (the qualification metric for that class)
   bool within_budget = true;
 };
 
@@ -186,6 +190,63 @@ class SynthesizedExistenceIndex {
 
  private:
   index::AnyExistenceIndex winner_;
+  std::string description_;
+  std::vector<CandidateReport> reports_;
+};
+
+/// Mixed read/write synthesis (the Appendix-D.1 workload class): which
+/// delta-wrapped base serves a given insert ratio fastest?
+struct WritableSynthesisSpec {
+  /// RMI leaf-model counts for delta-wrapped RMI candidates.
+  std::vector<size_t> stage2_sizes = {10'000, 50'000};
+  bool try_delta_rmi = true;
+  /// Delta-wrapped read-only B-Tree candidates (page sizes in keys).
+  bool try_delta_btree = true;
+  std::vector<size_t> btree_pages = {128};
+  /// Fraction of evaluated ops that are inserts of previously-unseen keys;
+  /// the rest are rank lookups.
+  double insert_ratio = 0.10;
+  size_t eval_ops = 40'000;
+  dynamic::MergePolicy policy{};
+  search::Strategy strategy = search::Strategy::kBiasedBinary;
+  size_t size_budget_bytes = std::numeric_limits<size_t>::max();
+  uint64_t seed = 99;
+};
+
+/// The synthesized writable index: every candidate is built over a split
+/// of the keys, driven through a deterministic interleaved insert/lookup
+/// stream, and scored on mixed ns/op; the winning configuration is then
+/// rebuilt over the *full* key set and erased into AnyWritableRangeIndex.
+class SynthesizedWritableIndex {
+ public:
+  SynthesizedWritableIndex() = default;
+
+  bool Insert(uint64_t key) { return winner_.Insert(key); }
+  bool Erase(uint64_t key) { return winner_.Erase(key); }
+  bool Contains(uint64_t key) const { return winner_.Contains(key); }
+  size_t Lookup(uint64_t key) const { return winner_.Lookup(key); }
+  size_t LowerBound(uint64_t key) const { return winner_.Lookup(key); }
+  void LookupBatch(std::span<const uint64_t> keys,
+                   std::span<size_t> out) const {
+    winner_.LookupBatch(keys, out);
+  }
+  std::vector<uint64_t> Scan(uint64_t from, size_t limit) const {
+    return winner_.Scan(from, limit);
+  }
+  Status Merge() { return winner_.Merge(); }
+  size_t size() const { return winner_.size(); }
+  size_t SizeBytes() const { return winner_.SizeBytes(); }
+  index::WritableIndexStats Stats() const { return winner_.Stats(); }
+  const std::string& description() const { return description_; }
+  const std::vector<CandidateReport>& reports() const { return reports_; }
+
+  /// Runs the grid search over `keys` (sorted, strictly increasing;
+  /// caller owns the data during Synthesize only).
+  Status Synthesize(std::span<const uint64_t> keys,
+                    const WritableSynthesisSpec& spec);
+
+ private:
+  index::AnyWritableRangeIndex winner_;
   std::string description_;
   std::vector<CandidateReport> reports_;
 };

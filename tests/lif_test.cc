@@ -87,6 +87,50 @@ TEST(SynthesizerTest, EmptyKeysRejected) {
   EXPECT_FALSE(index.Synthesize({}, SynthesisSpec{}).ok());
 }
 
+TEST(WritableSynthesizerTest, QualifiesDeltaWrappedCandidatesOnMixedLoad) {
+  const auto keys = data::GenLognormal(40'000, 64);
+  WritableSynthesisSpec spec;
+  spec.stage2_sizes = {500, 2000};
+  spec.btree_pages = {128};
+  spec.insert_ratio = 0.10;
+  spec.eval_ops = 8'000;
+  SynthesizedWritableIndex index;
+  ASSERT_TRUE(index.Synthesize(keys, spec).ok());
+  // 2 delta-RMI configs + 1 delta-BTree config, all reported.
+  EXPECT_EQ(index.reports().size(), 3u);
+  EXPECT_FALSE(index.description().empty());
+  for (const auto& r : index.reports()) {
+    EXPECT_GT(r.mixed_ns, 0.0) << r.description;
+    EXPECT_GT(r.lookup_ns, 0.0) << r.description;
+  }
+  // The winner is rebuilt over the FULL key set: ranks must match
+  // std::lower_bound over the original keys, and writes must work.
+  for (size_t i = 0; i < keys.size(); i += 41) {
+    ASSERT_EQ(index.Lookup(keys[i]), i);
+    ASSERT_TRUE(index.Contains(keys[i]));
+  }
+  const uint64_t fresh = keys.back() + 17;
+  EXPECT_TRUE(index.Insert(fresh));
+  EXPECT_TRUE(index.Contains(fresh));
+  EXPECT_EQ(index.size(), keys.size() + 1);
+  EXPECT_TRUE(index.Merge().ok());
+  EXPECT_TRUE(index.Contains(fresh));
+  EXPECT_EQ(index.Scan(fresh, 5), (std::vector<uint64_t>{fresh}));
+  EXPECT_GT(index.Stats().merges, 0u);
+}
+
+TEST(WritableSynthesizerTest, BadInputsRejected) {
+  SynthesizedWritableIndex index;
+  EXPECT_FALSE(index.Synthesize({}, WritableSynthesisSpec{}).ok());
+  const auto keys = data::GenLognormal(5'000, 65);
+  WritableSynthesisSpec spec;
+  spec.insert_ratio = 1.5;
+  EXPECT_FALSE(index.Synthesize(keys, spec).ok());
+  spec.insert_ratio = 0.1;
+  spec.size_budget_bytes = 16;  // nothing fits
+  EXPECT_FALSE(index.Synthesize(keys, spec).ok());
+}
+
 TEST(PointSynthesizerTest, EnumeratesAllFamiliesAndFindsCorrectIndex) {
   const auto keys = data::GenMaps(40'000, 71);
   std::vector<hash::Record> records;

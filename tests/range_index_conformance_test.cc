@@ -22,6 +22,7 @@
 #include "common/random.h"
 #include "data/datasets.h"
 #include "data/strings.h"
+#include "dynamic/delta_range_index.h"
 #include "index/any_range_index.h"
 #include "index/range_index.h"
 #include "rmi/hybrid.h"
@@ -49,9 +50,16 @@ static_assert(index::RangeIndex<btree::InterpolationBTree>);
 static_assert(index::RangeIndex<btree::FastTree>);
 static_assert(index::RangeIndex<btree::StringBTree>);
 static_assert(index::RangeIndex<btree::LookupTable>);
+// The writable wrapper is a full RangeIndex too (with an empty delta it
+// must behave exactly like its base), over any base.
+static_assert(index::RangeIndex<dynamic::DeltaRangeIndex<rmi::LinearRmi>>);
+static_assert(
+    index::RangeIndex<dynamic::DeltaRangeIndex<btree::ReadOnlyBTree>>);
 // The RMI core carries the native batched hot path.
 static_assert(index::HasNativeLookupBatch<rmi::LinearRmi>);
 static_assert(!index::HasNativeLookupBatch<btree::ReadOnlyBTree>);
+static_assert(
+    index::HasNativeLookupBatch<dynamic::DeltaRangeIndex<rmi::LinearRmi>>);
 
 // ---- Per-implementation default configs for a ~40k-key dataset ----
 template <typename I>
@@ -92,6 +100,13 @@ btree::ReadOnlyBTreeConfig DefaultConfig<btree::ReadOnlyBTree>() {
 template <>
 btree::InterpolationBTreeConfig DefaultConfig<btree::InterpolationBTree>() {
   return btree::InterpolationBTreeConfig{64 * 1024};
+}
+template <>
+dynamic::DeltaRangeIndex<rmi::LinearRmi>::Config
+DefaultConfig<dynamic::DeltaRangeIndex<rmi::LinearRmi>>() {
+  dynamic::DeltaRangeIndex<rmi::LinearRmi>::Config c;
+  c.base.num_leaf_models = 500;
+  return c;
 }
 
 const std::vector<uint64_t>& SharedDataset() {
@@ -136,7 +151,8 @@ using Uint64Impls =
                      rmi::QuantizedRmi, rmi::MultiStageRmi,
                      btree::ReadOnlyBTree, btree::BTreeMap,
                      btree::InterpolationBTree, btree::FastTree,
-                     btree::LookupTable>;
+                     btree::LookupTable,
+                     dynamic::DeltaRangeIndex<rmi::LinearRmi>>;
 TYPED_TEST_SUITE(Uint64ConformanceTest, Uint64Impls);
 
 TYPED_TEST(Uint64ConformanceTest, LookupMatchesStdLowerBound) {

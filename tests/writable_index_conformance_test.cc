@@ -1,0 +1,405 @@
+// Conformance suite for the WritableRangeIndex contract and the
+// dynamic::DeltaRangeIndex subsystem: static concept gates, insert/erase/
+// merge equivalence against a std::set oracle across all merge policies,
+// a property test that Lookup after any interleaving of writes and merges
+// matches a from-scratch rebuild, and the duplicate-key merge regression
+// inherited from the old inline example (a delta key equal to a base key
+// mid-run must survive as exactly one copy).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "btree/dynamic_btree.h"
+#include "btree/readonly_btree.h"
+#include "common/random.h"
+#include "data/datasets.h"
+#include "dynamic/delta_buffer.h"
+#include "dynamic/delta_range_index.h"
+#include "dynamic/merge_policy.h"
+#include "index/range_index.h"
+#include "index/writable_range_index.h"
+#include "rmi/rmi.h"
+
+namespace li {
+namespace {
+
+using DeltaRmi = dynamic::DeltaRangeIndex<rmi::LinearRmi>;
+using DeltaBtree = dynamic::DeltaRangeIndex<btree::ReadOnlyBTree>;
+using DeltaBtreeMap = dynamic::DeltaRangeIndex<btree::BTreeMap>;
+
+// ---- Static acceptance gate ----
+static_assert(index::WritableRangeIndex<DeltaRmi>);
+static_assert(index::WritableRangeIndex<DeltaBtree>);
+static_assert(index::WritableRangeIndex<DeltaBtreeMap>);
+// A writable index is still a RangeIndex (read-only call sites keep
+// working), and the wrapper ships a native batch path.
+static_assert(index::RangeIndex<DeltaRmi>);
+static_assert(index::HasNativeLookupBatch<DeltaRmi>);
+// Read-only structures must NOT satisfy the writable contract.
+static_assert(!index::WritableRangeIndex<rmi::LinearRmi>);
+static_assert(!index::WritableRangeIndex<btree::ReadOnlyBTree>);
+static_assert(!index::WritableRangeIndex<btree::BTreeMap>);
+// The retrain-reuse hook: present on the RMI core, absent on the B-Tree.
+static_assert(dynamic::HasRebuild<rmi::LinearRmi>);
+static_assert(!dynamic::HasRebuild<btree::ReadOnlyBTree>);
+
+DeltaRmi::Config RmiConfigFor(size_t n, dynamic::MergePolicy policy,
+                              size_t active_cap = 256) {
+  DeltaRmi::Config c;
+  c.base.num_leaf_models = std::max<size_t>(32, n / 100);
+  c.policy = policy;
+  c.active_cap = active_cap;
+  return c;
+}
+
+size_t OracleRank(const std::vector<uint64_t>& sorted, uint64_t key) {
+  return static_cast<size_t>(
+      std::lower_bound(sorted.begin(), sorted.end(), key) - sorted.begin());
+}
+
+/// Drives idx and a std::set oracle through the same op stream and checks
+/// full equivalence (liveness booleans per op; ranks, membership, scans
+/// and size at checkpoints).
+void RunOracleStream(DeltaRmi& idx, std::set<uint64_t>& oracle,
+                     size_t num_ops, uint64_t seed, uint64_t key_space,
+                     bool manual_merges) {
+  Xorshift128Plus rng(seed);
+  for (size_t i = 0; i < num_ops; ++i) {
+    const uint64_t k = rng.NextBounded(key_space);
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        ASSERT_EQ(idx.Insert(k), oracle.insert(k).second) << "op " << i;
+        break;
+      }
+      case 2: {
+        ASSERT_EQ(idx.Erase(k), oracle.erase(k) > 0) << "op " << i;
+        break;
+      }
+      default:
+        ASSERT_EQ(idx.Contains(k), oracle.count(k) > 0) << "op " << i;
+    }
+    if (manual_merges && i % 977 == 976) ASSERT_TRUE(idx.Merge().ok());
+    if (i % 1500 == 1499) {
+      ASSERT_EQ(idx.size(), oracle.size()) << "op " << i;
+      const std::vector<uint64_t> ref(oracle.begin(), oracle.end());
+      for (int p = 0; p < 50; ++p) {
+        const uint64_t q = rng.NextBounded(key_space + 100);
+        ASSERT_EQ(idx.Lookup(q), OracleRank(ref, q)) << "op " << i;
+      }
+    }
+  }
+  // Final: the whole live set in order, and batch lookups agree.
+  const std::vector<uint64_t> ref(oracle.begin(), oracle.end());
+  ASSERT_EQ(idx.size(), ref.size());
+  ASSERT_EQ(idx.Scan(0, ref.size() + 10), ref);
+  std::vector<uint64_t> qs;
+  Xorshift128Plus qrng(seed ^ 7);
+  for (int p = 0; p < 1000; ++p) qs.push_back(qrng.NextBounded(key_space));
+  std::vector<size_t> out(qs.size());
+  index::LookupBatch(idx, std::span<const uint64_t>(qs),
+                     std::span<size_t>(out));
+  for (size_t p = 0; p < qs.size(); ++p) {
+    ASSERT_EQ(out[p], OracleRank(ref, qs[p]));
+    ASSERT_EQ(idx.Lookup(qs[p]), OracleRank(ref, qs[p]));
+  }
+}
+
+std::vector<uint64_t> SeedKeys(size_t n, uint64_t seed) {
+  auto keys = data::GenLognormal(n, seed);
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+TEST(WritableOracleTest, SizeThresholdPolicyMatchesSet) {
+  const auto keys = SeedKeys(20'000, 11);
+  dynamic::MergePolicy policy;  // defaults: size threshold
+  policy.min_delta_entries = 512;
+  policy.max_delta_entries = 1024;  // force frequent merges
+  DeltaRmi idx;
+  ASSERT_TRUE(idx.Build(keys, RmiConfigFor(keys.size(), policy, 64)).ok());
+  std::set<uint64_t> oracle(keys.begin(), keys.end());
+  RunOracleStream(idx, oracle, 12'000, 101, 2'000'000'000, false);
+  EXPECT_GT(idx.Stats().merges, 0u);
+}
+
+TEST(WritableOracleTest, WriteRatioPolicyMatchesSet) {
+  const auto keys = SeedKeys(20'000, 12);
+  dynamic::MergePolicy policy;
+  policy.trigger = dynamic::MergeTrigger::kWriteRatio;
+  policy.min_delta_entries = 700;
+  policy.write_ratio = 0.9;  // ~0.75 observed write fraction triggers
+  DeltaRmi idx;
+  ASSERT_TRUE(idx.Build(keys, RmiConfigFor(keys.size(), policy)).ok());
+  std::set<uint64_t> oracle(keys.begin(), keys.end());
+  RunOracleStream(idx, oracle, 12'000, 102, 2'000'000'000, false);
+  EXPECT_GT(idx.Stats().merges, 0u);
+}
+
+TEST(WritableOracleTest, ManualPolicyWithExplicitMergesMatchesSet) {
+  const auto keys = SeedKeys(20'000, 13);
+  dynamic::MergePolicy policy;
+  policy.trigger = dynamic::MergeTrigger::kManual;
+  DeltaRmi idx;
+  ASSERT_TRUE(idx.Build(keys, RmiConfigFor(keys.size(), policy)).ok());
+  std::set<uint64_t> oracle(keys.begin(), keys.end());
+  RunOracleStream(idx, oracle, 12'000, 103, 2'000'000'000, true);
+  const auto stats = idx.Stats();
+  EXPECT_GT(stats.merges, 0u);
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_GT(stats.erases, 0u);
+}
+
+// The property test of the ISSUE: after ANY interleaving of inserts,
+// erases and merges, Lookup must match a from-scratch rebuild over the
+// final live key set.
+TEST(WritablePropertyTest, InterleavedWritesMatchFromScratchRebuild) {
+  for (const uint64_t seed : {21u, 22u, 23u, 24u}) {
+    const auto keys = SeedKeys(8'000, seed);
+    dynamic::MergePolicy policy;
+    policy.min_delta_entries = 256;
+    policy.max_delta_entries = 700 + seed * 97;  // vary merge points
+    DeltaRmi idx;
+    ASSERT_TRUE(
+        idx.Build(keys, RmiConfigFor(keys.size(), policy, 32 + seed)).ok());
+    std::set<uint64_t> oracle(keys.begin(), keys.end());
+    Xorshift128Plus rng(seed * 7919);
+    for (int i = 0; i < 6'000; ++i) {
+      const uint64_t k = rng.NextBounded(1'000'000'000);
+      if (rng.NextBounded(3) == 0) {
+        idx.Erase(k);
+        oracle.erase(k);
+      } else {
+        idx.Insert(k);
+        oracle.insert(k);
+      }
+      if (rng.NextBounded(997) == 0) ASSERT_TRUE(idx.Merge().ok());
+    }
+    // From-scratch rebuild over the final live set.
+    const std::vector<uint64_t> live(oracle.begin(), oracle.end());
+    DeltaRmi rebuilt;
+    ASSERT_TRUE(
+        rebuilt.Build(live, RmiConfigFor(live.size(), policy)).ok());
+    ASSERT_EQ(idx.size(), rebuilt.size());
+    for (int p = 0; p < 3'000; ++p) {
+      const uint64_t q = rng.NextBounded(1'000'000'100);
+      ASSERT_EQ(idx.Lookup(q), rebuilt.Lookup(q)) << "seed " << seed;
+    }
+    ASSERT_EQ(idx.Scan(0, live.size() + 1), live);
+  }
+}
+
+// Regression for the old examples/delta_inserts.cpp inline merge loop:
+// when a delta key equals a base key mid-run, the merged base must hold
+// exactly one copy (the old loop dropped the base copy and kept the
+// delta's — correct result, but never verified; and with tombstones in
+// the mix the invariant is easy to break). Every duplicate pattern:
+// dup at front, mid-run, back, plus erase-then-reinsert.
+TEST(WritableMergeTest, DuplicateBaseAndDeltaKeysMergeToOneCopy) {
+  const std::vector<uint64_t> base = {10, 20, 30, 40, 50};
+  dynamic::MergePolicy manual;
+  manual.trigger = dynamic::MergeTrigger::kManual;
+  DeltaRmi idx;
+  ASSERT_TRUE(idx.Build(base, RmiConfigFor(base.size(), manual)).ok());
+
+  EXPECT_FALSE(idx.Insert(10));  // dup of first base key
+  EXPECT_FALSE(idx.Insert(30));  // dup mid-run
+  EXPECT_FALSE(idx.Insert(50));  // dup of last base key
+  EXPECT_TRUE(idx.Insert(25));   // genuinely new, between base keys
+  EXPECT_EQ(idx.size(), 6u);
+
+  ASSERT_TRUE(idx.Merge().ok());
+  EXPECT_EQ(idx.size(), 6u);
+  EXPECT_EQ(idx.Scan(0, 100),
+            (std::vector<uint64_t>{10, 20, 25, 30, 40, 50}));
+  // Ranks stay lower_bound-exact after the dedupe.
+  EXPECT_EQ(idx.Lookup(30), 3u);
+  EXPECT_EQ(idx.Lookup(31), 4u);
+  EXPECT_EQ(idx.Lookup(9), 0u);
+  EXPECT_EQ(idx.Lookup(51), 6u);
+
+  // Erase a base key, re-insert it, merge: still one copy.
+  EXPECT_TRUE(idx.Erase(20));
+  EXPECT_FALSE(idx.Contains(20));
+  EXPECT_TRUE(idx.Insert(20));
+  ASSERT_TRUE(idx.Merge().ok());
+  EXPECT_EQ(idx.Scan(0, 100),
+            (std::vector<uint64_t>{10, 20, 25, 30, 40, 50}));
+}
+
+TEST(WritableMergeTest, TombstonesFoldAtMergeAndBaseShrinks) {
+  const auto keys = SeedKeys(5'000, 31);
+  dynamic::MergePolicy manual;
+  manual.trigger = dynamic::MergeTrigger::kManual;
+  DeltaRmi idx;
+  ASSERT_TRUE(idx.Build(keys, RmiConfigFor(keys.size(), manual)).ok());
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_TRUE(idx.Erase(keys[i]));
+  }
+  EXPECT_FALSE(idx.Erase(keys[0]));  // double erase: no longer live
+  ASSERT_TRUE(idx.Merge().ok());
+  EXPECT_EQ(idx.Stats().base_keys, keys.size() - (keys.size() + 1) / 2);
+  EXPECT_EQ(idx.Stats().delta_entries, 0u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(idx.Contains(keys[i]), i % 2 == 1) << i;
+  }
+}
+
+TEST(WritableIndexTest, EmptyBuildThenInsertsAndMerge) {
+  dynamic::MergePolicy manual;
+  manual.trigger = dynamic::MergeTrigger::kManual;
+  DeltaRmi idx;
+  ASSERT_TRUE(idx.Build({}, RmiConfigFor(1, manual)).ok());
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.Lookup(42), 0u);
+  EXPECT_TRUE(idx.Insert(7));
+  EXPECT_TRUE(idx.Insert(3));
+  EXPECT_FALSE(idx.Insert(7));
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.Lookup(5), 1u);
+  ASSERT_TRUE(idx.Merge().ok());
+  EXPECT_EQ(idx.Scan(0, 10), (std::vector<uint64_t>{3, 7}));
+}
+
+TEST(WritableIndexTest, NonRmiBasesServeTheSameContract) {
+  const auto keys = SeedKeys(10'000, 41);
+  dynamic::MergePolicy policy;
+  policy.min_delta_entries = 256;
+  policy.max_delta_entries = 512;
+
+  DeltaBtree bt;
+  DeltaBtree::Config bt_cfg;
+  bt_cfg.base.keys_per_page = 64;
+  bt_cfg.policy = policy;
+  ASSERT_TRUE(bt.Build(keys, bt_cfg).ok());
+
+  DeltaBtreeMap btm;
+  DeltaBtreeMap::Config btm_cfg;
+  btm_cfg.policy = policy;
+  ASSERT_TRUE(btm.Build(keys, btm_cfg).ok());
+
+  std::set<uint64_t> oracle(keys.begin(), keys.end());
+  Xorshift128Plus rng(404);
+  for (int i = 0; i < 3'000; ++i) {
+    const uint64_t k = rng.NextBounded(2'000'000'000);
+    if (rng.NextBounded(3) == 0) {
+      const bool was = oracle.erase(k) > 0;
+      EXPECT_EQ(bt.Erase(k), was);
+      EXPECT_EQ(btm.Erase(k), was);
+    } else {
+      const bool fresh = oracle.insert(k).second;
+      EXPECT_EQ(bt.Insert(k), fresh);
+      EXPECT_EQ(btm.Insert(k), fresh);
+    }
+  }
+  const std::vector<uint64_t> ref(oracle.begin(), oracle.end());
+  EXPECT_EQ(bt.size(), ref.size());
+  EXPECT_EQ(btm.size(), ref.size());
+  for (int p = 0; p < 1'500; ++p) {
+    const uint64_t q = rng.NextBounded(2'000'000'100);
+    EXPECT_EQ(bt.Lookup(q), OracleRank(ref, q));
+    EXPECT_EQ(btm.Lookup(q), OracleRank(ref, q));
+  }
+  EXPECT_GT(bt.Stats().merges, 0u);
+}
+
+TEST(WritableIndexTest, StatsTrackOpsAndMerges) {
+  const auto keys = SeedKeys(2'000, 51);
+  dynamic::MergePolicy manual;
+  manual.trigger = dynamic::MergeTrigger::kManual;
+  DeltaRmi idx;
+  ASSERT_TRUE(idx.Build(keys, RmiConfigFor(keys.size(), manual)).ok());
+  const uint64_t fresh1 = keys.back() + 1, fresh2 = keys.back() + 2;
+  idx.Insert(fresh1);
+  idx.Insert(fresh2);
+  idx.Erase(keys[0]);
+  idx.Contains(fresh1);   // delta hit
+  idx.Contains(keys[1]);  // base hit
+  idx.Lookup(12345);
+  ASSERT_TRUE(idx.Merge().ok());
+  const auto s = idx.Stats();
+  EXPECT_EQ(s.inserts, 2u);
+  EXPECT_EQ(s.erases, 1u);
+  EXPECT_EQ(s.lookups, 3u);
+  EXPECT_EQ(s.contains, 2u);
+  EXPECT_EQ(s.delta_hits, 1u);
+  EXPECT_EQ(s.merges, 1u);
+  EXPECT_GT(s.last_merge_ns, 0.0);
+  EXPECT_EQ(s.base_keys, keys.size() + 1);  // +2 inserts -1 erase
+  EXPECT_DOUBLE_EQ(s.DeltaHitRate(), 0.5);  // 1 delta hit / 2 Contains
+}
+
+// ---- Merge-policy decision function ----
+
+TEST(MergePolicyTest, SizeThresholdUsesTighterOfAbsoluteAndFraction) {
+  dynamic::MergePolicy p;  // defaults: threshold trigger
+  p.min_delta_entries = 100;
+  p.max_delta_entries = 1000;
+  p.max_delta_fraction = 0.10;
+  // Base 5000: fraction cap = 500 (tighter than 1000).
+  EXPECT_FALSE(dynamic::ShouldMerge(p, 499, 5000, 0, 0));
+  EXPECT_TRUE(dynamic::ShouldMerge(p, 500, 5000, 0, 0));
+  // Base 100k: absolute cap 1000 is tighter.
+  EXPECT_FALSE(dynamic::ShouldMerge(p, 999, 100'000, 0, 0));
+  EXPECT_TRUE(dynamic::ShouldMerge(p, 1000, 100'000, 0, 0));
+  // Tiny base: the min floor prevents merge-per-write.
+  EXPECT_FALSE(dynamic::ShouldMerge(p, 99, 10, 0, 0));
+  EXPECT_TRUE(dynamic::ShouldMerge(p, 100, 10, 0, 0));
+}
+
+TEST(MergePolicyTest, WriteRatioFiresInReadMostlyLulls) {
+  dynamic::MergePolicy p;
+  p.trigger = dynamic::MergeTrigger::kWriteRatio;
+  p.min_delta_entries = 100;
+  p.write_ratio = 0.5;
+  // Not armed below the min delta size.
+  EXPECT_FALSE(dynamic::ShouldMerge(p, 99, 1000, 10, 1000));
+  // Armed, but the stream is write-heavy: hold off.
+  EXPECT_FALSE(dynamic::ShouldMerge(p, 200, 1000, 900, 100));
+  // Armed and read-mostly: merge.
+  EXPECT_TRUE(dynamic::ShouldMerge(p, 200, 1000, 100, 900));
+  EXPECT_FALSE(dynamic::ShouldMerge(p, 200, 1000, 0, 0));  // no ops yet
+}
+
+TEST(MergePolicyTest, ManualNeverAutoMerges) {
+  dynamic::MergePolicy p;
+  p.trigger = dynamic::MergeTrigger::kManual;
+  EXPECT_FALSE(dynamic::ShouldMerge(p, 1 << 30, 10, 1 << 20, 0));
+}
+
+// ---- The delta buffer's rank bookkeeping in isolation ----
+
+TEST(DeltaBufferTest, RankContributionsAndShadowing) {
+  dynamic::DeltaBuffer<uint64_t> buf(4);  // tiny active run: consolidate often
+  // Keys 10,20,30 "in base"; 15,25 new.
+  buf.Upsert(15, false, false);  // +1
+  buf.Upsert(25, false, false);  // +1
+  buf.Upsert(20, true, true);    // -1 (erase base key)
+  buf.Upsert(10, false, true);   // 0 (re-insert of base key)
+  EXPECT_EQ(buf.LiveAdjustTotal(), 1);
+  EXPECT_EQ(buf.RankAdjustBelow(10), 0);
+  EXPECT_EQ(buf.RankAdjustBelow(16), 1);   // the +1 at 15
+  EXPECT_EQ(buf.RankAdjustBelow(21), 0);   // +1 at 15, -1 at 20
+  EXPECT_EQ(buf.RankAdjustBelow(100), 1);
+  // Newest write wins, and shadowing does not double-count: un-erase 20.
+  buf.Upsert(20, false, true);  // now 0; consolidated -1 must be cancelled
+  EXPECT_EQ(buf.RankAdjustBelow(21), 1);
+  EXPECT_EQ(buf.LiveAdjustTotal(), 2);
+  ASSERT_TRUE(buf.Find(20).has_value());
+  EXPECT_FALSE(buf.Find(20)->tombstone);
+  // Visit sees the newest state per key, in order.
+  std::vector<uint64_t> visited;
+  buf.VisitAll([&](const dynamic::DeltaEntry<uint64_t>& e) {
+    visited.push_back(e.key);
+    EXPECT_FALSE(e.tombstone);
+    return true;
+  });
+  EXPECT_EQ(visited, (std::vector<uint64_t>{10, 15, 20, 25}));
+}
+
+}  // namespace
+}  // namespace li
