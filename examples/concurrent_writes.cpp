@@ -1,0 +1,113 @@
+// Scenario example: a multi-user serving front-end over a learned index.
+// Writer threads stream fresh keys into a range-sharded concurrent index
+// (concurrent::ShardedIndex over ConcurrentWritableIndex<LinearRmi>)
+// while reader threads run rank lookups, membership probes and scans the
+// whole time — no reader ever blocks on a write or on the background
+// merge+retrain cycles the shard workers run.
+//
+// Prints per-phase throughput and the ConcurrentStats gauges that drive
+// tuning: writer-lock contention (the "shard more" signal), freeze and
+// merge counts, epoch versions retired/reclaimed, and per-shard balance
+// from the CDF-sampled boundaries.
+//
+//   ./example_concurrent_writes [keys_millions] [writers] [readers]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "concurrent/concurrent_writable_index.h"
+#include "concurrent/sharded_index.h"
+#include "data/datasets.h"
+#include "rmi/rmi.h"
+
+int main(int argc, char** argv) {
+  using namespace li;
+  const size_t n =
+      (argc > 1 ? static_cast<size_t>(atol(argv[1])) : 1) * 1'000'000 / 2;
+  const size_t writers = argc > 2 ? static_cast<size_t>(atol(argv[2])) : 4;
+  const size_t readers = argc > 3 ? static_cast<size_t>(atol(argv[3])) : 4;
+  constexpr size_t kOpsPerWriter = 50'000;
+  constexpr size_t kOpsPerReader = 200'000;
+
+  printf("== concurrent writable index: %zu base keys, %zu writers, "
+         "%zu readers ==\n",
+         n, writers, readers);
+  const std::vector<uint64_t> base = data::GenWeblog(n);
+
+  using Shard = concurrent::ConcurrentWritableIndex<rmi::LinearRmi>;
+  using Store = concurrent::ShardedIndex<Shard>;
+  Store::Config config;
+  config.num_shards = 8;
+  config.inner.base.num_leaf_models = std::max<size_t>(64, n / 800);
+  config.inner.policy.min_delta_entries = 4096;
+  config.inner.policy.max_delta_entries = 16 * 1024;
+  config.inner.log_cap = 1024;
+
+  Store store;
+  if (!store.Build(base, config).ok()) {
+    fprintf(stderr, "build failed\n");
+    return 1;
+  }
+  printf("built %zu shards; boundary balance: ", store.num_shards());
+  for (const size_t s : store.ShardSizes()) printf("%zu ", s);
+  printf("\n");
+
+  // Writers append disjoint fresh key ranges; readers probe the base.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads_done{0};
+  std::vector<std::thread> pool;
+  Timer wall;
+  for (size_t w = 0; w < writers; ++w) {
+    pool.emplace_back([&, w] {
+      Xorshift128Plus rng(100 + w);
+      uint64_t key = base.back() + 1 + w;  // stride keeps streams disjoint
+      for (size_t i = 0; i < kOpsPerWriter; ++i) {
+        store.Insert(key);
+        key += writers * (1 + rng.NextBounded(8));
+      }
+    });
+  }
+  for (size_t r = 0; r < readers; ++r) {
+    pool.emplace_back([&, r] {
+      Xorshift128Plus rng(500 + r);
+      uint64_t sink = 0;
+      for (size_t i = 0; i < kOpsPerReader && !stop.load(); ++i) {
+        const uint64_t q = base[rng.NextBounded(base.size())];
+        sink += store.Lookup(q);
+        if ((i & 255) == 0) sink += store.Scan(q, 16).size();
+      }
+      DoNotOptimize(sink);
+      reads_done.fetch_add(kOpsPerReader);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double secs = wall.ElapsedSeconds();
+  stop.store(true);
+
+  const uint64_t writes = writers * kOpsPerWriter;
+  printf("mixed phase: %.2fs — %.2f Mwrites/s + %.2f Mreads/s aggregate\n",
+         secs, static_cast<double>(writes) / secs / 1e6,
+         static_cast<double>(reads_done.load()) / secs / 1e6);
+
+  store.WaitForMerges();
+  const auto cs = store.ConcurrentStats();
+  printf("gauges: inserts=%llu merges=%llu freezes=%llu "
+         "writer-contention=%.2f%% versions retired=%llu reclaimed=%llu\n",
+         static_cast<unsigned long long>(cs.inserts),
+         static_cast<unsigned long long>(cs.merges),
+         static_cast<unsigned long long>(cs.freezes),
+         cs.WriterContentionRate() * 100.0,
+         static_cast<unsigned long long>(cs.states_retired),
+         static_cast<unsigned long long>(cs.states_reclaimed));
+
+  const size_t expect = base.size() + writes;
+  printf("live keys: %zu (expected %zu) -> %s\n", store.size(), expect,
+         store.size() == expect ? "OK" : "MISMATCH");
+  return store.size() == expect ? 0 : 1;
+}

@@ -1,0 +1,259 @@
+// Epoch-based reclamation (EBR) — the memory-lifetime backbone of the
+// concurrent write path. Readers traverse immutable published state
+// (base + frozen delta + write-log prefix) without locks; writers and the
+// background merge worker replace that state with an atomic pointer swap
+// and *retire* the old version here instead of deleting it. A retired
+// version is freed only once every reader that could possibly still hold
+// a pointer into it has left its read-side critical section — the classic
+// Bigtable/LSM "drain the epoch" discipline.
+//
+// Protocol:
+//  * Readers wrap each operation in an `EpochManager::Guard`: the guard
+//    pins the thread's slot to the current global epoch (one seq_cst
+//    store), the reader then loads the published state pointer. Sequential
+//    consistency between the pin store, the state load, the publisher's
+//    state swap and the reclaimer's slot scan guarantees that a reclaimer
+//    either sees the pin (and preserves the version) or the reader sees
+//    the new state (and never touches the retired one).
+//  * Writers call `Retire(ptr)` after unlinking a version, then
+//    `Reclaim()`: advance the global epoch, compute the minimum pinned
+//    epoch across slots, and free every retired version tagged with an
+//    older epoch. With no active pins everything retired is freed.
+//
+// Threads lease a process-wide dense id (`ThisThreadIndex`) from a
+// bitmask free-list: acquired on a thread's first pin, released when the
+// thread exits, so ids recycle and a long-lived process spawning waves of
+// short-lived threads never exhausts the table. Up to `kMaxThreads`
+// *live* threads use per-thread cache-line-sized slots; a thread beyond
+// that pins through a shared fallback counter that conservatively blocks
+// all reclamation while held — correct, just not scalable past the slot
+// table (documented; the table is sized well above the 1-16 thread range
+// this library targets).
+
+#ifndef LI_CONCURRENT_EPOCH_H_
+#define LI_CONCURRENT_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace li::concurrent {
+
+namespace internal {
+
+/// Bitmask free-list of dense thread ids. Acquire/release use acq_rel
+/// RMWs so a recycled slot's plain fields (guard depth) are handed off
+/// with a happens-before edge from the dead thread to the new owner.
+class ThreadIdRegistry {
+ public:
+  static constexpr size_t kMaxIds = 128;
+  static constexpr size_t kInvalid = kMaxIds;
+
+  static size_t Acquire() {
+    for (size_t w = 0; w < kWords; ++w) {
+      uint64_t mask = Word(w).load(std::memory_order_relaxed);
+      while (mask != ~uint64_t{0}) {
+        const int bit = __builtin_ctzll(~mask);
+        if (Word(w).compare_exchange_weak(mask, mask | (uint64_t{1} << bit),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+          return w * 64 + static_cast<size_t>(bit);
+        }
+      }
+    }
+    return kInvalid;  // > kMaxIds live threads: caller falls back
+  }
+
+  static void Release(size_t id) {
+    Word(id / 64).fetch_and(~(uint64_t{1} << (id % 64)),
+                            std::memory_order_acq_rel);
+  }
+
+ private:
+  static constexpr size_t kWords = kMaxIds / 64;
+  static std::atomic<uint64_t>& Word(size_t w) {
+    static std::atomic<uint64_t> words[kWords];
+    return words[w];
+  }
+};
+
+}  // namespace internal
+
+/// Dense thread id leased for this thread's lifetime and recycled at
+/// thread exit. Ids >= EpochManager::kMaxThreads mean "no slot free"
+/// (more live threads than the table holds); callers fall back.
+inline size_t ThisThreadIndex() {
+  struct Lease {
+    size_t id = internal::ThreadIdRegistry::Acquire();
+    ~Lease() {
+      if (id != internal::ThreadIdRegistry::kInvalid) {
+        internal::ThreadIdRegistry::Release(id);
+      }
+    }
+  };
+  thread_local const Lease lease;
+  return lease.id;
+}
+
+class EpochManager {
+ public:
+  /// Per-thread pin slots. Threads beyond this use the fallback counter.
+  static constexpr size_t kMaxThreads = 128;
+  static_assert(kMaxThreads == internal::ThreadIdRegistry::kMaxIds);
+
+  /// A version awaiting deletion, as handed out by ReclaimTo: callers
+  /// run `deleter(ptr)` (or `Free`) outside their own critical sections.
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t epoch;  // global epoch at retire time
+  };
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Frees everything still retired. The owner must have quiesced first:
+  /// no guard may be alive and no further Retire may race the destructor.
+  ~EpochManager() {
+    std::lock_guard<std::mutex> lk(retired_mu_);
+    for (const Retired& r : retired_) r.deleter(r.ptr);
+    retired_.clear();
+  }
+
+  /// RAII read-side critical section. Cheap (one seq_cst store on entry,
+  /// one release store on exit) and re-entrant per thread.
+  class Guard {
+   public:
+    explicit Guard(EpochManager& mgr)
+        : mgr_(mgr), tid_(ThisThreadIndex()) {
+      if (tid_ < kMaxThreads) {
+        Slot& s = mgr_.slots_[tid_];
+        if (s.depth++ == 0) {
+          // The pin value may lag a concurrent epoch advance by one; that
+          // only makes reclamation more conservative, never unsafe.
+          s.epoch.store(mgr_.global_epoch_.load(std::memory_order_relaxed),
+                        std::memory_order_seq_cst);
+        }
+      } else {
+        mgr_.fallback_active_.fetch_add(1, std::memory_order_seq_cst);
+        mgr_.fallback_pins_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    ~Guard() {
+      if (tid_ < kMaxThreads) {
+        Slot& s = mgr_.slots_[tid_];
+        if (--s.depth == 0) s.epoch.store(0, std::memory_order_release);
+      } else {
+        mgr_.fallback_active_.fetch_sub(1, std::memory_order_release);
+      }
+    }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager& mgr_;
+    size_t tid_;
+  };
+
+  /// Hands `ptr` to the manager for deferred deletion. The caller must
+  /// already have unlinked it from all shared pointers (no new reader can
+  /// reach it); existing readers are what the epoch drain waits for.
+  template <typename T>
+  void Retire(T* ptr) {
+    const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lk(retired_mu_);
+      retired_.push_back(
+          Retired{ptr, [](void* p) { delete static_cast<T*>(p); }, e});
+    }
+    retired_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Advances the global epoch and moves every retired version no active
+  /// reader can still reach into `out` — WITHOUT running deleters, so a
+  /// caller inside a critical section (e.g. holding a writer mutex) can
+  /// defer the potentially heavy destructions (key arrays, model tables)
+  /// until after it unlocks. O(kMaxThreads) slot scan.
+  void ReclaimTo(std::vector<Retired>& out) {
+    global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (fallback_active_.load(std::memory_order_seq_cst) > 0) return;
+    uint64_t min_pin = UINT64_MAX;
+    for (const Slot& s : slots_) {
+      const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min_pin) min_pin = e;
+    }
+    std::lock_guard<std::mutex> lk(retired_mu_);
+    size_t kept = 0, moved = 0;
+    for (Retired& r : retired_) {
+      if (r.epoch < min_pin) {
+        out.push_back(r);
+        ++moved;
+      } else {
+        retired_[kept++] = r;
+      }
+    }
+    retired_.resize(kept);
+    reclaimed_count_.fetch_add(moved, std::memory_order_relaxed);
+  }
+
+  /// Runs the deleters of versions handed out by ReclaimTo.
+  static void Free(std::vector<Retired>& batch) {
+    for (const Retired& r : batch) r.deleter(r.ptr);
+    batch.clear();
+  }
+
+  /// Convenience: reclaim and free in one step (safe when the caller
+  /// holds no locks). Returns the number of versions freed.
+  size_t Reclaim() {
+    std::vector<Retired> batch;
+    ReclaimTo(batch);
+    const size_t n = batch.size();
+    Free(batch);
+    return n;
+  }
+
+  /// Versions handed to Retire so far.
+  uint64_t retired_count() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+  /// Versions actually freed by Reclaim so far.
+  uint64_t reclaimed_count() const {
+    return reclaimed_count_.load(std::memory_order_relaxed);
+  }
+  /// Pins that had to take the shared fallback path (thread id beyond the
+  /// slot table) — a deployment-sizing signal, not an error.
+  uint64_t fallback_pins() const {
+    return fallback_pins_.load(std::memory_order_relaxed);
+  }
+  /// Versions retired but not yet freed (awaiting an epoch drain).
+  size_t pending() const {
+    std::lock_guard<std::mutex> lk(retired_mu_);
+    return retired_.size();
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};  // 0 = idle, else the pinned epoch
+    uint32_t depth = 0;              // owning thread only: guard nesting
+  };
+
+  std::atomic<uint64_t> global_epoch_{1};  // pins are nonzero
+  Slot slots_[kMaxThreads];
+  std::atomic<uint64_t> fallback_active_{0};
+
+  mutable std::mutex retired_mu_;
+  std::vector<Retired> retired_;
+
+  std::atomic<uint64_t> retired_count_{0};
+  std::atomic<uint64_t> reclaimed_count_{0};
+  std::atomic<uint64_t> fallback_pins_{0};
+};
+
+}  // namespace li::concurrent
+
+#endif  // LI_CONCURRENT_EPOCH_H_

@@ -1,0 +1,297 @@
+// ShardedIndex<Inner> — a range-partitioned front-end over N inner
+// writable indexes, the write-scaling layer of the concurrent subsystem.
+//
+// A single ConcurrentWritableIndex serializes writers on one mutex; its
+// WriterContentionRate() is the gauge that says when that front-end is
+// saturated. ShardedIndex splits the key space into N contiguous ranges
+// and gives each its own inner index (own writer lock, own write log, own
+// background merge worker), so writers to different shards never touch
+// the same lock and write throughput scales with shards until memory
+// bandwidth takes over.
+//
+// Shard boundaries are picked from a CDF sample of the build keys: the
+// sample's equal-mass quantiles become the split points, so a skewed key
+// distribution still yields shards with (approximately) equal key counts
+// — equal-width splits would put most of a lognormal key set into one
+// shard. Boundaries are fixed at Build; a workload whose *insert* skew
+// drifts from the build distribution shows up as uneven shard sizes in
+// ConcurrentStats() (per-shard re-balancing is future work, tracked in
+// the ROADMAP).
+//
+// The contract is the same ConcurrentWritableRangeIndex as the inner
+// index: point ops route to one shard; Lookup adds the live sizes of the
+// shards left of the target (O(#shards) atomic loads, exact when
+// quiesced); Scan stitches shard scans left to right; Merge/RequestMerge
+// fan out (RequestMerge triggers all shard workers *in parallel*).
+
+#ifndef LI_CONCURRENT_SHARDED_INDEX_H_
+#define LI_CONCURRENT_SHARDED_INDEX_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "index/approx.h"
+#include "index/concurrent_writable_index.h"
+#include "index/range_index.h"
+#include "index/writable_range_index.h"
+
+namespace li::concurrent {
+
+/// True when the inner index exposes the concurrent merge-control
+/// surface; ShardedIndex then forwards it (and fans RequestMerge out so
+/// shard merges overlap).
+template <typename I>
+concept HasMergeControl = requires(I& idx) {
+  { idx.RequestMerge() };
+  { idx.WaitForMerges() };
+};
+
+template <index::WritableRangeIndex Inner>
+class ShardedIndex {
+ public:
+  using key_type = typename Inner::key_type;
+  using inner_config_type = typename Inner::config_type;
+
+  struct Config {
+    inner_config_type inner{};
+    size_t num_shards = 8;
+    /// Keys sampled from the build set to estimate the CDF the shard
+    /// boundaries are cut from. The sample's equal-mass quantiles balance
+    /// shards under skew; a few thousand points pin every boundary to
+    /// within a fraction of a percent of mass.
+    size_t cdf_sample = 8192;
+  };
+  using config_type = Config;
+
+  ShardedIndex() = default;
+  ShardedIndex(ShardedIndex&&) noexcept = default;
+  ShardedIndex& operator=(ShardedIndex&&) noexcept = default;
+
+  /// Builds `num_shards` inner indexes over equal-mass key ranges.
+  /// `keys` sorted, strictly increasing; each shard copies its slice.
+  Status Build(std::span<const key_type> keys, const Config& config) {
+    config_ = config;
+    const size_t shards = std::max<size_t>(config.num_shards, 1);
+    boundaries_.clear();
+    shards_.clear();
+    // CDF sample: every stride-th key (the keys are the CDF's inverse).
+    // Boundary i = the sample's (i+1)/shards quantile.
+    std::vector<key_type> sample;
+    if (!keys.empty() && shards > 1) {
+      const size_t want = std::min(
+          keys.size(), std::max<size_t>(config.cdf_sample, shards));
+      sample.reserve(want);
+      const double stride = static_cast<double>(keys.size()) /
+                            static_cast<double>(want);
+      for (size_t i = 0; i < want; ++i) {
+        sample.push_back(keys[static_cast<size_t>(i * stride)]);
+      }
+      for (size_t i = 1; i < shards; ++i) {
+        const key_type b = sample[i * sample.size() / shards];
+        // Strictly increasing boundaries; duplicates would create an
+        // empty shard and an ill-defined route.
+        if (boundaries_.empty() || boundaries_.back() < b) {
+          boundaries_.push_back(b);
+        }
+      }
+    }
+    const size_t actual = boundaries_.size() + 1;
+    shards_.resize(actual);
+    size_t begin = 0;
+    for (size_t i = 0; i < actual; ++i) {
+      const size_t end =
+          i < boundaries_.size()
+              ? static_cast<size_t>(
+                    std::lower_bound(keys.begin(), keys.end(),
+                                     boundaries_[i]) -
+                    keys.begin())
+              : keys.size();
+      LI_RETURN_IF_ERROR(
+          shards_[i].Build(keys.subspan(begin, end - begin), config.inner));
+      begin = end;
+    }
+    return Status::OK();
+  }
+
+  // ---- reads ----
+
+  /// lower_bound rank over the whole live key set: live sizes of the
+  /// shards left of the route target plus the target's local rank.
+  size_t Lookup(const key_type& key) const {
+    if (shards_.empty()) return 0;
+    const size_t s = ShardOf(key);
+    size_t rank = 0;
+    for (size_t i = 0; i < s; ++i) rank += shards_[i].size();
+    return rank + shards_[s].Lookup(key);
+  }
+
+  size_t LowerBound(const key_type& key) const { return Lookup(key); }
+
+  index::Approx ApproxPos(const key_type& key) const {
+    return index::Approx::Exact(Lookup(key), size());
+  }
+
+  /// Per-key routing with the left-shard size prefix snapshotted once per
+  /// batch, so the O(#shards) size sum is paid once, not per key.
+  void LookupBatch(std::span<const key_type> keys,
+                   std::span<size_t> out) const {
+    const size_t n = std::min(keys.size(), out.size());
+    std::vector<size_t> prefix(shards_.size() + 1, 0);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      prefix[i + 1] = prefix[i] + shards_[i].size();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t s = ShardOf(keys[i]);
+      out[i] = prefix[s] + shards_[s].Lookup(keys[i]);
+    }
+  }
+
+  bool Contains(const key_type& key) const {
+    return !shards_.empty() && shards_[ShardOf(key)].Contains(key);
+  }
+
+  /// Live keys >= `from`, stitched across shards left to right.
+  std::vector<key_type> Scan(const key_type& from, size_t limit) const {
+    std::vector<key_type> out;
+    if (limit == 0 || shards_.empty()) return out;
+    for (size_t s = ShardOf(from); s < shards_.size(); ++s) {
+      std::vector<key_type> part = shards_[s].Scan(from, limit - out.size());
+      if (out.empty()) {
+        out = std::move(part);
+      } else {
+        out.insert(out.end(), part.begin(), part.end());
+      }
+      if (out.size() >= limit) break;
+    }
+    return out;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Inner& s : shards_) n += s.size();
+    return n;
+  }
+
+  size_t SizeBytes() const {
+    size_t n = boundaries_.capacity() * sizeof(key_type);
+    for (const Inner& s : shards_) n += s.SizeBytes();
+    return n;
+  }
+
+  // ---- writes ----
+
+  bool Insert(const key_type& key) {
+    return !shards_.empty() && shards_[ShardOf(key)].Insert(key);
+  }
+  bool Erase(const key_type& key) {
+    return !shards_.empty() && shards_[ShardOf(key)].Erase(key);
+  }
+
+  // ---- merge control ----
+
+  /// Synchronous: when the inner index has a background worker, all shard
+  /// merges are requested first so they overlap, then drained; otherwise
+  /// shards merge sequentially. First failure wins, every shard still
+  /// runs (each shard stays individually consistent either way).
+  Status Merge() {
+    if constexpr (HasMergeControl<Inner>) {
+      for (Inner& s : shards_) s.RequestMerge();
+    }
+    Status first = Status::OK();
+    for (Inner& s : shards_) {
+      const Status st = s.Merge();
+      if (first.ok() && !st.ok()) first = st;
+    }
+    return first;
+  }
+
+  void RequestMerge()
+    requires HasMergeControl<Inner>
+  {
+    for (Inner& s : shards_) s.RequestMerge();
+  }
+
+  void WaitForMerges()
+    requires HasMergeControl<Inner>
+  {
+    for (Inner& s : shards_) s.WaitForMerges();
+  }
+
+  // ---- stats ----
+
+  index::WritableIndexStats Stats() const {
+    index::WritableIndexStats agg{};
+    for (const Inner& s : shards_) Accumulate(agg, s.Stats());
+    return agg;
+  }
+
+  index::ConcurrentIndexStats ConcurrentStats() const
+    requires requires(const Inner& i) {
+      { i.ConcurrentStats() } -> std::same_as<index::ConcurrentIndexStats>;
+    }
+  {
+    index::ConcurrentIndexStats agg{};
+    for (const Inner& s : shards_) {
+      const index::ConcurrentIndexStats cs = s.ConcurrentStats();
+      Accumulate(agg, cs);
+      agg.freezes += cs.freezes;
+      agg.background_merges += cs.background_merges;
+      agg.writer_contended += cs.writer_contended;
+      agg.states_published += cs.states_published;
+      agg.states_retired += cs.states_retired;
+      agg.states_reclaimed += cs.states_reclaimed;
+      agg.epoch_fallback_pins += cs.epoch_fallback_pins;
+      agg.log_entries += cs.log_entries;
+    }
+    agg.shards = shards_.size();
+    return agg;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  std::span<const key_type> boundaries() const { return boundaries_; }
+  const Inner& shard(size_t i) const { return shards_[i]; }
+  /// Per-shard live sizes — the balance gauge for boundary quality.
+  std::vector<size_t> ShardSizes() const {
+    std::vector<size_t> out;
+    out.reserve(shards_.size());
+    for (const Inner& s : shards_) out.push_back(s.size());
+    return out;
+  }
+
+ private:
+  /// Shard covering `key`: shard i serves [boundary[i-1], boundary[i]).
+  size_t ShardOf(const key_type& key) const {
+    return static_cast<size_t>(
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), key) -
+        boundaries_.begin());
+  }
+
+  static void Accumulate(index::WritableIndexStats& agg,
+                         const index::WritableIndexStats& s) {
+    agg.lookups += s.lookups;
+    agg.contains += s.contains;
+    agg.inserts += s.inserts;
+    agg.erases += s.erases;
+    agg.delta_hits += s.delta_hits;
+    agg.merges += s.merges;
+    agg.merged_keys += s.merged_keys;
+    agg.last_merge_ns = std::max(agg.last_merge_ns, s.last_merge_ns);
+    agg.total_merge_ns += s.total_merge_ns;
+    agg.delta_entries += s.delta_entries;
+    agg.delta_bytes += s.delta_bytes;
+    agg.base_keys += s.base_keys;
+  }
+
+  Config config_{};
+  std::vector<key_type> boundaries_;  // num_shards - 1 split points
+  std::vector<Inner> shards_;
+};
+
+}  // namespace li::concurrent
+
+#endif  // LI_CONCURRENT_SHARDED_INDEX_H_

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -146,6 +147,30 @@ class DeltaBuffer {
     Visit(0, 0, std::forward<Fn>(fn));
   }
 
+  /// Immutable-snapshot handoff for the concurrent layer: bulk-loads
+  /// `entries` (ascending keys, one newest write per key, `in_base`
+  /// relative to whatever base the caller pairs this buffer with)
+  /// straight into the consolidated run with its prefix sums — no per-key
+  /// Upserts, no active run. The result is a fully functional buffer; the
+  /// concurrent index publishes it as the frozen half of a state version
+  /// and never mutates it again.
+  static DeltaBuffer FromSortedEntries(
+      std::span<const DeltaEntry<Key>> entries, size_t active_cap = 256) {
+    DeltaBuffer buf(active_cap);
+    buf.keys_.reserve(entries.size());
+    buf.meta_.reserve(entries.size());
+    buf.prefix_.resize(entries.size() + 1);
+    buf.prefix_[0] = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const DeltaEntry<Key>& e = entries[i];
+      buf.keys_.push_back(e.key);
+      buf.meta_.push_back(Meta{e.tombstone, e.in_base});
+      buf.prefix_[i + 1] =
+          buf.prefix_[i] + Contribution(e.tombstone, e.in_base);
+    }
+    return buf;
+  }
+
  private:
   template <typename Fn>
   void Visit(size_t c, size_t a, Fn&& fn) const {
@@ -249,6 +274,29 @@ class DeltaBuffer {
   std::vector<ActiveMeta> active_meta_;
   std::vector<int32_t> active_prefix_{0};  // size active_keys_.size() + 1
 };
+
+/// The merged live key set: `base` ∪ delta-inserts ∖ delta-tombstones,
+/// ascending, one copy per key (a delta entry shadows an equal base
+/// key). The ONE definition of the Appendix-D.1 merge-step key fold,
+/// shared by DeltaRangeIndex::Merge and the concurrent merge worker —
+/// the duplicate-key regression suite pins its semantics once for both.
+template <typename Key>
+std::vector<Key> MergeLiveKeys(std::span<const Key> base,
+                               const DeltaBuffer<Key>& delta) {
+  std::vector<Key> merged;
+  merged.reserve(base.size() + delta.entry_count());
+  size_t bi = 0;
+  delta.VisitAll([&](const DeltaEntry<Key>& e) {
+    while (bi < base.size() && base[bi] < e.key) {
+      merged.push_back(base[bi++]);
+    }
+    if (bi < base.size() && base[bi] == e.key) ++bi;  // one copy only
+    if (!e.tombstone) merged.push_back(e.key);
+    return true;
+  });
+  while (bi < base.size()) merged.push_back(base[bi++]);
+  return merged;
+}
 
 }  // namespace li::dynamic
 

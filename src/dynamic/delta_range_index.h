@@ -167,11 +167,18 @@ class DeltaRangeIndex {
   std::vector<key_type> Scan(const key_type& from, size_t limit) const {
     std::vector<key_type> out;
     if (limit == 0) return out;
-    out.reserve(std::min(limit, size_t{1024}));
+    // The number of live keys >= `from` is known exactly up front from
+    // the rank prefix sums the delta maintains at consolidation time, so
+    // the result buffer is reserved once — Scan performs exactly one
+    // allocation (the returned vector), never a growth-doubling chain.
+    size_t bi = base_.Lookup(from);
+    const size_t start_rank = static_cast<size_t>(
+        static_cast<int64_t>(bi) +
+        (delta_.empty() ? 0 : delta_.RankAdjustBelow(from)));
+    out.reserve(std::min(limit, size() - start_rank));
     // Streamed merge: base keys are drained up to each visited delta
     // entry, and the visit stops as soon as the window fills — O(limit)
     // work, not O(delta).
-    size_t bi = base_.Lookup(from);
     delta_.VisitFrom(from, [&](const DeltaEntry<key_type>& e) {
       while (bi < base_keys_.size() && base_keys_[bi] < e.key &&
              out.size() < limit) {
@@ -253,8 +260,8 @@ class DeltaRangeIndex {
 
  private:
   bool BaseContains(const key_type& key) const {
-    const size_t pos = base_.Lookup(key);
-    return pos < base_keys_.size() && base_keys_[pos] == key;
+    return index::ContainsViaLookup(
+        base_, std::span<const key_type>(base_keys_), key);
   }
 
   size_t RawLookup(const key_type& key) const {
@@ -272,26 +279,7 @@ class DeltaRangeIndex {
 
   /// The merged live key set: base keys + delta inserts - tombstones.
   std::vector<key_type> MergedLiveKeys() const {
-    std::vector<DeltaEntry<key_type>> dv;
-    delta_.VisitAll([&](const DeltaEntry<key_type>& e) {
-      dv.push_back(e);
-      return true;
-    });
-    std::vector<key_type> merged;
-    merged.reserve(base_keys_.size() + dv.size());
-    size_t bi = 0, di = 0;
-    while (bi < base_keys_.size() || di < dv.size()) {
-      const bool has_b = bi < base_keys_.size();
-      const bool has_d = di < dv.size();
-      if (has_b && (!has_d || base_keys_[bi] < dv[di].key)) {
-        merged.push_back(base_keys_[bi++]);
-      } else {
-        if (has_b && base_keys_[bi] == dv[di].key) ++bi;  // one copy only
-        if (!dv[di].tombstone) merged.push_back(dv[di].key);
-        ++di;
-      }
-    }
-    return merged;
+    return MergeLiveKeys(std::span<const key_type>(base_keys_), delta_);
   }
 
   Config config_{};

@@ -2,17 +2,38 @@
 //
 // Everything that answers set-membership queries — the standard Bloom
 // filter, the learned Bloom filter (classifier + overflow, §5.1.1), the
-// model-hash sandwich (§5.1.2 / Appendix E) — satisfies one interface:
+// model-hash sandwich (§5.1.2 / Appendix E) — satisfies one interface.
 //
-//   MightContain(key) -> bool     (never false-negative for inserted keys)
-//   SizeBytes()       -> size_t   (bits + classifier, the §5 metric)
+// Contract requirements — semantics, complexity, thread-safety:
+//
+//   MightContain(string_view key) -> bool
+//     Probabilistic membership: MUST return true for every key inserted
+//     at construction (no false negatives, the §5 safety property); may
+//     return true for absent keys at the filter's false-positive rate.
+//     Cost: k hash probes for a plain Bloom filter; one classifier
+//     evaluation (+ overflow-filter probes below the threshold) for the
+//     learned variants. Const, safe for concurrent readers.
+//
+//   SizeBytes() -> size_t
+//     Total memory: bitmap bits plus any classifier weights — the §5
+//     objective (memory at a fixed FPR), which is why the existence
+//     synthesizer picks the *smallest* qualifying candidate rather than
+//     the fastest. O(1). Const-safe.
+//
 //   MeasuredFpr(span<const string> non_keys) -> double
+//     The false-positive fraction of MightContain over a non-key test
+//     set, delegated to MeasureFprOver below by every implementation so
+//     the metric cannot drift. O(|non_keys|) probes. Const-safe.
+//
+// Thread-safety baseline: const members are safe from many threads after
+// construction; filters are immutable once built.
 //
 // Build is *not* part of the contract: construction recipes differ
 // fundamentally (geometry from (n, p*) vs a trained classifier plus
-// validation non-keys), so candidates are built concretely and erased into
-// AnyExistenceIndex — the seam the LIF synthesizer (§3.1) and the §5
-// benches enumerate over, mirroring AnyRangeIndex / AnyPointIndex.
+// validation non-keys for threshold calibration), so candidates are
+// built concretely and erased into AnyExistenceIndex — the seam the LIF
+// synthesizer (§3.1) and the §5 benches enumerate over, mirroring
+// AnyRangeIndex / AnyPointIndex.
 
 #ifndef LI_INDEX_EXISTENCE_INDEX_H_
 #define LI_INDEX_EXISTENCE_INDEX_H_
@@ -44,6 +65,9 @@ double MeasureFprOver(const F& filter,
          static_cast<double>(test_non_keys.size());
 }
 
+/// A no-false-negative set-membership filter over string keys. See the
+/// header comment for the per-requirement semantics, complexity and
+/// thread-safety guarantees.
 template <typename F>
 concept ExistenceIndex =
     std::movable<F> &&

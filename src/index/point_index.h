@@ -3,21 +3,45 @@
 // Everything that answers single-key lookups over a record set — the
 // separate-chaining map, the in-place chained map, the bucketized cuckoo
 // map — satisfies one interface, mirroring the RangeIndex contract that
-// PR 1 put under the range layer:
+// PR 1 put under the range layer.
+//
+// Contract requirements — semantics, complexity, thread-safety:
 //
 //   typename I::config_type
-//   Build(span<const hash::Record>, const config_type&) -> Status
-//   Find(key)      -> const hash::Record*   (nullptr when absent)
-//   SizeBytes()    -> size_t                (slots + overflow, incl. records,
-//                                            the Appendix-B accounting)
-//   num_records()  -> size_t
-//   Stats()        -> PointIndexStats       (conflict/occupancy metrics)
+//     Default-constructible build configuration. The hash-function
+//     family (MurmurHash-style random vs learned CDF, §4.1) is part of
+//     it (hash::HashConfig), not a template parameter callers thread.
 //
-// Contract semantics every implementation follows:
-//   * duplicate keys keep the FIRST record seen during Build;
-//   * Find on an empty or never-built map returns nullptr;
-//   * the hash-function family (random vs learned CDF, §4.1) is part of
-//     the build config, not a template parameter callers must thread.
+//   Build(span<const hash::Record> records, const config_type&) -> Status
+//     Builds over `records` in any order; duplicate keys keep the FIRST
+//     record seen. Records are copied into the map's own storage. Cost:
+//     O(n) inserts plus (for the learned family) CDF-model training.
+//     Not thread-safe; build-then-share.
+//
+//   Find(key) -> const hash::Record*
+//     The stored record, or nullptr when absent — including on an empty
+//     or never-built map (no UB, regression-tested). The pointer is
+//     valid until the map is mutated or destroyed. Cost: one hash (or
+//     model) evaluation + expected O(1 + load) probes; Stats().
+//     mean_probe reports the measured chain length. Const, safe for
+//     concurrent readers.
+//
+//   SizeBytes() -> size_t
+//     Total memory: primary slots + overflow storage, *including* the
+//     records (the Appendix-B accounting — unlike range indexes, the
+//     record payload is part of the structure). O(1). Const-safe.
+//
+//   num_records() -> size_t
+//     Stored record count (first-wins deduplicated). O(1). Const-safe.
+//
+//   Stats() -> PointIndexStats
+//     Conflict/occupancy metrics (slots, empties, overflow, mean probe)
+//     — the Figure-8/-11 columns. O(1) (precomputed at Build).
+//     Const-safe.
+//
+// Thread-safety baseline: const members are safe from many threads after
+// Build; there is no concurrent point-write path yet (the concurrent
+// subsystem covers the range/writable classes).
 //
 // This is what lets the LIF synthesizer (§3.1) enumerate point-index
 // candidates uniformly (via AnyPointIndex), the §4 benches compare map
@@ -63,6 +87,9 @@ struct PointIndexStats {
   }
 };
 
+/// A hashed single-key lookup structure over hash::Record. See the
+/// header comment for the per-requirement semantics, complexity and
+/// thread-safety guarantees.
 template <typename I>
 concept PointIndex =
     std::movable<I> &&

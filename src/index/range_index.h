@@ -1,18 +1,54 @@
 // The library-wide lookup contract, part 2: the `RangeIndex` concept.
 //
 // Everything that answers range lookups over a sorted key array — the RMI
-// family, the four B-Tree variants, the lookup table — satisfies one
-// interface:
+// family, the four B-Tree variants, the lookup table, and (by refinement)
+// every writable index — satisfies one interface. This is what lets the
+// LIF synthesizer (§3.1) enumerate candidates uniformly (via
+// AnyRangeIndex), the benches compare backends, and the conformance suite
+// (tests/range_index_conformance_test.cc) drive every implementation
+// through the same checks.
 //
-//   typename I::key_type / I::config_type
-//   Build(span<const key_type>, const config_type&) -> Status
-//   ApproxPos(key) -> Approx      (model/traversal only, no final search)
-//   Lookup(key)    -> size_t      (full lower_bound over the data array)
-//   SizeBytes()    -> size_t      (index overhead, excluding the data)
+// Contract requirements — semantics, complexity, thread-safety:
 //
-// This is what lets the LIF synthesizer (§3.1) enumerate candidates
-// uniformly (via AnyRangeIndex), the benches compare backends, and the
-// conformance test drive every implementation through the same checks.
+//   typename I::key_type
+//     The key type. uint64_t, double and std::string are the supported
+//     families (index/key_traits.h maps them to model features).
+//   typename I::config_type
+//     Default-constructible build configuration.
+//
+//   Build(span<const key_type> keys, const config_type&) -> Status
+//     Trains/builds over `keys`, which must be sorted ascending and
+//     strictly increasing (no duplicates). Unless documented otherwise
+//     (DeltaRangeIndex, ConcurrentWritableIndex copy), the index may keep
+//     a span into `keys` — the caller owns the array and must keep it
+//     alive and unmoved. Cost: one or two passes over the data plus model
+//     training. Not thread-safe; build-then-share.
+//
+//   ApproxPos(key) -> Approx
+//     Model/traversal execution only, no final search: a position
+//     estimate plus its worst-case window {pos, lo, hi} (index/approx.h).
+//     For any *stored* key the true lower_bound position lies in
+//     [lo, hi); for absent keys under a non-monotonic model the window
+//     may miss (Lookup recovers with the §3.4 boundary fix-up). Cost:
+//     O(model) — constant for the RMI (two model evaluations), O(log n)
+//     for trees. Const, safe for concurrent readers.
+//
+//   Lookup(key) -> size_t
+//     Exact lower_bound rank over the data array for *any* probe key:
+//     the number of stored keys < `key`. Cost: ApproxPos + a bounded
+//     last-mile search over the window (search/search.h). Const, safe
+//     for concurrent readers.
+//
+//   SizeBytes() -> size_t
+//     Index overhead in bytes — models, node tables, delta structures —
+//     *excluding* the key array itself (the paper's Figure-4 size
+//     accounting). O(1). Const, safe for concurrent readers.
+//
+// Thread-safety baseline for the whole contract: const member functions
+// are safe to call from many threads after Build completes; mutating
+// members (Build) require external exclusion. Implementations may
+// strengthen this (see index/concurrent_writable_index.h) but must not
+// weaken it.
 //
 // `LookupBatch` amortizes per-key overhead on the hot path: indexes with a
 // native batched implementation (the RMI core software-pipelines routing,
@@ -32,6 +68,10 @@
 
 namespace li::index {
 
+/// A structure answering lower_bound rank queries over a sorted key
+/// array, with an error-bounded position estimate (`ApproxPos`) as the
+/// §3.4 common currency. See the header comment for the per-requirement
+/// semantics, complexity and thread-safety guarantees.
 template <typename I>
 concept RangeIndex =
     std::movable<I> &&
@@ -46,6 +86,18 @@ concept RangeIndex =
       { idx.Lookup(key) } -> std::same_as<size_t>;
       { idx.SizeBytes() } -> std::same_as<size_t>;
     };
+
+/// Membership probe through an index over its backing sorted array:
+/// true iff `key` is stored. The shared base-membership primitive of the
+/// delta wrappers (the rank from Lookup is exact, so one comparison at
+/// the returned position decides). O(Lookup). Const-safe.
+template <RangeIndex I>
+bool ContainsViaLookup(const I& idx,
+                       std::span<const typename I::key_type> keys,
+                       const typename I::key_type& key) {
+  const size_t pos = idx.Lookup(key);
+  return pos < keys.size() && keys[pos] == key;
+}
 
 /// True when the index ships its own batched lookup (e.g. the RMI core).
 template <typename I>

@@ -5,8 +5,53 @@
 // and from time to time merged with a potential retraining of the model
 // ... already widely used, for example in Bigtable". `WritableRangeIndex`
 // is the contract for that shape of index: everything a `RangeIndex` can
-// answer, plus point writes (Insert/Erase), membership, ordered scans and
-// an explicit Merge() that folds buffered writes into the base structure.
+// answer — Lookup keeps exact lower_bound semantics over the *live* key
+// set (base plus unmerged inserts, minus erases), so read-only call sites
+// keep working unmodified — plus the write surface below.
+//
+// Contract requirements beyond RangeIndex — semantics, complexity,
+// thread-safety:
+//
+//   Insert(key) -> bool
+//     Buffers an insert; returns true iff `key` was not live before (the
+//     std::set convention). Cost for the delta implementation: one base
+//     lookup to freeze the key's base membership + O(active_cap)
+//     sorted-buffer insertion, amortized consolidation, and possibly a
+//     policy-triggered merge.
+//
+//   Erase(key) -> bool
+//     Buffers a tombstone; returns true iff `key` was live before.
+//     Same cost shape as Insert.
+//
+//   Contains(key) -> bool
+//     Membership over the live set; the newest buffered write wins over
+//     the base. Cost: O(log delta) + one base lookup on delta miss.
+//     Const.
+//
+//   Scan(from, limit) -> vector<key_type>
+//     Up to `limit` live keys >= `from`, ascending, tombstones dropped,
+//     buffered writes shadowing equal base keys. Cost: O(log) seek +
+//     O(limit) merge; the delta implementation allocates exactly the
+//     returned vector (regression-tested). Const.
+//
+//   size() -> size_t
+//     Live key count (base + net delta). O(1). Const.
+//
+//   Merge() -> Status
+//     Folds buffered writes into the base and retrains it (through the
+//     base's Rebuild() retrain-reuse hook when present). Transactional:
+//     on failure the previous base and delta remain intact. Cost:
+//     O(n + delta) + base training. Also what the automatic merge
+//     policies (dynamic/merge_policy.h) invoke.
+//
+//   Stats() -> WritableIndexStats
+//     Per-op counters (below). O(1). Const.
+//
+// Thread-safety baseline: const members are safe from many threads only
+// in the absence of concurrent writers; Insert/Erase/Merge require
+// external exclusion. The refinement contract in
+// index/concurrent_writable_index.h strengthens this to lock-free reads
+// under concurrent writers and background merges.
 //
 // The canonical implementation is dynamic::DeltaRangeIndex<Base>, which
 // wraps *any* RangeIndex base; the concept itself is implementation-

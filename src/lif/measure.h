@@ -5,10 +5,13 @@
 #ifndef LI_LIF_MEASURE_H_
 #define LI_LIF_MEASURE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
@@ -95,6 +98,58 @@ struct ReadWriteWorkload {
 ReadWriteWorkload MakeReadWriteWorkload(std::span<const uint64_t> keys,
                                         size_t ops, double insert_ratio,
                                         size_t lookup_probes, uint64_t seed);
+
+/// Multi-threaded mixed-stream driver over a ReadWriteWorkload: the op
+/// schedule is cut into per-thread slices (disjoint insert sub-streams,
+/// decorrelated lookup offsets), all threads start on one flag, and the
+/// score is aggregate wall-time per op — the same throughput currency as
+/// the single-threaded mixed ns/op. The ONE definition of this harness:
+/// the LIF writable synthesizer qualifies concurrent candidates with it
+/// and bench_concurrent reports it, so the qualification metric and the
+/// benched numbers cannot drift apart. With threads == 1 it degenerates
+/// to the sequential stream. `idx` must be safe for the given thread
+/// count (any ConcurrentWritableRangeIndex; 1 for everything else).
+template <typename Idx>
+double RunMixedStreamNs(Idx& idx, const ReadWriteWorkload& w,
+                        size_t threads) {
+  threads = std::max<size_t>(threads, 1);
+  const size_t ops = w.is_insert.size();
+  if (ops == 0) return 0.0;
+  std::vector<size_t> ins_prefix(ops + 1, 0);
+  for (size_t i = 0; i < ops; ++i) {
+    ins_prefix[i + 1] = ins_prefix[i] + (w.is_insert[i] != 0 ? 1 : 0);
+  }
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t lo = t * ops / threads;
+    const size_t hi = (t + 1) * ops / threads;
+    pool.emplace_back([&, t, lo, hi] {
+      size_t ii = ins_prefix[lo];
+      size_t li = t * 7919;  // decorrelate probe positions across threads
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      uint64_t sink = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        if (w.is_insert[i] != 0 && ii < w.inserts.size()) {
+          sink += idx.Insert(w.inserts[ii++]) ? 1 : 0;
+        } else {
+          sink += idx.Lookup(w.lookups[li++ % w.lookups.size()]);
+        }
+      }
+      DoNotOptimize(sink);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < threads) {
+    std::this_thread::yield();
+  }
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : pool) th.join();
+  return timer.ElapsedNanos() / static_cast<double>(ops);
+}
 
 }  // namespace li::lif
 

@@ -1,8 +1,10 @@
 #include "lif/synthesizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "bloom/bloom_filter.h"
@@ -10,6 +12,8 @@
 #include "bloom/model_hash_bloom.h"
 #include "btree/readonly_btree.h"
 #include "classifier/ngram_logistic.h"
+#include "concurrent/concurrent_writable_index.h"
+#include "concurrent/sharded_index.h"
 #include "data/datasets.h"
 #include "dynamic/delta_range_index.h"
 #include "hash/chained_hash_map.h"
@@ -418,7 +422,8 @@ Status SynthesizedExistenceIndex::Synthesize(
 namespace {
 
 /// Builds a candidate over the base split, drives it through the op
-/// stream, and fills the report (mixed_ns is the qualification metric;
+/// stream via the shared harness (one thread: the sequential stream),
+/// and fills the report (mixed_ns is the qualification metric;
 /// lookup_ns is measured after the stream, delta populated).
 template <typename Idx, typename BuildFn>
 Status EvaluateWritableCandidate(const ReadWriteWorkload& w, BuildFn&& build,
@@ -426,25 +431,34 @@ Status EvaluateWritableCandidate(const ReadWriteWorkload& w, BuildFn&& build,
                                  CandidateReport* report) {
   Idx idx;
   LI_RETURN_IF_ERROR(build(std::span<const uint64_t>(w.base), &idx));
-  size_t ii = 0, li = 0;
-  uint64_t sink = 0;
-  Timer timer;
-  for (const uint8_t op : w.is_insert) {
-    if (op != 0 && ii < w.inserts.size()) {
-      sink += idx.Insert(w.inserts[ii++]) ? 1 : 0;
-    } else {
-      sink += idx.Lookup(w.lookups[li++ % w.lookups.size()]);
-    }
-  }
-  const double total_ns = timer.ElapsedNanos();
-  DoNotOptimize(sink);
   report->description = description;
-  report->mixed_ns =
-      total_ns / static_cast<double>(std::max<size_t>(w.is_insert.size(), 1));
+  report->mixed_ns = RunMixedStreamNs(idx, w, 1);
   report->lookup_ns = MeasureNsPerOp(w.lookups, 1,
                                      [&](uint64_t q) { return idx.Lookup(q); });
   report->size_bytes = idx.SizeBytes();
   return Status::OK();
+}
+
+/// Concurrent-candidate counterpart: mixed_ns additionally charges the
+/// drain of deferred background-merge work (WaitForMerges inside the
+/// timed window), so a config cannot win by postponing merge CPU past
+/// the measured stream — single-threaded candidates pay their merges
+/// inline inside the same metric. lookup_ns is post-quiesce (delta
+/// drained): the steady-state read latency the background mergers are
+/// buying, vs the populated-delta lookup_ns of the inline candidates.
+template <typename Idx>
+void MeasureConcurrentCandidate(Idx& idx, const ReadWriteWorkload& w,
+                                size_t threads, CandidateReport* report) {
+  Timer timer;
+  RunMixedStreamNs(idx, w, threads);
+  idx.WaitForMerges();
+  report->mixed_ns =
+      timer.ElapsedNanos() /
+      static_cast<double>(std::max<size_t>(w.is_insert.size(), 1));
+  report->threads = threads;
+  report->lookup_ns = MeasureNsPerOp(
+      w.lookups, 1, [&](uint64_t q) { return idx.Lookup(q); });
+  report->size_bytes = idx.SizeBytes();
 }
 
 }  // namespace
@@ -517,6 +531,68 @@ Status SynthesizedWritableIndex::Synthesize(std::span<const uint64_t> keys,
       report.within_budget = report.size_bytes <= spec.size_budget_bytes;
       consider(report, [this, cfg, keys]() {
         DeltaBtree full;
+        LI_RETURN_IF_ERROR(full.Build(keys, cfg));
+        winner_ = index::AnyWritableRangeIndex(std::move(full));
+        return Status::OK();
+      });
+    }
+  }
+
+  // ---- concurrent axis: thread-safe front-ends under a multi-threaded
+  // stream (aggregate ns/op, same throughput currency) ----
+  if (spec.try_concurrent) {
+    using ConcRmi = concurrent::ConcurrentWritableIndex<rmi::LinearRmi>;
+    for (const size_t m : spec.stage2_sizes) {
+      ConcRmi::Config cfg;
+      cfg.base.num_leaf_models = m;
+      cfg.base.strategy = spec.strategy;
+      cfg.policy = spec.policy;
+      cfg.log_cap = spec.log_cap;
+      ConcRmi idx;
+      LI_RETURN_IF_ERROR(idx.Build(std::span<const uint64_t>(w.base), cfg));
+      CandidateReport report;
+      report.description = "concurrent[rmi linear / " + std::to_string(m) +
+                           " leaves] x" +
+                           std::to_string(spec.eval_threads) + "T";
+      report.stage2 = m;
+      MeasureConcurrentCandidate(idx, w, spec.eval_threads, &report);
+      report.within_budget = report.size_bytes <= spec.size_budget_bytes;
+      consider(report, [this, cfg, keys]() {
+        ConcRmi full;
+        LI_RETURN_IF_ERROR(full.Build(keys, cfg));
+        winner_ = index::AnyWritableRangeIndex(std::move(full));
+        return Status::OK();
+      });
+    }
+  }
+  if (spec.try_sharded) {
+    using ConcRmi = concurrent::ConcurrentWritableIndex<rmi::LinearRmi>;
+    using Sharded = concurrent::ShardedIndex<ConcRmi>;
+    const size_t m = spec.stage2_sizes.empty() ? 10'000
+                                               : spec.stage2_sizes.front();
+    for (const size_t shards : spec.shard_counts) {
+      Sharded::Config cfg;
+      // Leaf budget splits across shards: each shard indexes ~1/shards of
+      // the keys, so the total model table stays comparable.
+      cfg.inner.base.num_leaf_models =
+          std::max<size_t>(64, m / std::max<size_t>(shards, 1));
+      cfg.inner.base.strategy = spec.strategy;
+      cfg.inner.policy = spec.policy;
+      cfg.inner.log_cap = spec.log_cap;
+      cfg.num_shards = shards;
+      Sharded idx;
+      LI_RETURN_IF_ERROR(idx.Build(std::span<const uint64_t>(w.base), cfg));
+      CandidateReport report;
+      report.description = "sharded[" + std::to_string(shards) +
+                           " x rmi linear / " +
+                           std::to_string(cfg.inner.base.num_leaf_models) +
+                           " leaves] x" +
+                           std::to_string(spec.eval_threads) + "T";
+      report.stage2 = m;
+      MeasureConcurrentCandidate(idx, w, spec.eval_threads, &report);
+      report.within_budget = report.size_bytes <= spec.size_budget_bytes;
+      consider(report, [this, cfg, keys]() {
+        Sharded full;
         LI_RETURN_IF_ERROR(full.Build(keys, cfg));
         winner_ = index::AnyWritableRangeIndex(std::move(full));
         return Status::OK();

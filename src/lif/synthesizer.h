@@ -17,6 +17,11 @@
 //    capacity x construction (plain Bloom, classifier + overflow,
 //    model-hash sandwich) x bitmap sizes at a fixed target FPR; erases
 //    the winner into AnyExistenceIndex.
+//  * SynthesizedWritableIndex  (writable, App. D.1) — grid-searches
+//    delta-wrapped bases under a mixed insert/lookup stream, and — when
+//    the spec opts in — concurrent and range-sharded front-ends
+//    (src/concurrent/) qualified under the same stream driven by
+//    multiple threads; erases the winner into AnyWritableRangeIndex.
 //
 // Every grid point is built, measured on a sampled workload with the
 // measure.h harness, and reported as a CandidateReport so benches can
@@ -67,7 +72,10 @@ struct CandidateReport {
   double valid_fpr = 0.0;     // existence: FPR on the validation split
                               // (the qualification gate)
   double mixed_ns = 0.0;      // writable: ns/op over the read/write stream
-                              // (the qualification metric for that class)
+                              // (the qualification metric for that class;
+                              // for concurrent candidates this is
+                              // *aggregate* wall-time ns/op at `threads`)
+  size_t threads = 1;         // writable: threads driving the mixed stream
   bool within_budget = true;
 };
 
@@ -208,6 +216,19 @@ struct WritableSynthesisSpec {
   double insert_ratio = 0.10;
   size_t eval_ops = 40'000;
   dynamic::MergePolicy policy{};
+  /// Concurrent candidate axis (opt in when the index will serve
+  /// multi-threaded traffic): wrap delta-RMI bases in the thread-safe
+  /// front-ends — concurrent::ConcurrentWritableIndex and
+  /// concurrent::ShardedIndex — and qualify them under the same mixed
+  /// stream driven by `eval_threads` threads. Their mixed_ns is aggregate
+  /// wall-time per op, directly comparable with the single-threaded
+  /// candidates' as a throughput score.
+  bool try_concurrent = false;
+  bool try_sharded = false;
+  std::vector<size_t> shard_counts = {4};
+  size_t eval_threads = 4;
+  /// Write-log capacity for the concurrent candidates' front-ends.
+  size_t log_cap = 1024;
   search::Strategy strategy = search::Strategy::kBiasedBinary;
   size_t size_budget_bytes = std::numeric_limits<size_t>::max();
   uint64_t seed = 99;

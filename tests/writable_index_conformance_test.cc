@@ -1,14 +1,27 @@
-// Conformance suite for the WritableRangeIndex contract and the
-// dynamic::DeltaRangeIndex subsystem: static concept gates, insert/erase/
-// merge equivalence against a std::set oracle across all merge policies,
-// a property test that Lookup after any interleaving of writes and merges
-// matches a from-scratch rebuild, and the duplicate-key merge regression
-// inherited from the old inline example (a delta key equal to a base key
-// mid-run must survive as exactly one copy).
+// Conformance suite for the WritableRangeIndex contract: static concept
+// gates, insert/erase/merge equivalence against a std::set oracle across
+// all merge policies, a property test that Lookup after any interleaving
+// of writes and merges matches a from-scratch rebuild, and the
+// duplicate-key merge regression inherited from the old inline example (a
+// delta key equal to a base key mid-run must survive as exactly one
+// copy). The oracle stream is generic over the implementation, so the
+// same suite is the source of truth for *every* writable index:
+// dynamic::DeltaRangeIndex and the concurrent wrappers
+// (ConcurrentWritableIndex, ShardedIndex) driven single-threaded — their
+// multi-threaded behavior is covered by concurrent_stress_test.cc.
+//
+// Also hosts the Scan allocation regression: this translation unit
+// replaces the global operator new/delete with counting versions, and
+// asserts DeltaRangeIndex::Scan allocates exactly once (the returned
+// vector), i.e. the rank prefix sums hoisted into the consolidation step
+// keep the read path reservation-exact.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <set>
 #include <span>
 #include <vector>
@@ -16,6 +29,8 @@
 #include "btree/dynamic_btree.h"
 #include "btree/readonly_btree.h"
 #include "common/random.h"
+#include "concurrent/concurrent_writable_index.h"
+#include "concurrent/sharded_index.h"
 #include "data/datasets.h"
 #include "dynamic/delta_buffer.h"
 #include "dynamic/delta_range_index.h"
@@ -24,12 +39,34 @@
 #include "index/writable_range_index.h"
 #include "rmi/rmi.h"
 
+// ---- Counting allocator hooks (for the Scan regression) ----
+// External linkage is required for the replacements to take effect; the
+// counter itself stays internal.
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace li {
 namespace {
 
 using DeltaRmi = dynamic::DeltaRangeIndex<rmi::LinearRmi>;
 using DeltaBtree = dynamic::DeltaRangeIndex<btree::ReadOnlyBTree>;
 using DeltaBtreeMap = dynamic::DeltaRangeIndex<btree::BTreeMap>;
+using ConcRmi = concurrent::ConcurrentWritableIndex<rmi::LinearRmi>;
+using ShardedRmi = concurrent::ShardedIndex<ConcRmi>;
 
 // ---- Static acceptance gate ----
 static_assert(index::WritableRangeIndex<DeltaRmi>);
@@ -63,8 +100,11 @@ size_t OracleRank(const std::vector<uint64_t>& sorted, uint64_t key) {
 
 /// Drives idx and a std::set oracle through the same op stream and checks
 /// full equivalence (liveness booleans per op; ranks, membership, scans
-/// and size at checkpoints).
-void RunOracleStream(DeltaRmi& idx, std::set<uint64_t>& oracle,
+/// and size at checkpoints). Generic over the implementation: the same
+/// stream is the source of truth for the single-threaded delta index and
+/// the concurrent wrappers alike.
+template <index::WritableRangeIndex Idx>
+void RunOracleStream(Idx& idx, std::set<uint64_t>& oracle,
                      size_t num_ops, uint64_t seed, uint64_t key_space,
                      bool manual_merges) {
   Xorshift128Plus rng(seed);
@@ -331,6 +371,113 @@ TEST(WritableIndexTest, StatsTrackOpsAndMerges) {
   EXPECT_GT(s.last_merge_ns, 0.0);
   EXPECT_EQ(s.base_keys, keys.size() + 1);  // +2 inserts -1 erase
   EXPECT_DOUBLE_EQ(s.DeltaHitRate(), 0.5);  // 1 delta hit / 2 Contains
+}
+
+// ---- Concurrent wrappers through the same oracle suite ----
+// Single-threaded here by design: writable *semantics* have one source of
+// truth, this stream. The wrappers' thread-safety is stressed separately.
+
+static_assert(index::WritableRangeIndex<ConcRmi>);
+static_assert(index::WritableRangeIndex<ShardedRmi>);
+
+TEST(WritableOracleTest, ConcurrentWrapperMatchesSet) {
+  const auto keys = SeedKeys(20'000, 14);
+  ConcRmi::Config cfg;
+  cfg.base.num_leaf_models = std::max<size_t>(32, keys.size() / 100);
+  cfg.policy.min_delta_entries = 512;
+  cfg.policy.max_delta_entries = 1024;  // frequent background merges
+  cfg.log_cap = 128;                    // frequent freeze folds
+  ConcRmi idx;
+  ASSERT_TRUE(idx.Build(keys, cfg).ok());
+  std::set<uint64_t> oracle(keys.begin(), keys.end());
+  RunOracleStream(idx, oracle, 12'000, 104, 2'000'000'000, false);
+  idx.WaitForMerges();
+  EXPECT_GT(idx.Stats().merges, 0u);
+}
+
+TEST(WritableOracleTest, ConcurrentWrapperManualMergesMatchSet) {
+  const auto keys = SeedKeys(20'000, 15);
+  ConcRmi::Config cfg;
+  cfg.base.num_leaf_models = std::max<size_t>(32, keys.size() / 100);
+  cfg.policy.trigger = dynamic::MergeTrigger::kManual;
+  cfg.log_cap = 64;
+  ConcRmi idx;
+  ASSERT_TRUE(idx.Build(keys, cfg).ok());
+  std::set<uint64_t> oracle(keys.begin(), keys.end());
+  RunOracleStream(idx, oracle, 12'000, 105, 2'000'000'000, true);
+  EXPECT_GT(idx.Stats().merges, 0u);
+}
+
+TEST(WritableOracleTest, ShardedWrapperMatchesSet) {
+  const auto keys = SeedKeys(20'000, 16);
+  ShardedRmi::Config cfg;
+  cfg.inner.base.num_leaf_models = 64;
+  cfg.inner.policy.min_delta_entries = 256;
+  cfg.inner.policy.max_delta_entries = 512;
+  cfg.inner.log_cap = 64;
+  cfg.num_shards = 4;
+  ShardedRmi idx;
+  ASSERT_TRUE(idx.Build(keys, cfg).ok());
+  std::set<uint64_t> oracle(keys.begin(), keys.end());
+  RunOracleStream(idx, oracle, 12'000, 106, 2'000'000'000, false);
+  idx.WaitForMerges();
+  EXPECT_GT(idx.Stats().merges, 0u);
+  EXPECT_EQ(idx.ConcurrentStats().shards, 4u);
+}
+
+// ---- Scan allocation regression ----
+// DeltaRangeIndex::Scan used to reserve a fixed 1024-entry guess and grow
+// from there, re-deriving the result size it could have read off the rank
+// prefix sums maintained at consolidation time. It now reserves the exact
+// result size up front; this regression pins the "exactly one allocation,
+// the returned vector" property via the counting operator new above.
+
+TEST(ScanAllocationRegressionTest, ScanAllocatesOnlyTheResultBuffer) {
+  const auto keys = SeedKeys(10'000, 81);
+  dynamic::MergePolicy manual;
+  manual.trigger = dynamic::MergeTrigger::kManual;
+  DeltaRmi idx;
+  ASSERT_TRUE(idx.Build(keys, RmiConfigFor(keys.size(), manual, 64)).ok());
+  std::set<uint64_t> oracle(keys.begin(), keys.end());
+  // Populate both delta runs (active + consolidated) with inserts and
+  // tombstones; no merge, so Scan exercises the full three-way path.
+  Xorshift128Plus rng(811);
+  for (int i = 0; i < 2'000; ++i) {
+    const uint64_t k = rng.NextBounded(2'000'000'000);
+    if (rng.NextBounded(4) == 0) {
+      idx.Erase(k);
+      oracle.erase(k);
+    } else {
+      idx.Insert(k);
+      oracle.insert(k);
+    }
+  }
+  const std::vector<uint64_t> ref(oracle.begin(), oracle.end());
+  ASSERT_GT(idx.delta_entries(), 0u);
+  const struct {
+    uint64_t from;
+    size_t limit;
+  } cases[] = {
+      {0, 100},                        // window inside the live set
+      {ref[ref.size() / 2], 5'000},    // mid-range, large window
+      {ref[ref.size() / 2], 1'500},    // window larger than the old 1024 guess
+      {0, ref.size() + 1'000},         // limit beyond the live count
+      {ref.back() + 1, 100},           // empty result
+  };
+  for (const auto& c : cases) {
+    const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+    const std::vector<uint64_t> got = idx.Scan(c.from, c.limit);
+    const uint64_t allocs =
+        g_heap_allocs.load(std::memory_order_relaxed) - before;
+    EXPECT_LE(allocs, got.empty() ? 0u : 1u)
+        << "Scan(from=" << c.from << ", limit=" << c.limit
+        << ") must allocate the result buffer at most once";
+    const auto it = std::lower_bound(ref.begin(), ref.end(), c.from);
+    const std::vector<uint64_t> want(
+        it, it + std::min<ptrdiff_t>(static_cast<ptrdiff_t>(c.limit),
+                                     ref.end() - it));
+    EXPECT_EQ(got, want);
+  }
 }
 
 // ---- Merge-policy decision function ----
