@@ -24,6 +24,16 @@
 // hardware threads to be meaningful), and during-merge reader p99 <= 2x
 // the quiet p99.
 //
+// The skewed-stream section (ISSUE 5) drives zipf and moving-hotspot
+// insert storms whose key distribution drifts from the build CDF, with
+// online shard rebalancing off vs on, and reports final + peak max/mean
+// shard mass, split/coalesce counts, and throughput. Acceptance bar:
+// with rebalancing on, the final imbalance under the zipf storm stays
+// within the configured factor while the fixed-boundary run blows
+// through it. The batched-lookup section compares per-key Lookup routing
+// against the shard-grouped LookupBatch on uniform probes (acceptance:
+// grouped is faster — the recovered RMI software-pipeline win).
+//
 // Scale knobs: BENCH_CONC_KEYS (default REPRO_SCALE_M million),
 // BENCH_CONC_OPS (ops per cell, default keys/10), BENCH_CONC_THREADS
 // (comma list, default "1,2,4,8,16"), BENCH_CONC_SHARDS (default 8),
@@ -344,6 +354,151 @@ int main() {
     printf("merge cycles during storm: %llu, states reclaimed: %llu\n",
            static_cast<unsigned long long>(cs.merges),
            static_cast<unsigned long long>(cs.states_reclaimed));
+  }
+
+  // ---- skewed insert streams: online rebalance off vs on ----
+  {
+    // A deliberately drift-heavy setup: the base is a quarter of the key
+    // set, the storm inserts twice the base count, so skew that piles
+    // onto a few shards is visible in max/mean mass, not lost in the
+    // build-time bulk.
+    std::vector<uint64_t> skew_base;
+    skew_base.reserve(keys.size() / 4 + 1);
+    for (size_t i = 0; i < keys.size(); i += 4) skew_base.push_back(keys[i]);
+    const size_t sk_ops = std::max<size_t>(skew_base.size() * 2, 10'000);
+    const double factor = 2.0;
+    struct SkewCase {
+      const char* name;
+      lif::InsertSkew skew;
+    };
+    SkewCase cases[2];
+    cases[0].name = "zipf(1.2)";
+    cases[0].skew.kind = lif::InsertSkew::Kind::kZipf;
+    cases[0].skew.zipf_s = 1.2;
+    cases[1].name = "hotspot(5%)";
+    cases[1].skew.kind = lif::InsertSkew::Kind::kMovingHotspot;
+    cases[1].skew.hotspot_fraction = 0.05;
+
+    printf(
+        "\n== skewed insert storms: %zu base keys + %zu skewed inserts, "
+        "rebalance factor %.1f ==\n",
+        skew_base.size(), sk_ops, factor);
+    lif::Table st({"skew", "rebalance", "agg ns/op", "final imb", "peak imb",
+                   "shards", "splits", "coalesces"});
+    double zipf_imb_on = 0.0, zipf_imb_off = 0.0;
+    for (const SkewCase& sc : cases) {
+      const lif::ReadWriteWorkload w = lif::MakeSkewedReadWriteWorkload(
+          skew_base, sk_ops, 1.0, 1 << 14, 4242, sc.skew);
+      for (const bool rebal : {false, true}) {
+        ShardedRmi::Config cfg;
+        cfg.inner.base.num_leaf_models = std::max<size_t>(
+            64, leaf_models / (4 * std::max<size_t>(num_shards, 1)));
+        cfg.inner.policy = policy;
+        cfg.inner.log_cap = 1024;
+        cfg.num_shards = num_shards;
+        cfg.rebalance.enabled = rebal;
+        cfg.rebalance.max_imbalance = factor;
+        cfg.rebalance.min_split_keys = 2048;
+        cfg.rebalance.check_stride = 256;
+        ShardedRmi idx;
+        if (!idx.Build(skew_base, cfg).ok()) {
+          fprintf(stderr, "skewed sharded build failed\n");
+          return 1;
+        }
+        // Peak-imbalance monitor: the moving hotspot balances out by the
+        // end of the stream, so the transient max is the interesting
+        // number there.
+        std::atomic<bool> mon_stop{false};
+        std::atomic<uint64_t> peak_milli{1000};
+        std::thread monitor([&] {
+          while (!mon_stop.load(std::memory_order_relaxed)) {
+            const auto imb =
+                static_cast<uint64_t>(idx.CurrentImbalance() * 1000.0);
+            uint64_t prev = peak_milli.load(std::memory_order_relaxed);
+            while (imb > prev &&
+                   !peak_milli.compare_exchange_weak(prev, imb)) {
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        });
+        const double agg_ns = lif::RunMixedStreamNs(idx, w, 4);
+        // One request catches drift the last check_stride missed; the
+        // self-re-arming worker then drains every remaining action.
+        if (rebal) idx.RequestRebalance();
+        idx.WaitForRebalances();
+        idx.WaitForMerges();
+        mon_stop.store(true);
+        monitor.join();
+        const size_t inserted = static_cast<size_t>(
+            std::count_if(w.is_insert.begin(), w.is_insert.end(),
+                          [](uint8_t op) { return op != 0; }));
+        all_consistent &= CheckCell(idx, w, inserted);
+        const auto cs = idx.ConcurrentStats();
+        const double peak =
+            static_cast<double>(peak_milli.load()) / 1000.0;
+        if (sc.skew.kind == lif::InsertSkew::Kind::kZipf) {
+          (rebal ? zipf_imb_on : zipf_imb_off) = cs.shard_imbalance;
+        }
+        st.AddRow({sc.name, rebal ? "on" : "off", Fmt(agg_ns),
+                   Fmt(cs.shard_imbalance, 2), Fmt(peak, 2),
+                   std::to_string(cs.shards),
+                   std::to_string(cs.shard_splits),
+                   std::to_string(cs.shard_coalesces)});
+        const std::string prefix =
+            std::string("concurrent/sharded/skew_") +
+            (sc.skew.kind == lif::InsertSkew::Kind::kZipf ? "zipf"
+                                                          : "hotspot") +
+            "/rebal_" + (rebal ? "on" : "off");
+        emit(prefix + "/agg_ns", agg_ns);
+        emit(prefix + "/imbalance_final", cs.shard_imbalance);
+        emit(prefix + "/imbalance_peak", peak);
+        emit(prefix + "/splits", static_cast<double>(cs.shard_splits));
+        emit(prefix + "/coalesces",
+             static_cast<double>(cs.shard_coalesces));
+      }
+    }
+    st.Print();
+    printf(
+        "zipf final imbalance: %.2f with rebalance vs %.2f without "
+        "(acceptance bar: <= %.1f with rebalancing on, exceeded without)\n",
+        zipf_imb_on, zipf_imb_off, factor);
+    if (zipf_imb_on > factor * 1.05) {
+      fprintf(stderr,
+              "WARN: rebalanced zipf imbalance %.2f above the %.1f bar\n",
+              zipf_imb_on, factor);
+    }
+  }
+
+  // ---- batched lookups: per-key routing vs shard-grouped dispatch ----
+  {
+    ShardedRmi::Config cfg;
+    cfg.inner.base.num_leaf_models = std::max<size_t>(
+        64, leaf_models / std::max<size_t>(num_shards, 1));
+    cfg.inner.policy.trigger = dynamic::MergeTrigger::kManual;
+    cfg.inner.log_cap = 1024;
+    cfg.num_shards = num_shards;
+    ShardedRmi idx;
+    if (!idx.Build(keys, cfg).ok()) {
+      fprintf(stderr, "batch-lookup index build failed\n");
+      return 1;
+    }
+    const std::vector<uint64_t> probes = data::SampleKeys(keys, 1 << 14, 47);
+    const double perkey_ns = lif::MeasureNsPerOp(
+        probes, 3, [&](uint64_t q) { return idx.Lookup(q); });
+    std::vector<size_t> out(probes.size());
+    const double batched_ns = lif::MeasureBatchNsPerOp(probes.size(), [&] {
+      idx.LookupBatch(probes, out);
+      return out.data();
+    });
+    const double speedup = batched_ns > 0.0 ? perkey_ns / batched_ns : 0.0;
+    printf(
+        "\nuniform batched reads over %zu shards: per-key %.1f ns/key vs "
+        "shard-grouped LookupBatch %.1f ns/key (%.2fx; acceptance bar: "
+        "grouped faster)\n",
+        idx.num_shards(), perkey_ns, batched_ns, speedup);
+    emit("concurrent/sharded/lookup/perkey_ns", perkey_ns);
+    emit("concurrent/sharded/lookup/grouped_ns", batched_ns);
+    emit("concurrent/sharded/lookup/batch_speedup_factor", speedup);
   }
 
   if (const char* env = getenv("BENCH_MICRO_JSON")) {

@@ -48,6 +48,11 @@ int main(int argc, char** argv) {
   config.inner.policy.min_delta_entries = 4096;
   config.inner.policy.max_delta_entries = 16 * 1024;
   config.inner.log_cap = 1024;
+  // The writers below append past the build range — the classic hotspot
+  // that overloads the rightmost shard. Online rebalancing splits it as
+  // it grows; watch the splits/imbalance gauges below.
+  config.rebalance.enabled = true;
+  config.rebalance.max_imbalance = 2.0;
 
   Store store;
   if (!store.Build(base, config).ok()) {
@@ -95,6 +100,7 @@ int main(int argc, char** argv) {
          secs, static_cast<double>(writes) / secs / 1e6,
          static_cast<double>(reads_done.load()) / secs / 1e6);
 
+  store.WaitForRebalances();
   store.WaitForMerges();
   const auto cs = store.ConcurrentStats();
   printf("gauges: inserts=%llu merges=%llu freezes=%llu "
@@ -105,6 +111,11 @@ int main(int argc, char** argv) {
          cs.WriterContentionRate() * 100.0,
          static_cast<unsigned long long>(cs.states_retired),
          static_cast<unsigned long long>(cs.states_reclaimed));
+  printf("rebalance: %llu splits, %llu coalesces, %zu shards now, "
+         "max/mean mass %.2f (bound %.1f)\n",
+         static_cast<unsigned long long>(cs.shard_splits),
+         static_cast<unsigned long long>(cs.shard_coalesces), cs.shards,
+         cs.shard_imbalance, config.rebalance.max_imbalance);
 
   const size_t expect = base.size() + writes;
   printf("live keys: %zu (expected %zu) -> %s\n", store.size(), expect,

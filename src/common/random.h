@@ -6,7 +6,9 @@
 #define LI_COMMON_RANDOM_H_
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace li {
 
@@ -78,6 +80,44 @@ class Xorshift128Plus {
   uint64_t s_[2];
   bool has_cached_ = false;
   double cached_ = 0.0;
+};
+
+/// Zipf-distributed ranks over [0, n): rank r is drawn with probability
+/// proportional to 1/(r+1)^s — rank 0 is the hottest. Samples by binary
+/// search over a precomputed CDF table: O(n) setup, O(log n) per draw,
+/// exact for any s >= 0 (s = 0 degenerates to uniform). Sized for the
+/// workload generators (n up to a few million ranks).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double s, uint64_t seed = 1) : rng_(seed) {
+    cdf_.reserve(n > 0 ? n : 1);
+    double sum = 0.0;
+    for (size_t r = 0; r < (n > 0 ? n : 1); ++r) {
+      sum += std::pow(static_cast<double>(r + 1), -s);
+      cdf_.push_back(sum);
+    }
+    total_ = sum;
+  }
+
+  /// Next rank in [0, n).
+  size_t Next() {
+    const double u = rng_.NextDouble() * total_;
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+  Xorshift128Plus rng_;
 };
 
 /// Murmur3 finalizer — used as the "sufficiently randomized" baseline hash

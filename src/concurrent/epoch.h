@@ -84,6 +84,9 @@ class ThreadIdRegistry {
 /// Dense thread id leased for this thread's lifetime and recycled at
 /// thread exit. Ids >= EpochManager::kMaxThreads mean "no slot free"
 /// (more live threads than the table holds); callers fall back.
+/// Complexity: O(1) after the first call (thread-local cache); the
+/// first call scans the id bitmask, O(kMaxIds/64) CAS attempts.
+/// Thread-safety: safe from any thread; each thread gets its own lease.
 inline size_t ThisThreadIndex() {
   struct Lease {
     size_t id = internal::ThreadIdRegistry::Acquire();
@@ -123,8 +126,15 @@ class EpochManager {
     retired_.clear();
   }
 
-  /// RAII read-side critical section. Cheap (one seq_cst store on entry,
-  /// one release store on exit) and re-entrant per thread.
+  /// RAII read-side critical section.
+  ///
+  /// Semantics: while a Guard is alive, every version retired at or
+  /// after the pin is preserved — any pointer loaded from a published
+  /// atomic inside the guard stays valid until the guard drops.
+  /// Complexity: one seq_cst store on entry, one release store on exit
+  /// (nested guards on the same thread only bump a plain counter).
+  /// Thread-safety: safe from any thread; re-entrant per thread; must
+  /// not outlive the manager.
   class Guard {
    public:
     explicit Guard(EpochManager& mgr)
@@ -163,6 +173,9 @@ class EpochManager {
   /// Hands `ptr` to the manager for deferred deletion. The caller must
   /// already have unlinked it from all shared pointers (no new reader can
   /// reach it); existing readers are what the epoch drain waits for.
+  /// Complexity: O(1) amortized (one mutex-guarded push). Thread-safety:
+  /// safe from any thread, including concurrently with Guards and
+  /// Reclaim — but never retire the same pointer twice.
   template <typename T>
   void Retire(T* ptr) {
     const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
@@ -178,7 +191,10 @@ class EpochManager {
   /// reader can still reach into `out` — WITHOUT running deleters, so a
   /// caller inside a critical section (e.g. holding a writer mutex) can
   /// defer the potentially heavy destructions (key arrays, model tables)
-  /// until after it unlocks. O(kMaxThreads) slot scan.
+  /// until after it unlocks. Complexity: O(kMaxThreads) slot scan +
+  /// O(retired). Thread-safety: safe from any thread concurrently with
+  /// Guards and Retire; concurrent reclaimers partition the retired set
+  /// (each version is handed out exactly once).
   void ReclaimTo(std::vector<Retired>& out) {
     global_epoch_.fetch_add(1, std::memory_order_seq_cst);
     if (fallback_active_.load(std::memory_order_seq_cst) > 0) return;
@@ -202,6 +218,9 @@ class EpochManager {
   }
 
   /// Runs the deleters of versions handed out by ReclaimTo.
+  /// Thread-safety: the batch is caller-owned; call outside any critical
+  /// section (deleters may be heavy — key arrays, model tables, worker
+  /// joins).
   static void Free(std::vector<Retired>& batch) {
     for (const Retired& r : batch) r.deleter(r.ptr);
     batch.clear();

@@ -3,38 +3,55 @@
 //
 // A single ConcurrentWritableIndex serializes writers on one mutex; its
 // WriterContentionRate() is the gauge that says when that front-end is
-// saturated. ShardedIndex splits the key space into N contiguous ranges
+// saturated. ShardedIndex splits the key space into contiguous ranges
 // and gives each its own inner index (own writer lock, own write log, own
 // background merge worker), so writers to different shards never touch
 // the same lock and write throughput scales with shards until memory
 // bandwidth takes over.
 //
-// Shard boundaries are picked from a CDF sample of the build keys: the
-// sample's equal-mass quantiles become the split points, so a skewed key
-// distribution still yields shards with (approximately) equal key counts
-// — equal-width splits would put most of a lognormal key set into one
-// shard. Boundaries are fixed at Build; a workload whose *insert* skew
-// drifts from the build distribution shows up as uneven shard sizes in
-// ConcurrentStats() (per-shard re-balancing is future work, tracked in
-// the ROADMAP).
+// Routing goes through an immutable, epoch-versioned *ShardMap* — the
+// boundaries plus shared-ownership handles to the shard slots. Readers
+// and writers pin an epoch, load the current map with one atomic load,
+// and route; nobody ever locks the routing table. Initial boundaries are
+// cut from a CDF sample of the build keys (equal-mass quantiles, so a
+// skewed build set still yields equal-count shards).
+//
+// Boundaries are no longer fixed at Build: a background *rebalance
+// worker* (the same rotate/build/publish discipline as the merge worker
+// in concurrent_writable_index.h) splits overloaded shards and coalesces
+// undersized neighbors online, publishing each change as a new ShardMap
+// version and retiring the old one to the epoch manager — readers never
+// block on a rebalance. The shard lifecycle, the seal/catch-up/cutover
+// protocol and tuning guidance are documented in docs/SHARDING.md.
 //
 // The contract is the same ConcurrentWritableRangeIndex as the inner
 // index: point ops route to one shard; Lookup adds the live sizes of the
-// shards left of the target (O(#shards) atomic loads, exact when
-// quiesced); Scan stitches shard scans left to right; Merge/RequestMerge
-// fan out (RequestMerge triggers all shard workers *in parallel*).
+// shards left of the target; LookupBatch groups the batch by shard and
+// dispatches each group to the shard's native batch path (recovering the
+// RMI software-pipeline win under sharding); Scan stitches shard scans
+// left to right; Merge/RequestMerge fan out (RequestMerge triggers all
+// shard workers *in parallel*).
 
 #ifndef LI_CONCURRENT_SHARDED_INDEX_H_
 #define LI_CONCURRENT_SHARDED_INDEX_H_
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
+#include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "concurrent/epoch.h"
 #include "index/approx.h"
 #include "index/concurrent_writable_index.h"
 #include "index/range_index.h"
@@ -44,11 +61,52 @@ namespace li::concurrent {
 
 /// True when the inner index exposes the concurrent merge-control
 /// surface; ShardedIndex then forwards it (and fans RequestMerge out so
-/// shard merges overlap).
+/// shard merges overlap). Also the gate for online rebalancing: the
+/// seal/snapshot/cutover protocol reads a shard while writers stream
+/// into it, which is only safe when the inner index is itself a
+/// concurrent front-end.
 template <typename I>
 concept HasMergeControl = requires(I& idx) {
   { idx.RequestMerge() };
   { idx.WaitForMerges() };
+};
+
+/// Knobs for the online shard split/coalesce machinery. All mass terms
+/// are live key counts (base + delta + log) as reported by the inner
+/// index's size().
+struct ShardRebalanceConfig {
+  /// Auto-trigger: writers sample shard masses every `check_stride`
+  /// writes and request a rebalance when a condition below holds. With
+  /// `enabled == false` the worker only acts on explicit
+  /// RequestRebalance() calls, and boundaries stay fixed under a purely
+  /// read/write workload — the pre-rebalance behavior.
+  bool enabled = false;
+  /// Split a shard when its mass exceeds `max_imbalance` x the mean
+  /// shard mass (and `min_split_keys`). The post-rebalance invariant the
+  /// worker converges to: max/mean <= max_imbalance. Values in [1.5, 4]
+  /// are the useful range (see docs/SHARDING.md); Build clamps to
+  /// >= 1.1 (at or below 1, any non-uniform mass would split — rebuild
+  /// churn up to the max_shards cap).
+  double max_imbalance = 2.0;
+  /// Coalesce an adjacent shard pair when their combined mass is below
+  /// `coalesce_fraction` x the mean — the merged shard stays under the
+  /// mean, so a coalesce can never create the next hotspot. Build
+  /// clamps to < max_imbalance / 2 (a higher value would re-coalesce a
+  /// freshly split pair: oscillation).
+  double coalesce_fraction = 0.5;
+  /// Never split a shard below this mass, whatever the imbalance says —
+  /// tiny shards cost routing fan-out without relieving any contention.
+  size_t min_split_keys = 1024;
+  /// Hard cap on the shard count (runaway-split backstop).
+  size_t max_shards = 64;
+  /// Writer-side monitor cadence: one O(#shards) mass scan per this many
+  /// writes (across all shards).
+  size_t check_stride = 1024;
+  /// Snapshot scans page the shard's live keys out in chunks of this
+  /// many keys (bounds per-Scan allocation during a split).
+  size_t scan_chunk = 64 * 1024;
+  /// Upper bound on split/coalesce actions per worker cycle.
+  size_t max_actions_per_cycle = 8;
 };
 
 template <index::WritableRangeIndex Inner>
@@ -56,6 +114,11 @@ class ShardedIndex {
  public:
   using key_type = typename Inner::key_type;
   using inner_config_type = typename Inner::config_type;
+
+  /// Rebalancing needs concurrent-safe snapshot scans of a shard that is
+  /// still being written; the merge-control surface is the library's
+  /// marker for "inner index is a concurrent front-end".
+  static constexpr bool kRebalanceCapable = HasMergeControl<Inner>;
 
   struct Config {
     inner_config_type inner{};
@@ -65,6 +128,8 @@ class ShardedIndex {
     /// shards under skew; a few thousand points pin every boundary to
     /// within a fraction of a percent of mass.
     size_t cdf_sample = 8192;
+    /// Online split/coalesce knobs (ignored unless kRebalanceCapable).
+    ShardRebalanceConfig rebalance{};
   };
   using config_type = Config;
 
@@ -72,124 +137,82 @@ class ShardedIndex {
   ShardedIndex(ShardedIndex&&) noexcept = default;
   ShardedIndex& operator=(ShardedIndex&&) noexcept = default;
 
-  /// Builds `num_shards` inner indexes over equal-mass key ranges.
-  /// `keys` sorted, strictly increasing; each shard copies its slice.
+  /// Builds `num_shards` inner indexes over equal-mass key ranges and
+  /// (when the inner index is a concurrent front-end) starts the
+  /// background rebalance worker.
+  ///
+  /// Semantics: `keys` sorted, strictly increasing; each shard copies
+  /// its slice. Complexity: O(n) slicing + num_shards inner builds.
+  /// Thread-safety: not safe against any other method — build-then-share,
+  /// the library-wide discipline. On failure the handle reverts to the
+  /// never-built state (reads answer empty, writes return false).
   Status Build(std::span<const key_type> keys, const Config& config) {
-    config_ = config;
-    const size_t shards = std::max<size_t>(config.num_shards, 1);
-    boundaries_.clear();
-    shards_.clear();
-    // CDF sample: every stride-th key (the keys are the CDF's inverse).
-    // Boundary i = the sample's (i+1)/shards quantile.
-    std::vector<key_type> sample;
-    if (!keys.empty() && shards > 1) {
-      const size_t want = std::min(
-          keys.size(), std::max<size_t>(config.cdf_sample, shards));
-      sample.reserve(want);
-      const double stride = static_cast<double>(keys.size()) /
-                            static_cast<double>(want);
-      for (size_t i = 0; i < want; ++i) {
-        sample.push_back(keys[static_cast<size_t>(i * stride)]);
-      }
-      for (size_t i = 1; i < shards; ++i) {
-        const key_type b = sample[i * sample.size() / shards];
-        // Strictly increasing boundaries; duplicates would create an
-        // empty shard and an ill-defined route.
-        if (boundaries_.empty() || boundaries_.back() < b) {
-          boundaries_.push_back(b);
-        }
-      }
-    }
-    const size_t actual = boundaries_.size() + 1;
-    shards_.resize(actual);
-    size_t begin = 0;
-    for (size_t i = 0; i < actual; ++i) {
-      const size_t end =
-          i < boundaries_.size()
-              ? static_cast<size_t>(
-                    std::lower_bound(keys.begin(), keys.end(),
-                                     boundaries_[i]) -
-                    keys.begin())
-              : keys.size();
-      LI_RETURN_IF_ERROR(
-          shards_[i].Build(keys.subspan(begin, end - begin), config.inner));
-      begin = end;
-    }
-    return Status::OK();
+    impl_ = std::make_unique<Impl>();
+    const Status st = impl_->Build(keys, config);
+    if (!st.ok()) impl_.reset();
+    return st;
   }
 
-  // ---- reads ----
+  // ---- reads: lock-free, safe from any thread ----
 
   /// lower_bound rank over the whole live key set: live sizes of the
   /// shards left of the route target plus the target's local rank.
+  /// Complexity: O(log #shards) route + O(#shards) size loads + one
+  /// inner lookup. Exact when quiesced; at most one in-flight write
+  /// behind otherwise (the inner index's linearizability contract).
   size_t Lookup(const key_type& key) const {
-    if (shards_.empty()) return 0;
-    const size_t s = ShardOf(key);
-    size_t rank = 0;
-    for (size_t i = 0; i < s; ++i) rank += shards_[i].size();
-    return rank + shards_[s].Lookup(key);
+    return impl_ ? impl_->Lookup(key) : 0;
   }
-
   size_t LowerBound(const key_type& key) const { return Lookup(key); }
-
   index::Approx ApproxPos(const key_type& key) const {
-    return index::Approx::Exact(Lookup(key), size());
+    return impl_ ? impl_->ApproxPos(key) : index::Approx{};
   }
 
-  /// Per-key routing with the left-shard size prefix snapshotted once per
-  /// batch, so the O(#shards) size sum is paid once, not per key.
+  /// Shard-grouped batch lookup: the batch is partitioned by the pinned
+  /// ShardMap (one map version serves the whole call), each group is
+  /// dispatched to its shard's native LookupBatch — the RMI software
+  /// pipeline runs per shard — and results scatter back in caller order
+  /// with the left-shard size prefix added. Complexity: O(n log #shards)
+  /// routing + grouped inner batch lookups; the size prefix is paid once
+  /// per call, not per key. Thread-safety: lock-free, as Lookup.
   void LookupBatch(std::span<const key_type> keys,
                    std::span<size_t> out) const {
-    const size_t n = std::min(keys.size(), out.size());
-    std::vector<size_t> prefix(shards_.size() + 1, 0);
-    for (size_t i = 0; i < shards_.size(); ++i) {
-      prefix[i + 1] = prefix[i] + shards_[i].size();
-    }
-    for (size_t i = 0; i < n; ++i) {
-      const size_t s = ShardOf(keys[i]);
-      out[i] = prefix[s] + shards_[s].Lookup(keys[i]);
+    if (impl_ != nullptr) {
+      impl_->LookupBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < out.size(); ++i) out[i] = 0;
     }
   }
 
+  /// Membership over the live set; routes to one shard. Lock-free.
   bool Contains(const key_type& key) const {
-    return !shards_.empty() && shards_[ShardOf(key)].Contains(key);
+    return impl_ != nullptr && impl_->Contains(key);
   }
 
-  /// Live keys >= `from`, stitched across shards left to right.
+  /// Live keys >= `from`, stitched across shards left to right under one
+  /// pinned ShardMap. Lock-free; O(log) seek + O(limit) merge.
   std::vector<key_type> Scan(const key_type& from, size_t limit) const {
-    std::vector<key_type> out;
-    if (limit == 0 || shards_.empty()) return out;
-    for (size_t s = ShardOf(from); s < shards_.size(); ++s) {
-      std::vector<key_type> part = shards_[s].Scan(from, limit - out.size());
-      if (out.empty()) {
-        out = std::move(part);
-      } else {
-        out.insert(out.end(), part.begin(), part.end());
-      }
-      if (out.size() >= limit) break;
-    }
-    return out;
+    return impl_ ? impl_->Scan(from, limit) : std::vector<key_type>{};
   }
 
-  size_t size() const {
-    size_t n = 0;
-    for (const Inner& s : shards_) n += s.size();
-    return n;
-  }
+  /// Live key count: sum of the pinned map's shard sizes. O(#shards)
+  /// relaxed loads; exact when quiesced.
+  size_t size() const { return impl_ ? impl_->size() : 0; }
+  size_t SizeBytes() const { return impl_ ? impl_->SizeBytes() : 0; }
 
-  size_t SizeBytes() const {
-    size_t n = boundaries_.capacity() * sizeof(key_type);
-    for (const Inner& s : shards_) n += s.SizeBytes();
-    return n;
-  }
+  // ---- writes: safe from any thread ----
 
-  // ---- writes ----
-
+  /// Routes to one shard through the pinned map and revalidates the slot
+  /// under its cutover lock (a write that raced a split/coalesce publish
+  /// retries on the fresh map — see docs/SHARDING.md). Writers to
+  /// *different* shards never share a lock; while a shard is sealed for
+  /// rebalancing its writers additionally serialize on the catch-up
+  /// log. Returns true iff the key's liveness changed.
   bool Insert(const key_type& key) {
-    return !shards_.empty() && shards_[ShardOf(key)].Insert(key);
+    return impl_ != nullptr && impl_->Write(key, /*tombstone=*/false);
   }
   bool Erase(const key_type& key) {
-    return !shards_.empty() && shards_[ShardOf(key)].Erase(key);
+    return impl_ != nullptr && impl_->Write(key, /*tombstone=*/true);
   }
 
   // ---- merge control ----
@@ -197,99 +220,794 @@ class ShardedIndex {
   /// Synchronous: when the inner index has a background worker, all shard
   /// merges are requested first so they overlap, then drained; otherwise
   /// shards merge sequentially. First failure wins, every shard still
-  /// runs (each shard stays individually consistent either way).
+  /// runs (each shard stays individually consistent either way). Blocks
+  /// the caller only; readers stay lock-free.
   Status Merge() {
-    if constexpr (HasMergeControl<Inner>) {
-      for (Inner& s : shards_) s.RequestMerge();
-    }
-    Status first = Status::OK();
-    for (Inner& s : shards_) {
-      const Status st = s.Merge();
-      if (first.ok() && !st.ok()) first = st;
-    }
-    return first;
+    return impl_ ? impl_->Merge()
+                 : Status::FailedPrecondition("ShardedIndex: not built");
   }
 
+  /// Asynchronous merge trigger fanned out to every shard in parallel;
+  /// coalesces with pending requests per shard. Never blocks.
   void RequestMerge()
     requires HasMergeControl<Inner>
   {
-    for (Inner& s : shards_) s.RequestMerge();
+    if (impl_ != nullptr) impl_->RequestMerge();
   }
 
+  /// Blocks until no shard merge is pending or running. For a full
+  /// quiesce under rebalancing, call WaitForRebalances() first (a split
+  /// publishes fresh shards whose merges this call then covers).
   void WaitForMerges()
     requires HasMergeControl<Inner>
   {
-    for (Inner& s : shards_) s.WaitForMerges();
+    if (impl_ != nullptr) impl_->WaitForMerges();
+  }
+
+  // ---- rebalance control ----
+
+  /// Asynchronous rebalance trigger: wakes the worker, which splits and
+  /// coalesces until the imbalance conditions clear or an action can
+  /// make no progress (the worker re-arms itself past the per-cycle
+  /// action cap). Never blocks; coalesces with a pending request.
+  /// No-op unless kRebalanceCapable.
+  void RequestRebalance() {
+    if (impl_ != nullptr) impl_->RequestRebalance();
+  }
+
+  /// Blocks until no rebalance cycle is pending or running — the quiesce
+  /// point tests and snapshot readers use (then WaitForMerges()).
+  /// No-op unless kRebalanceCapable.
+  void WaitForRebalances() {
+    if (impl_ != nullptr) impl_->WaitForRebalances();
+  }
+
+  /// Outcome of the most recent rebalance cycle (OK before the first).
+  Status last_rebalance_status() const {
+    return impl_ ? impl_->last_rebalance_status() : Status::OK();
   }
 
   // ---- stats ----
 
   index::WritableIndexStats Stats() const {
-    index::WritableIndexStats agg{};
-    for (const Inner& s : shards_) Accumulate(agg, s.Stats());
-    return agg;
+    return impl_ ? impl_->Stats() : index::WritableIndexStats{};
   }
 
+  /// Aggregated inner gauges plus the sharded-level ones: shard count,
+  /// split/coalesce counts, ShardMap versions published and the current
+  /// max/mean mass imbalance. Per-op inner counters are per shard
+  /// *lifetime*: a split/coalesce retires the old shard's counters with
+  /// it (documented in docs/SHARDING.md).
   index::ConcurrentIndexStats ConcurrentStats() const
     requires requires(const Inner& i) {
       { i.ConcurrentStats() } -> std::same_as<index::ConcurrentIndexStats>;
     }
   {
-    index::ConcurrentIndexStats agg{};
-    for (const Inner& s : shards_) {
-      const index::ConcurrentIndexStats cs = s.ConcurrentStats();
-      Accumulate(agg, cs);
-      agg.freezes += cs.freezes;
-      agg.background_merges += cs.background_merges;
-      agg.writer_contended += cs.writer_contended;
-      agg.states_published += cs.states_published;
-      agg.states_retired += cs.states_retired;
-      agg.states_reclaimed += cs.states_reclaimed;
-      agg.epoch_fallback_pins += cs.epoch_fallback_pins;
-      agg.log_entries += cs.log_entries;
-    }
-    agg.shards = shards_.size();
-    return agg;
+    return impl_ ? impl_->ConcurrentStats() : index::ConcurrentIndexStats{};
   }
 
-  size_t num_shards() const { return shards_.size(); }
-  std::span<const key_type> boundaries() const { return boundaries_; }
-  const Inner& shard(size_t i) const { return shards_[i]; }
-  /// Per-shard live sizes — the balance gauge for boundary quality.
+  size_t num_shards() const { return impl_ ? impl_->NumShards() : 0; }
+  /// Copy of the current map's boundaries (num_shards - 1 split points).
+  std::vector<key_type> boundaries() const {
+    return impl_ ? impl_->Boundaries() : std::vector<key_type>{};
+  }
+  /// Per-shard live sizes — the balance gauge the rebalancer acts on.
   std::vector<size_t> ShardSizes() const {
-    std::vector<size_t> out;
-    out.reserve(shards_.size());
-    for (const Inner& s : shards_) out.push_back(s.size());
-    return out;
+    return impl_ ? impl_->ShardSizes() : std::vector<size_t>{};
+  }
+  /// max/mean live shard mass right now (1.0 when empty or unsharded).
+  double CurrentImbalance() const {
+    return impl_ ? impl_->CurrentImbalance() : 1.0;
   }
 
  private:
-  /// Shard covering `key`: shard i serves [boundary[i-1], boundary[i]).
-  size_t ShardOf(const key_type& key) const {
-    return static_cast<size_t>(
-        std::upper_bound(boundaries_.begin(), boundaries_.end(), key) -
-        boundaries_.begin());
+  /// One shard: the inner index plus the seal/cutover machinery the
+  /// rebalancer uses to replace it without losing racing writes.
+  /// `sealed`, `retired` and `catchup` are guarded by `cutover_mu`
+  /// (writers shared, rebalancer exclusive); `catchup` appends
+  /// additionally serialize on `catchup_mu` so the log order equals the
+  /// inner index's writer-serialization order per key.
+  struct Slot {
+    Inner index;
+    std::shared_mutex cutover_mu;
+    std::mutex catchup_mu;
+    bool sealed = false;   // dual-write every write into `catchup`
+    bool retired = false;  // no longer routable; writers must retry
+    std::vector<std::pair<key_type, bool>> catchup;  // (key, tombstone)
+  };
+
+  /// An immutable routing-table version. Slots are shared across map
+  /// versions (a split replaces one slot and shares the rest), so a
+  /// retired map's death only frees the shards no newer map references.
+  struct ShardMap {
+    std::vector<key_type> boundaries;  // slots.size() - 1 split points
+    std::vector<std::shared_ptr<Slot>> slots;
+  };
+
+  /// Smallest representable key — the snapshot scan's starting probe.
+  static key_type MinKey() {
+    if constexpr (std::is_arithmetic_v<key_type>) {
+      return std::numeric_limits<key_type>::lowest();
+    } else {
+      return key_type{};
+    }
   }
 
-  static void Accumulate(index::WritableIndexStats& agg,
-                         const index::WritableIndexStats& s) {
-    agg.lookups += s.lookups;
-    agg.contains += s.contains;
-    agg.inserts += s.inserts;
-    agg.erases += s.erases;
-    agg.delta_hits += s.delta_hits;
-    agg.merges += s.merges;
-    agg.merged_keys += s.merged_keys;
-    agg.last_merge_ns = std::max(agg.last_merge_ns, s.last_merge_ns);
-    agg.total_merge_ns += s.total_merge_ns;
-    agg.delta_entries += s.delta_entries;
-    agg.delta_bytes += s.delta_bytes;
-    agg.base_keys += s.base_keys;
-  }
+  struct Impl {
+    ~Impl() {
+      {
+        std::lock_guard<std::mutex> lk(rebalance_mu_);
+        shutdown_ = true;
+      }
+      rebalance_cv_.notify_all();
+      if (worker_.joinable()) worker_.join();
+      delete map_.load(std::memory_order_relaxed);
+      // epoch_ frees every retired map; slots die with their last map.
+    }
 
-  Config config_{};
-  std::vector<key_type> boundaries_;  // num_shards - 1 split points
-  std::vector<Inner> shards_;
+    Status Build(std::span<const key_type> keys, const Config& config) {
+      config_ = config;
+      config_.rebalance.check_stride =
+          std::max<size_t>(config_.rebalance.check_stride, 1);
+      config_.rebalance.scan_chunk =
+          std::max<size_t>(config_.rebalance.scan_chunk, 2);
+      // Enforce the documented knob invariants: a factor at or below 1
+      // would split on any non-uniform mass (rebuild churn to the
+      // max_shards cap), and a coalesce threshold at or above factor/2
+      // would re-coalesce freshly split halves (oscillation).
+      config_.rebalance.max_imbalance =
+          std::max(config_.rebalance.max_imbalance, 1.1);
+      config_.rebalance.coalesce_fraction =
+          std::clamp(config_.rebalance.coalesce_fraction, 0.0,
+                     config_.rebalance.max_imbalance * 0.45);
+      const size_t shards = std::max<size_t>(config.num_shards, 1);
+      auto map = std::make_unique<ShardMap>();
+      // CDF sample: every stride-th key (the keys are the CDF's inverse).
+      // Boundary i = the sample's (i+1)/shards quantile.
+      std::vector<key_type> sample;
+      if (!keys.empty() && shards > 1) {
+        const size_t want = std::min(
+            keys.size(), std::max<size_t>(config.cdf_sample, shards));
+        sample.reserve(want);
+        const double stride = static_cast<double>(keys.size()) /
+                              static_cast<double>(want);
+        for (size_t i = 0; i < want; ++i) {
+          sample.push_back(keys[static_cast<size_t>(i * stride)]);
+        }
+        for (size_t i = 1; i < shards; ++i) {
+          const key_type b = sample[i * sample.size() / shards];
+          // Strictly increasing boundaries; duplicates would create an
+          // empty shard and an ill-defined route.
+          if (map->boundaries.empty() || map->boundaries.back() < b) {
+            map->boundaries.push_back(b);
+          }
+        }
+      }
+      const size_t actual = map->boundaries.size() + 1;
+      size_t begin = 0;
+      for (size_t i = 0; i < actual; ++i) {
+        const size_t end =
+            i < map->boundaries.size()
+                ? static_cast<size_t>(
+                      std::lower_bound(keys.begin(), keys.end(),
+                                       map->boundaries[i]) -
+                      keys.begin())
+                : keys.size();
+        auto slot = std::make_shared<Slot>();
+        LI_RETURN_IF_ERROR(slot->index.Build(
+            keys.subspan(begin, end - begin), config_.inner));
+        map->slots.push_back(std::move(slot));
+        begin = end;
+      }
+      map_.store(map.release(), std::memory_order_seq_cst);
+      maps_published_.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (kRebalanceCapable) {
+        worker_ = std::thread([this] { WorkerLoop(); });
+      }
+      return Status::OK();
+    }
+
+    // ---- read path ----
+
+    size_t Lookup(const key_type& key) const {
+      EpochManager::Guard g(epoch_);
+      const ShardMap* m = map_.load(std::memory_order_seq_cst);
+      const size_t s = ShardOf(*m, key);
+      size_t rank = 0;
+      for (size_t i = 0; i < s; ++i) rank += m->slots[i]->index.size();
+      return rank + m->slots[s]->index.Lookup(key);
+    }
+
+    index::Approx ApproxPos(const key_type& key) const {
+      EpochManager::Guard g(epoch_);
+      const ShardMap* m = map_.load(std::memory_order_seq_cst);
+      const size_t s = ShardOf(*m, key);
+      size_t rank = 0, total = 0;
+      for (size_t i = 0; i < m->slots.size(); ++i) {
+        const size_t sz = m->slots[i]->index.size();
+        if (i < s) rank += sz;
+        total += sz;
+      }
+      return index::Approx::Exact(rank + m->slots[s]->index.Lookup(key),
+                                  total);
+    }
+
+    void LookupBatch(std::span<const key_type> keys,
+                     std::span<size_t> out) const {
+      const size_t n = std::min(keys.size(), out.size());
+      EpochManager::Guard g(epoch_);
+      const ShardMap* m = map_.load(std::memory_order_seq_cst);
+      const size_t shards = m->slots.size();
+      if (shards == 1) {
+        index::LookupBatch(m->slots[0]->index, keys.first(n), out.first(n));
+        return;
+      }
+      // Left-shard size prefix, snapshotted once per batch.
+      std::vector<size_t> prefix(shards + 1, 0);
+      for (size_t s = 0; s < shards; ++s) {
+        prefix[s + 1] = prefix[s] + m->slots[s]->index.size();
+      }
+      // Group by shard (counting sort, stable within a shard), dispatch
+      // each group to the shard's native batch path, scatter back.
+      std::vector<uint32_t> sid(n);
+      std::vector<size_t> count(shards, 0);
+      for (size_t i = 0; i < n; ++i) {
+        sid[i] = static_cast<uint32_t>(ShardOf(*m, keys[i]));
+        ++count[sid[i]];
+      }
+      std::vector<size_t> start(shards + 1, 0);
+      for (size_t s = 0; s < shards; ++s) start[s + 1] = start[s] + count[s];
+      std::vector<size_t> pos(n);
+      {
+        std::vector<size_t> cursor(start.begin(), start.end() - 1);
+        std::vector<key_type> grouped(n);
+        for (size_t i = 0; i < n; ++i) {
+          pos[i] = cursor[sid[i]]++;
+          grouped[pos[i]] = keys[i];
+        }
+        std::vector<size_t> ranks(n);
+        for (size_t s = 0; s < shards; ++s) {
+          if (count[s] == 0) continue;
+          index::LookupBatch(
+              m->slots[s]->index,
+              std::span<const key_type>(grouped).subspan(start[s], count[s]),
+              std::span<size_t>(ranks).subspan(start[s], count[s]));
+        }
+        for (size_t i = 0; i < n; ++i) out[i] = ranks[pos[i]] + prefix[sid[i]];
+      }
+    }
+
+    bool Contains(const key_type& key) const {
+      EpochManager::Guard g(epoch_);
+      const ShardMap* m = map_.load(std::memory_order_seq_cst);
+      return m->slots[ShardOf(*m, key)]->index.Contains(key);
+    }
+
+    std::vector<key_type> Scan(const key_type& from, size_t limit) const {
+      std::vector<key_type> out;
+      if (limit == 0) return out;
+      EpochManager::Guard g(epoch_);
+      const ShardMap* m = map_.load(std::memory_order_seq_cst);
+      for (size_t s = ShardOf(*m, from); s < m->slots.size(); ++s) {
+        std::vector<key_type> part =
+            m->slots[s]->index.Scan(from, limit - out.size());
+        if (out.empty()) {
+          out = std::move(part);
+        } else {
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        if (out.size() >= limit) break;
+      }
+      return out;
+    }
+
+    size_t size() const {
+      EpochManager::Guard g(epoch_);
+      const ShardMap* m = map_.load(std::memory_order_seq_cst);
+      size_t n = 0;
+      for (const auto& slot : m->slots) n += slot->index.size();
+      return n;
+    }
+
+    size_t SizeBytes() const {
+      EpochManager::Guard g(epoch_);
+      const ShardMap* m = map_.load(std::memory_order_seq_cst);
+      size_t n = m->boundaries.capacity() * sizeof(key_type);
+      for (const auto& slot : m->slots) n += slot->index.SizeBytes();
+      return n;
+    }
+
+    // ---- write path ----
+
+    bool Write(const key_type& key, bool tombstone) {
+      for (;;) {
+        EpochManager::Guard g(epoch_);
+        const ShardMap* m = map_.load(std::memory_order_seq_cst);
+        Slot* slot = m->slots[ShardOf(*m, key)].get();
+        bool changed;
+        {
+          std::shared_lock<std::shared_mutex> lk(slot->cutover_mu);
+          // A cutover retired this slot between our map load and the
+          // lock: its replacement shards already absorbed the catch-up
+          // log, so a write here would be lost. Retry on the new map.
+          if (slot->retired) continue;
+          if (slot->sealed) {
+            // Shard mid-rebalance: serialize on the catch-up mutex so
+            // the log order equals the inner writer order, then
+            // dual-write.
+            std::lock_guard<std::mutex> cl(slot->catchup_mu);
+            changed = tombstone ? slot->index.Erase(key)
+                                : slot->index.Insert(key);
+            slot->catchup.emplace_back(key, tombstone);
+          } else {
+            changed = tombstone ? slot->index.Erase(key)
+                                : slot->index.Insert(key);
+          }
+        }
+        // Load monitor runs after the cutover lock drops (the epoch pin
+        // still holds `m`): the O(#shards) mass scan must not lengthen
+        // the window the rebalancer's exclusive seal/cutover waits out.
+        if constexpr (kRebalanceCapable) {
+          if (config_.rebalance.enabled) {
+            const uint64_t tick =
+                write_tick_.fetch_add(1, std::memory_order_relaxed);
+            if (tick % config_.rebalance.check_stride == 0 &&
+                PickAction(*m).kind != RebalanceAction::Kind::kNone) {
+              RequestRebalance();
+            }
+          }
+        }
+        return changed;
+      }
+    }
+
+    // ---- merge control ----
+
+    Status Merge() {
+      const std::vector<std::shared_ptr<Slot>> slots = SlotSnapshot();
+      if constexpr (HasMergeControl<Inner>) {
+        for (const auto& slot : slots) slot->index.RequestMerge();
+      }
+      Status first = Status::OK();
+      for (const auto& slot : slots) {
+        const Status st = slot->index.Merge();
+        if (first.ok() && !st.ok()) first = st;
+      }
+      return first;
+    }
+
+    void RequestMerge()
+      requires HasMergeControl<Inner>
+    {
+      for (const auto& slot : SlotSnapshot()) slot->index.RequestMerge();
+    }
+
+    void WaitForMerges()
+      requires HasMergeControl<Inner>
+    {
+      for (const auto& slot : SlotSnapshot()) slot->index.WaitForMerges();
+    }
+
+    // ---- rebalance control ----
+
+    void RequestRebalance() {
+      if constexpr (kRebalanceCapable) {
+        {
+          std::lock_guard<std::mutex> lk(rebalance_mu_);
+          rebalance_requested_ = true;
+        }
+        rebalance_cv_.notify_one();
+      }
+    }
+
+    void WaitForRebalances() {
+      if constexpr (kRebalanceCapable) {
+        std::unique_lock<std::mutex> lk(rebalance_mu_);
+        rebalance_done_cv_.wait(lk, [&] {
+          return !rebalance_requested_ && !rebalance_running_;
+        });
+      }
+    }
+
+    Status last_rebalance_status() const {
+      std::lock_guard<std::mutex> lk(rebalance_mu_);
+      return last_rebalance_status_;
+    }
+
+    // ---- stats ----
+
+    index::WritableIndexStats Stats() const {
+      index::WritableIndexStats agg{};
+      for (const auto& slot : SlotSnapshot()) {
+        Accumulate(agg, slot->index.Stats());
+      }
+      return agg;
+    }
+
+    index::ConcurrentIndexStats ConcurrentStats() const
+      requires requires(const Inner& i) {
+        { i.ConcurrentStats() } -> std::same_as<index::ConcurrentIndexStats>;
+      }
+    {
+      index::ConcurrentIndexStats agg{};
+      const std::vector<std::shared_ptr<Slot>> slots = SlotSnapshot();
+      for (const auto& slot : slots) {
+        const index::ConcurrentIndexStats cs = slot->index.ConcurrentStats();
+        Accumulate(agg, cs);
+        agg.freezes += cs.freezes;
+        agg.background_merges += cs.background_merges;
+        agg.writer_contended += cs.writer_contended;
+        agg.states_published += cs.states_published;
+        agg.states_retired += cs.states_retired;
+        agg.states_reclaimed += cs.states_reclaimed;
+        agg.epoch_fallback_pins += cs.epoch_fallback_pins;
+        agg.log_entries += cs.log_entries;
+      }
+      agg.shards = slots.size();
+      agg.shard_splits = splits_.load(std::memory_order_relaxed);
+      agg.shard_coalesces = coalesces_.load(std::memory_order_relaxed);
+      agg.shard_maps_published =
+          maps_published_.load(std::memory_order_relaxed);
+      agg.shard_imbalance = CurrentImbalance();
+      return agg;
+    }
+
+    size_t NumShards() const { return SlotSnapshot().size(); }
+
+    std::vector<key_type> Boundaries() const {
+      EpochManager::Guard g(epoch_);
+      return map_.load(std::memory_order_seq_cst)->boundaries;
+    }
+
+    std::vector<size_t> ShardSizes() const {
+      std::vector<size_t> out;
+      const std::vector<std::shared_ptr<Slot>> slots = SlotSnapshot();
+      out.reserve(slots.size());
+      for (const auto& slot : slots) out.push_back(slot->index.size());
+      return out;
+    }
+
+    double CurrentImbalance() const {
+      const std::vector<size_t> sizes = ShardSizes();
+      if (sizes.empty()) return 1.0;
+      size_t total = 0, max = 0;
+      for (const size_t s : sizes) {
+        total += s;
+        max = std::max(max, s);
+      }
+      if (total == 0) return 1.0;
+      const double mean = static_cast<double>(total) /
+                          static_cast<double>(sizes.size());
+      return static_cast<double>(max) / mean;
+    }
+
+    // ---- internals ----
+
+    /// Shard covering `key` in `m`: shard i serves [b[i-1], b[i]).
+    size_t ShardOf(const ShardMap& m, const key_type& key) const {
+      return static_cast<size_t>(
+          std::upper_bound(m.boundaries.begin(), m.boundaries.end(), key) -
+          m.boundaries.begin());
+    }
+
+    /// Shared-ownership copy of the current map's slots: safe to use
+    /// after the epoch pin drops (shared_ptr keeps slots alive even if
+    /// the map version dies). The currency of every fan-out.
+    std::vector<std::shared_ptr<Slot>> SlotSnapshot() const {
+      EpochManager::Guard g(epoch_);
+      return map_.load(std::memory_order_seq_cst)->slots;
+    }
+
+    /// The rebalancer's decision function — the ONE place the
+    /// split/coalesce conditions live, shared by the writer-side monitor
+    /// and the worker so the trigger and the action can never drift:
+    /// scans shard masses (O(#shards) relaxed loads) and returns what
+    /// the current map calls for. Splits take priority: an overloaded
+    /// shard is a latency/contention problem, undersized ones are only
+    /// routing overhead.
+    struct RebalanceAction {
+      enum class Kind { kNone, kSplit, kCoalesce };
+      Kind kind = Kind::kNone;
+      size_t shard = 0;  // split target, or the left of the coalesce pair
+    };
+
+    RebalanceAction PickAction(const ShardMap& m) const {
+      const ShardRebalanceConfig& rc = config_.rebalance;
+      const size_t shards = m.slots.size();
+      std::vector<size_t> sizes(shards);
+      size_t total = 0;
+      for (size_t i = 0; i < shards; ++i) {
+        sizes[i] = m.slots[i]->index.size();
+        total += sizes[i];
+      }
+      RebalanceAction act;
+      if (total == 0) return act;
+      const double mean = static_cast<double>(total) /
+                          static_cast<double>(shards);
+      const size_t hot = static_cast<size_t>(
+          std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+      if (shards < rc.max_shards && sizes[hot] >= rc.min_split_keys &&
+          static_cast<double>(sizes[hot]) > rc.max_imbalance * mean) {
+        act.kind = RebalanceAction::Kind::kSplit;
+        act.shard = hot;
+        return act;
+      }
+      size_t cold_mass = 0;
+      for (size_t i = 0; i + 1 < shards; ++i) {
+        const size_t combined = sizes[i] + sizes[i + 1];
+        if (static_cast<double>(combined) < rc.coalesce_fraction * mean &&
+            (act.kind == RebalanceAction::Kind::kNone ||
+             combined < cold_mass)) {
+          act.kind = RebalanceAction::Kind::kCoalesce;
+          act.shard = i;
+          cold_mass = combined;
+        }
+      }
+      return act;
+    }
+
+    /// Pages the full live key set of a shard out through lock-free
+    /// chunked scans. Individual chunks need not form one consistent
+    /// snapshot: every key the chunks miss or over-report was written
+    /// after the seal, and the catch-up replay settles those (see
+    /// docs/SHARDING.md, "why the snapshot may be fuzzy").
+    std::vector<key_type> SnapshotKeys(const Inner& idx) const {
+      std::vector<key_type> out;
+      const size_t chunk = config_.rebalance.scan_chunk;
+      key_type from = MinKey();
+      for (;;) {
+        std::vector<key_type> part = idx.Scan(from, chunk);
+        size_t begin = 0;
+        // The pivot key re-appears at the head of the next chunk
+        // (Scan's `from` is inclusive); drop it.
+        if (!out.empty() && !part.empty() && !(out.back() < part.front())) {
+          begin = 1;
+        }
+        out.insert(out.end(), part.begin() + begin, part.end());
+        if (part.size() < chunk) break;
+        from = out.back();
+      }
+      return out;
+    }
+
+    /// Replaces `m` (the current map) with `fresh` and retires `m` to
+    /// the epoch manager. Rebalance-worker only.
+    void PublishMap(ShardMap* fresh, ShardMap* old) {
+      map_.store(fresh, std::memory_order_seq_cst);
+      maps_published_.fetch_add(1, std::memory_order_relaxed);
+      epoch_.Retire(old);
+    }
+
+    /// Frees retired maps no reader can still reach. Worker/destructor
+    /// context, no locks held.
+    void ReclaimMaps() {
+      std::vector<EpochManager::Retired> batch;
+      epoch_.ReclaimTo(batch);
+      EpochManager::Free(batch);
+    }
+
+    /// Re-opens a sealed slot after an aborted rebalance action: writes
+    /// kept flowing into the inner index the whole time, so state is
+    /// intact — only the catch-up log is dropped.
+    void Unseal(Slot& slot) {
+      std::unique_lock<std::shared_mutex> lk(slot.cutover_mu);
+      slot.sealed = false;
+      slot.catchup.clear();
+    }
+
+    /// One split: seal -> snapshot -> build halves -> cutover (replay
+    /// catch-up, publish new map). Readers never block; writers to the
+    /// splitting shard block only during seal and cutover (brief).
+    /// `published` reports whether a new map actually went out (false on
+    /// the nothing-to-cut abort, which unseals and leaves state intact).
+    Status SplitShard(ShardMap* m, size_t s, bool* published) {
+      *published = false;
+      std::shared_ptr<Slot> old = m->slots[s];
+      {
+        // Seal: after this exclusive section every writer dual-writes
+        // into the catch-up log, so the snapshot below may be fuzzy
+        // about post-seal writes without losing them.
+        std::unique_lock<std::shared_mutex> lk(old->cutover_mu);
+        old->sealed = true;
+      }
+      std::vector<key_type> snap = SnapshotKeys(old->index);
+      const size_t half = snap.size() / 2;
+      if (half == 0 || !(snap.front() < snap[half])) {
+        Unseal(*old);  // nothing to cut strictly between
+        return Status::OK();
+      }
+      const key_type mid = snap[half];
+      auto left = std::make_shared<Slot>();
+      auto right = std::make_shared<Slot>();
+      Status st = left->index.Build(
+          std::span<const key_type>(snap).first(half), config_.inner);
+      if (st.ok()) {
+        st = right->index.Build(
+            std::span<const key_type>(snap).subspan(half), config_.inner);
+      }
+      if (!st.ok()) {
+        Unseal(*old);
+        return st;
+      }
+      {
+        // Cutover: no writer holds the slot (exclusive lock), so the
+        // catch-up log is complete; replay it into the halves, publish
+        // the new map, retire the old shard.
+        std::unique_lock<std::shared_mutex> lk(old->cutover_mu);
+        for (const auto& [k, tomb] : old->catchup) {
+          Inner& dst = (k < mid) ? left->index : right->index;
+          tomb ? dst.Erase(k) : dst.Insert(k);
+        }
+        old->catchup.clear();
+        auto fresh = std::make_unique<ShardMap>();
+        fresh->boundaries = m->boundaries;
+        fresh->boundaries.insert(
+            fresh->boundaries.begin() + static_cast<ptrdiff_t>(s), mid);
+        fresh->slots = m->slots;
+        fresh->slots[s] = std::move(left);
+        fresh->slots.insert(
+            fresh->slots.begin() + static_cast<ptrdiff_t>(s) + 1,
+            std::move(right));
+        PublishMap(fresh.release(), m);
+        old->retired = true;
+        splits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      *published = true;
+      return Status::OK();
+    }
+
+    /// One coalesce of the adjacent pair (s, s+1): seal both ->
+    /// snapshot both (disjoint ascending ranges, so concatenation is
+    /// sorted) -> build the merged shard -> cutover both.
+    Status CoalesceShards(ShardMap* m, size_t s, bool* published) {
+      *published = false;
+      std::shared_ptr<Slot> lo = m->slots[s];
+      std::shared_ptr<Slot> hi = m->slots[s + 1];
+      for (Slot* slot : {lo.get(), hi.get()}) {
+        std::unique_lock<std::shared_mutex> lk(slot->cutover_mu);
+        slot->sealed = true;
+      }
+      std::vector<key_type> snap = SnapshotKeys(lo->index);
+      {
+        std::vector<key_type> upper = SnapshotKeys(hi->index);
+        snap.insert(snap.end(), upper.begin(), upper.end());
+      }
+      auto merged = std::make_shared<Slot>();
+      const Status st = merged->index.Build(
+          std::span<const key_type>(snap), config_.inner);
+      if (!st.ok()) {
+        Unseal(*lo);
+        Unseal(*hi);
+        return st;
+      }
+      {
+        // Lock order: always lower shard first (the only multi-lock
+        // taker is this worker, so any consistent order suffices).
+        std::unique_lock<std::shared_mutex> lk_lo(lo->cutover_mu);
+        std::unique_lock<std::shared_mutex> lk_hi(hi->cutover_mu);
+        // The two catch-up logs cover disjoint key ranges, so replay
+        // order across them is immaterial.
+        for (Slot* slot : {lo.get(), hi.get()}) {
+          for (const auto& [k, tomb] : slot->catchup) {
+            tomb ? merged->index.Erase(k) : merged->index.Insert(k);
+          }
+          slot->catchup.clear();
+        }
+        auto fresh = std::make_unique<ShardMap>();
+        fresh->boundaries = m->boundaries;
+        fresh->boundaries.erase(fresh->boundaries.begin() +
+                                static_cast<ptrdiff_t>(s));
+        fresh->slots = m->slots;
+        fresh->slots[s] = std::move(merged);
+        fresh->slots.erase(fresh->slots.begin() +
+                           static_cast<ptrdiff_t>(s) + 1);
+        PublishMap(fresh.release(), m);
+        lo->retired = true;
+        hi->retired = true;
+        coalesces_.fetch_add(1, std::memory_order_relaxed);
+      }
+      *published = true;
+      return Status::OK();
+    }
+
+    /// One rebalance cycle: act on what PickAction calls for, re-check,
+    /// repeat until balanced, the per-cycle action cap hits, or an
+    /// action cannot make progress (e.g. the hot shard has nothing to
+    /// cut strictly between). `work_remaining` reports a cap-limited
+    /// exit with the conditions still firing — the worker then re-arms
+    /// itself, so one WaitForRebalances() suffices for callers however
+    /// many actions the drift needs.
+    Status DoRebalance(bool* work_remaining) {
+      *work_remaining = false;
+      const size_t cap = config_.rebalance.max_actions_per_cycle;
+      for (size_t action = 0; action < cap; ++action) {
+        ReclaimMaps();
+        // The worker is the only map mutator, so its own load needs no
+        // epoch pin — the map cannot be retired out from under it.
+        ShardMap* m = map_.load(std::memory_order_seq_cst);
+        const RebalanceAction act = PickAction(*m);
+        if (act.kind == RebalanceAction::Kind::kNone) {  // balanced
+          ReclaimMaps();
+          return Status::OK();
+        }
+        bool published = false;
+        if (act.kind == RebalanceAction::Kind::kSplit) {
+          LI_RETURN_IF_ERROR(SplitShard(m, act.shard, &published));
+        } else {
+          LI_RETURN_IF_ERROR(CoalesceShards(m, act.shard, &published));
+        }
+        if (!published) {  // no progress possible on this pick; give up
+          ReclaimMaps();   // the cycle (writers may re-trigger later)
+          return Status::OK();
+        }
+      }
+      *work_remaining =
+          PickAction(*map_.load(std::memory_order_seq_cst)).kind !=
+          RebalanceAction::Kind::kNone;
+      ReclaimMaps();
+      return Status::OK();
+    }
+
+    void WorkerLoop() {
+      std::unique_lock<std::mutex> lk(rebalance_mu_);
+      for (;;) {
+        rebalance_cv_.wait(lk,
+                           [&] { return rebalance_requested_ || shutdown_; });
+        if (shutdown_) return;
+        rebalance_requested_ = false;
+        rebalance_running_ = true;
+        lk.unlock();
+        bool work_remaining = false;
+        const Status st = DoRebalance(&work_remaining);
+        lk.lock();
+        rebalance_running_ = false;
+        last_rebalance_status_ = st;
+        // Cap-limited exit with conditions still firing: re-arm so the
+        // next iteration continues (WaitForRebalances keeps waiting).
+        if (st.ok() && work_remaining && !shutdown_) {
+          rebalance_requested_ = true;
+        }
+        rebalance_done_cv_.notify_all();
+      }
+    }
+
+    static void Accumulate(index::WritableIndexStats& agg,
+                           const index::WritableIndexStats& s) {
+      agg.lookups += s.lookups;
+      agg.contains += s.contains;
+      agg.inserts += s.inserts;
+      agg.erases += s.erases;
+      agg.delta_hits += s.delta_hits;
+      agg.merges += s.merges;
+      agg.merged_keys += s.merged_keys;
+      agg.last_merge_ns = std::max(agg.last_merge_ns, s.last_merge_ns);
+      agg.total_merge_ns += s.total_merge_ns;
+      agg.delta_entries += s.delta_entries;
+      agg.delta_bytes += s.delta_bytes;
+      agg.base_keys += s.base_keys;
+    }
+
+    Config config_{};
+    std::atomic<ShardMap*> map_{nullptr};
+    mutable EpochManager epoch_;
+
+    // Rebalance worker machinery (mirrors the merge worker's).
+    std::thread worker_;
+    mutable std::mutex rebalance_mu_;
+    std::condition_variable rebalance_cv_;
+    std::condition_variable rebalance_done_cv_;
+    bool rebalance_requested_ = false;
+    bool rebalance_running_ = false;
+    bool shutdown_ = false;
+    Status last_rebalance_status_{};
+
+    std::atomic<uint64_t> write_tick_{0};
+    std::atomic<uint64_t> splits_{0};
+    std::atomic<uint64_t> coalesces_{0};
+    std::atomic<uint64_t> maps_published_{0};
+  };
+
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace li::concurrent

@@ -70,6 +70,12 @@ struct ConcurrentIndexStats : WritableIndexStats {
   size_t log_entries = 0;          // unsorted write-log entries (subset of
                                    // delta_entries)
   size_t shards = 1;               // 1 unless range-sharded
+  uint64_t shard_splits = 0;       // online shard splits performed
+  uint64_t shard_coalesces = 0;    // online shard coalesces performed
+  uint64_t shard_maps_published = 0;  // routing-table (ShardMap) versions
+                                      // published, the build map included
+  double shard_imbalance = 1.0;    // max/mean live shard mass right now —
+                                   // the gauge the rebalancer bounds
 
   /// Fraction of writes that found the writer lock held — the signal that
   /// a single write front-end is saturated and sharding would pay off.

@@ -99,6 +99,37 @@ ReadWriteWorkload MakeReadWriteWorkload(std::span<const uint64_t> keys,
                                         size_t ops, double insert_ratio,
                                         size_t lookup_probes, uint64_t seed);
 
+/// Shape of the insert stream's key placement — the knob that makes a
+/// workload drift away from the build-time CDF (what online shard
+/// re-balancing exists to absorb).
+struct InsertSkew {
+  enum class Kind {
+    kUniform,        // inserts follow the build distribution (the default
+                     // MakeReadWriteWorkload behavior)
+    kZipf,           // insert positions zipf-ranked over the key space:
+                     // the lowest key gaps are the hottest, so mass piles
+                     // onto the head shards
+    kMovingHotspot,  // inserts land in a narrow window of the key space
+                     // that drifts low -> high as the stream progresses
+  };
+  Kind kind = Kind::kUniform;
+  /// Zipf exponent for kZipf (1.0-1.3 are realistic serving skews).
+  double zipf_s = 1.1;
+  /// Window width for kMovingHotspot, as a fraction of the key span.
+  double hotspot_fraction = 0.05;
+};
+
+/// Skewed-insert variant of MakeReadWriteWorkload: the base keeps *all*
+/// of `keys`, and the insert stream is fresh keys synthesized into the
+/// gaps the skew targets (zipf-hot gaps, or a moving hotspot window), so
+/// the insert distribution deliberately drifts from the build CDF.
+/// kUniform delegates to MakeReadWriteWorkload unchanged.
+ReadWriteWorkload MakeSkewedReadWriteWorkload(std::span<const uint64_t> keys,
+                                              size_t ops, double insert_ratio,
+                                              size_t lookup_probes,
+                                              uint64_t seed,
+                                              const InsertSkew& skew);
+
 /// Multi-threaded mixed-stream driver over a ReadWriteWorkload: the op
 /// schedule is cut into per-thread slices (disjoint insert sub-streams,
 /// decorrelated lookup offsets), all threads start on one flag, and the

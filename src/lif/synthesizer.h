@@ -38,6 +38,7 @@
 
 #include "common/status.h"
 #include "dynamic/merge_policy.h"
+#include "lif/measure.h"
 #include "index/any_range_index.h"
 #include "index/existence_index.h"
 #include "index/point_index.h"
@@ -229,6 +230,17 @@ struct WritableSynthesisSpec {
   size_t eval_threads = 4;
   /// Write-log capacity for the concurrent candidates' front-ends.
   size_t log_cap = 1024;
+  /// Online shard-rebalance axis for sharded candidates: each entry is an
+  /// imbalance factor to qualify as its own grid point (0 = rebalancing
+  /// off, the fixed-boundary front-end). Meaningful under a skewed
+  /// insert stream (below), where adaptive boundaries keep shard mass —
+  /// and so merge latency and writer contention — even.
+  std::vector<double> shard_imbalance_factors = {0.0};
+  /// Insert-stream shape the *sharded* candidates are qualified under
+  /// (every other candidate class keeps the uniform stream, so their
+  /// scores stay comparable across specs). kUniform leaves the shared
+  /// stream in place.
+  InsertSkew insert_skew{};
   search::Strategy strategy = search::Strategy::kBiasedBinary;
   size_t size_budget_bytes = std::numeric_limits<size_t>::max();
   uint64_t seed = 99;

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/random.h"
@@ -86,6 +87,31 @@ TEST(RandomTest, ExponentialMeanMatchesRate) {
   RunningStats stats;
   for (int i = 0; i < 100'000; ++i) stats.Add(rng.NextExponential(4.0));
   EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RandomTest, ZipfRanksInRangeAndHeadHeavy) {
+  constexpr size_t kN = 1'000;
+  ZipfGenerator zipf(kN, 1.1, 17);
+  std::vector<int> hist(kN, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    const size_t r = zipf.Next();
+    ASSERT_LT(r, kN);
+    ++hist[r];
+  }
+  // Head-heavy: rank 0 beats the middle rank by a wide margin, and the
+  // top decile holds the majority of the mass (s = 1.1).
+  EXPECT_GT(hist[0], hist[kN / 2] * 10);
+  int top_decile = 0;
+  for (size_t r = 0; r < kN / 10; ++r) top_decile += hist[r];
+  EXPECT_GT(top_decile, 50'000);
+}
+
+TEST(RandomTest, ZipfZeroExponentIsRoughlyUniform) {
+  constexpr size_t kN = 100;
+  ZipfGenerator zipf(kN, 0.0, 23);
+  std::vector<int> hist(kN, 0);
+  for (int i = 0; i < 100'000; ++i) ++hist[zipf.Next()];
+  for (const int c : hist) EXPECT_NEAR(c, 1'000, 250);
 }
 
 TEST(MurmurTest, FinalizerIsBijectiveOnSample) {

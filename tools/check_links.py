@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's doc set (stdlib only).
+
+Checks every inline markdown link in the given files/directories:
+  * relative file links must resolve to an existing file or directory
+    (relative to the containing file);
+  * fragment links (#anchor, file.md#anchor) must match a heading in the
+    target file, using GitHub's slugification;
+  * http(s) links are skipped (no network in CI).
+
+Exit code 0 when every link resolves, 1 otherwise (each broken link is
+printed as file:line: message).
+
+Usage: python3 tools/check_links.py README.md ROADMAP.md docs
+"""
+
+import os
+import re
+import sys
+
+# Inline links: [text](target). Images share the syntax; the regex keeps
+# the optional leading "!" out of the target. Reference-style links are
+# not used in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_markdown(paths, errors):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md"))
+        elif os.path.isfile(path) and path.endswith(".md"):
+            files.append(path)
+        else:
+            errors.append(f"{path}: not a markdown file or directory")
+    return sorted(set(files))
+
+
+def heading_slugs(md_path):
+    slugs = set()
+    seen = {}
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group(1))
+                n = seen.get(slug, 0)
+                seen[slug] = n + 1
+                slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md_path, errors):
+    base = os.path.dirname(md_path)
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part, _, fragment = target.partition("#")
+                if path_part:
+                    resolved = os.path.normpath(os.path.join(base, path_part))
+                    if not os.path.exists(resolved):
+                        errors.append(
+                            f"{md_path}:{lineno}: broken link -> {target}")
+                        continue
+                else:
+                    resolved = md_path
+                if fragment:
+                    if not resolved.endswith(".md"):
+                        continue  # source-line anchors etc.
+                    if fragment not in heading_slugs(resolved):
+                        errors.append(
+                            f"{md_path}:{lineno}: missing anchor -> {target}")
+
+
+def main(argv):
+    paths = argv[1:] or ["README.md", "ROADMAP.md", "docs"]
+    errors = []
+    files = collect_markdown(paths, errors)
+    if not files and not errors:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    for md in files:
+        check_file(md, errors)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_links: {len(files)} files, "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
