@@ -1,7 +1,9 @@
 // Shared machine-readable bench output: every bench that participates in
 // the perf-tracking CI pipeline emits the same one-document shape,
-//   {"benchmarks": [{"name", "ns_per_op", "items_per_second"}]}
-// so BENCH_*.json artifacts accumulate comparably across PRs. The
+//   {"cpu_features": {...}, "benchmarks": [{"name", "ns_per_op",
+//    "items_per_second"}]}
+// so BENCH_*.json artifacts accumulate comparably across PRs, and every
+// result is attributable to the SIMD dispatch level that produced it. The
 // BENCH_MICRO_JSON environment variable toggles emission: unset = console
 // only, "1"/"" = the bench's default file name, anything else = that path.
 
@@ -12,6 +14,8 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "simd/dispatch.h"
 
 namespace li::bench_json {
 
@@ -31,17 +35,66 @@ inline const char* ResolvePath(const char* env_value,
              : env_value;
 }
 
-/// Writes the entries as one JSON document; false on I/O failure.
+/// JSON string escaping for name fields: benchmark names carry template
+/// arguments ("<...>"), slashes, and quotes from parameterized fixtures;
+/// unescaped they silently produce unparseable documents.
+inline std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Writes the entries as one JSON document (with the host's CPU-feature /
+/// dispatch-level attribution block); false on I/O failure.
 inline bool Write(const char* path, const std::vector<Entry>& entries) {
   FILE* f = fopen(path, "w");
   if (f == nullptr) return false;
-  fprintf(f, "{\n  \"benchmarks\": [\n");
+  const simd::CpuFeatures cpu = simd::DetectCpu();
+  fprintf(f, "{\n  \"cpu_features\": {\n");
+  fprintf(f, "    \"avx2\": %s,\n", cpu.avx2 ? "true" : "false");
+  fprintf(f, "    \"fma\": %s,\n", cpu.fma ? "true" : "false");
+  fprintf(f, "    \"avx512f\": %s,\n", cpu.avx512f ? "true" : "false");
+  fprintf(f, "    \"avx512dq\": %s,\n", cpu.avx512dq ? "true" : "false");
+  fprintf(f, "    \"active_level\": \"%s\",\n",
+          simd::LevelName(simd::ActiveLevel()));
+  fprintf(f, "    \"detected_level\": \"%s\",\n",
+          simd::LevelName(simd::DetectedLevel()));
+  fprintf(f, "    \"forced\": %s,\n", simd::IsForced() ? "true" : "false");
+  fprintf(f, "    \"compiled_levels\": [");
+  bool first = true;
+  for (int l = 0; l < simd::kNumLevels; ++l) {
+    const auto level = static_cast<simd::Level>(l);
+    if (!simd::LevelCompiled(level)) continue;
+    fprintf(f, "%s\"%s\"", first ? "" : ", ", simd::LevelName(level));
+    first = false;
+  }
+  fprintf(f, "]\n  },\n");
+  fprintf(f, "  \"benchmarks\": [\n");
   for (size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     fprintf(f,
             "    {\"name\": \"%s\", \"ns_per_op\": %.3f, "
             "\"items_per_second\": %.1f}%s\n",
-            e.name.c_str(), e.ns_per_op, e.items_per_second,
+            Escape(e.name).c_str(), e.ns_per_op, e.items_per_second,
             i + 1 < entries.size() ? "," : "");
   }
   fprintf(f, "  ]\n}\n");

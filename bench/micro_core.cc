@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,11 +25,13 @@
 #include "hash/chained_hash_map.h"
 #include "hash/cuckoo_map.h"
 #include "hash/hash_fn.h"
+#include "index/approx.h"
 #include "models/linear.h"
 #include "models/multivariate.h"
 #include "models/nn.h"
 #include "rmi/rmi.h"
 #include "search/search.h"
+#include "simd/dispatch.h"
 
 using namespace li;
 
@@ -159,6 +162,154 @@ void BM_RmiLookupBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_RmiLookupBatch)->Arg(10'000)->Arg(100'000);
 
+// ---- Per-dispatch-level kernels: scalar vs AVX2 vs AVX-512 --------------
+// Each *_AtLevel bench pins the SIMD dispatch level for its run (level 0 =
+// scalar = the pipelined per-key path, 1 = avx2, 2 = avx512) so
+// BENCH_micro.json carries a scalar-vs-vector column per primitive.
+// Unsupported levels skip rather than silently falling back, so a missing
+// entry means "this host/build can't run it", never a mislabeled number.
+
+// 100k leaves over 1M keys — the paper's serving-scale leaf budget (and
+// the same budget BuiltLearnedHash uses), where per-leaf error windows are
+// tight enough that the σ-sub-window sweep does the last mile in one pass.
+const rmi::LinearRmi* BuiltRmi() {
+  static const auto* index = []() -> const rmi::LinearRmi* {
+    auto idx = std::make_unique<rmi::LinearRmi>();
+    rmi::RmiConfig config;
+    config.num_leaf_models = 100'000;
+    if (!idx->Build(Keys(), config).ok()) return nullptr;
+    return idx.release();
+  }();
+  return index;
+}
+
+bool PinLevelOrSkip(benchmark::State& state, simd::ScopedLevel& pin) {
+  if (!pin.status().ok()) {
+    state.SkipWithError("dispatch level unsupported on this host/build");
+    return false;
+  }
+  return true;
+}
+
+// The tentpole comparison: batched lookups per level x batch size. The
+// level-0 row is the pre-SIMD pipelined scalar path (the acceptance
+// baseline); batch sizes must divide the 65536-query pool.
+void BM_RmiLookupBatchAtLevel(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  const size_t batch = static_cast<size_t>(state.range(1));
+  const auto* index = BuiltRmi();
+  if (index == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  simd::ScopedLevel pin(level);
+  if (!PinLevelOrSkip(state, pin)) return;
+  const auto& qs = Queries();
+  std::vector<size_t> out(batch);
+  size_t off = 0;
+  for (auto _ : state) {
+    index->LookupBatch(std::span(qs).subspan(off, batch), out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+    off = (off + batch) & (qs.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_RmiLookupBatchAtLevel)
+    ->ArgNames({"level", "batch"})
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Args({2, 1024})
+    ->Args({0, 65536})
+    ->Args({1, 65536})
+    ->Args({2, 65536});
+
+// Model execution only (route + leaf predict, no search) per level.
+void BM_RmiPredictBatchAtLevel(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  const auto* index = BuiltRmi();
+  if (index == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  simd::ScopedLevel pin(level);
+  if (!PinLevelOrSkip(state, pin)) return;
+  const auto& qs = Queries();
+  std::vector<uint64_t> pos(qs.size());
+  for (auto _ : state) {
+    index->PredictPosBatch(qs, pos);
+    benchmark::DoNotOptimize(pos.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(qs.size()));
+}
+BENCHMARK(BM_RmiPredictBatchAtLevel)
+    ->ArgNames({"level"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
+// The bounded last mile alone: branchless compare-and-popcount search per
+// level over precomputed prediction windows (compare against
+// BM_LastMileScalarStrategy, the per-key biased-binary baseline).
+const std::vector<index::Approx>& QueryWindows() {
+  static const std::vector<index::Approx> windows = [] {
+    std::vector<index::Approx> w;
+    const auto* index = BuiltRmi();
+    if (index == nullptr) return w;
+    const auto& qs = Queries();
+    w.reserve(qs.size());
+    for (const uint64_t q : qs) w.push_back(index->ApproxPos(q));
+    return w;
+  }();
+  return windows;
+}
+
+void BM_LastMileScalarStrategy(benchmark::State& state) {
+  const auto& windows = QueryWindows();
+  if (windows.empty()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  const auto& keys = Keys();
+  const auto& qs = Queries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t j = i++ & 0xFFFF;
+    benchmark::DoNotOptimize(
+        search::FindInWindow(search::Strategy::kBiasedBinary, keys.data(),
+                             keys.size(), qs[j], windows[j]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LastMileScalarStrategy);
+
+void BM_LastMileAtLevel(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  const auto& windows = QueryWindows();
+  if (windows.empty()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  simd::ScopedLevel pin(level);
+  if (!PinLevelOrSkip(state, pin)) return;
+  const simd::Kernels& kern = simd::GetKernels();
+  const auto& keys = Keys();
+  const auto& qs = Queries();
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t j = i++ & 0xFFFF;
+    benchmark::DoNotOptimize(search::FindInWindowBranchless(
+        kern, keys.data(), keys.size(), qs[j], windows[j]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LastMileAtLevel)->ArgNames({"level"})->Arg(0)->Arg(1)->Arg(2);
+
 void BM_BTreeFindPage(benchmark::State& state) {
   btree::ReadOnlyBTree tree;
   if (!tree.Build(Keys(), static_cast<size_t>(state.range(0))).ok()) {
@@ -253,6 +404,33 @@ void BM_LearnedHashDivision(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LearnedHashDivision);
+
+// Vectorized CDF-model slot batches per dispatch level (compare against
+// BM_LearnedHash, the single-key path).
+void BM_LearnedHashSlotBatchAtLevel(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  const auto* h = BuiltLearnedHash();
+  if (h == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  simd::ScopedLevel pin(level);
+  if (!PinLevelOrSkip(state, pin)) return;
+  const auto& qs = Queries();
+  std::vector<uint64_t> slots(qs.size());
+  for (auto _ : state) {
+    h->SlotBatch(qs.data(), qs.size(), slots.data());
+    benchmark::DoNotOptimize(slots.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(qs.size()));
+}
+BENCHMARK(BM_LearnedHashSlotBatchAtLevel)
+    ->ArgNames({"level"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
 
 // ---- Point-index probe paths: single-key Find vs pipelined FindBatch ----
 
@@ -359,6 +537,59 @@ void BM_CuckooMapFindBatch(benchmark::State& state) {
                           static_cast<int64_t>(qs.size()));
 }
 BENCHMARK(BM_CuckooMapFindBatch);
+
+// Per-level map probes: the batch slot computation vectorizes with the
+// dispatch level while the chain walk / bucket probe stays memory-bound,
+// so the level deltas here bound how much of FindBatch is compute.
+void BM_ChainedMapFindBatchAtLevel(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  const auto* map = BuiltChainedMap();
+  if (map == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  simd::ScopedLevel pin(level);
+  if (!PinLevelOrSkip(state, pin)) return;
+  const auto& qs = Queries();
+  std::vector<const hash::Record*> out(qs.size());
+  for (auto _ : state) {
+    map->FindBatch(qs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(qs.size()));
+}
+BENCHMARK(BM_ChainedMapFindBatchAtLevel)
+    ->ArgNames({"level"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
+void BM_CuckooMapFindBatchAtLevel(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  const auto* map = BuiltCuckooMap();
+  if (map == nullptr) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  simd::ScopedLevel pin(level);
+  if (!PinLevelOrSkip(state, pin)) return;
+  const auto& qs = Queries();
+  std::vector<const hash::Record*> out(qs.size());
+  for (auto _ : state) {
+    map->FindBatch(qs, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(qs.size()));
+}
+BENCHMARK(BM_CuckooMapFindBatchAtLevel)
+    ->ArgNames({"level"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
 
 // ---- optional machine-readable output (BENCH_micro.json) ----
 

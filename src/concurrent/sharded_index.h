@@ -56,6 +56,7 @@
 #include "index/concurrent_writable_index.h"
 #include "index/range_index.h"
 #include "index/writable_range_index.h"
+#include "simd/dispatch.h"
 
 namespace li::concurrent {
 
@@ -448,12 +449,26 @@ class ShardedIndex {
         prefix[s + 1] = prefix[s] + m->slots[s]->index.size();
       }
       // Group by shard (counting sort, stable within a shard), dispatch
-      // each group to the shard's native batch path, scatter back.
+      // each group to the shard's native batch path, scatter back. For
+      // uint64 keys the boundary route runs through the branchless
+      // upper_bound kernel — the boundary array is small and cached, so
+      // mispredicted compare branches, not memory, bound the scalar route.
       std::vector<uint32_t> sid(n);
       std::vector<size_t> count(shards, 0);
-      for (size_t i = 0; i < n; ++i) {
-        sid[i] = static_cast<uint32_t>(ShardOf(*m, keys[i]));
-        ++count[sid[i]];
+      if constexpr (std::is_same_v<key_type, uint64_t>) {
+        const simd::Kernels& kern = simd::GetKernels();
+        const uint64_t* bd = m->boundaries.data();
+        const size_t nb = m->boundaries.size();
+        for (size_t i = 0; i < n; ++i) {
+          sid[i] = static_cast<uint32_t>(kern.upper_bound_u64(bd, 0, nb,
+                                                              keys[i]));
+          ++count[sid[i]];
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          sid[i] = static_cast<uint32_t>(ShardOf(*m, keys[i]));
+          ++count[sid[i]];
+        }
       }
       std::vector<size_t> start(shards + 1, 0);
       for (size_t s = 0; s < shards; ++s) start[s + 1] = start[s] + count[s];

@@ -30,6 +30,7 @@
 #include "common/status.h"
 #include "hash/record.h"
 #include "index/point_index.h"
+#include "simd/dispatch.h"
 
 namespace li::hash {
 
@@ -92,9 +93,11 @@ class CuckooMap {
     return nullptr;
   }
 
-  /// Software-pipelined batch probe: per 16-key block, phase 1 hashes and
-  /// prefetches both candidate buckets, phase 2 probes them — overlapping
-  /// the (up to two) cache misses of neighboring keys.
+  /// Software-pipelined batch probe: per 64-key block, phase 1 computes
+  /// both candidate buckets for the whole block with the vectorized
+  /// cuckoo_slots kernel (the distinct-bucket fix-up — a rare, cheap
+  /// correction — stays scalar) and prefetches them, phase 2 probes —
+  /// overlapping the (up to two) cache misses of neighboring keys.
   void FindBatch(std::span<const uint64_t> keys,
                  std::span<const Value*> out) const {
     const size_t n = std::min(keys.size(), out.size());
@@ -102,12 +105,15 @@ class CuckooMap {
       for (size_t i = 0; i < n; ++i) out[i] = nullptr;
       return;
     }
-    constexpr size_t kBlock = 16;
-    size_t b1[kBlock], b2[kBlock];
+    const simd::Kernels& kern = simd::GetKernels();
+    constexpr size_t kBlock = 64;
+    alignas(64) uint64_t b1[kBlock], b2[kBlock];
     for (size_t base = 0; base < n; base += kBlock) {
       const size_t b = std::min(kBlock, n - base);
+      kern.cuckoo_slots(keys.data() + base, b, config_.seed, num_buckets_,
+                        b1, b2);
       for (size_t k = 0; k < b; ++k) {
-        Buckets(keys[base + k], &b1[k], &b2[k]);
+        if (b2[k] == b1[k]) b2[k] = (b1[k] + 1) % num_buckets_;
         PrefetchRead(&buckets_[b1[k]]);
         PrefetchRead(&buckets_[b2[k]]);
       }

@@ -25,6 +25,7 @@
 #include "common/random.h"
 #include "hash/record.h"
 #include "rmi/rmi.h"
+#include "simd/dispatch.h"
 
 namespace li::hash {
 
@@ -36,9 +37,14 @@ class RandomHash {
       : num_slots_(num_slots), seed_(seed) {}
 
   uint64_t operator()(uint64_t key) const {
-    const uint64_t h = Murmur3Fmix64(key ^ seed_);
-    return static_cast<uint64_t>(
-        (static_cast<unsigned __int128>(h) * num_slots_) >> 64);
+    return simd::ScalarHashSlot(key, seed_, num_slots_);
+  }
+
+  /// Batch slot computation through the SIMD kernel table (the scalar
+  /// table at scalar level — spec-identical to operator(), so batch and
+  /// single-key probes agree on every home slot).
+  void SlotBatch(const uint64_t* keys, size_t n, uint64_t* slots) const {
+    simd::GetKernels().hash_slots(keys, n, seed_, num_slots_, slots);
   }
 
   /// Re-aims the hash at a new table size (the multiply-shift needs no
@@ -86,6 +92,18 @@ class LearnedHash {
   uint64_t operator()(uint64_t key) const {
     const size_t pos = rmi_.Predict(key).pos;  // pos in [0, N)
     return static_cast<uint64_t>((scale_ * pos) >> 64);
+  }
+
+  /// Batch slot computation: vectorized CDF-model execution
+  /// (Rmi::PredictPosBatch), then the exact fixed-point rescale per slot.
+  /// The rescale stays scalar — it is a 128-bit multiply the kernels do
+  /// not model — and the predict path is spec-identical at every dispatch
+  /// level, so SlotBatch(k) == operator()(k) always.
+  void SlotBatch(const uint64_t* keys, size_t n, uint64_t* slots) const {
+    rmi_.PredictPosBatch({keys, n}, {slots, n});
+    for (size_t i = 0; i < n; ++i) {
+      slots[i] = static_cast<uint64_t>((scale_ * slots[i]) >> 64);
+    }
   }
 
   /// The pre-optimization reference path (per-lookup 128-bit division);
@@ -152,6 +170,16 @@ class PointHash {
     return kind_ == HashKind::kLearnedCdf ? learned_(key) : random_(key);
   }
 
+  /// Batch slot computation — one kind branch per batch instead of per
+  /// key; see the per-family SlotBatch docs.
+  void SlotBatch(const uint64_t* keys, size_t n, uint64_t* slots) const {
+    if (kind_ == HashKind::kLearnedCdf) {
+      learned_.SlotBatch(keys, n, slots);
+    } else {
+      random_.SlotBatch(keys, n, slots);
+    }
+  }
+
   /// Re-aims a built hash at a new table size without retraining the CDF
   /// model — a copy + Retarget replaces a full Build when only the slot
   /// count differs (the LIF slot sweep).
@@ -214,6 +242,34 @@ void PipelinedFindBatch(std::span<const uint64_t> keys,
     const size_t b = std::min(kBlock, n - base);
     for (size_t k = 0; k < b; ++k) {
       heads[k] = head_of(keys[base + k]);
+      PrefetchRead(heads[k]);
+    }
+    for (size_t k = 0; k < b; ++k) {
+      out[base + k] = probe(heads[k], keys[base + k]);
+    }
+  }
+}
+
+/// Batch-slot variant of PipelinedFindBatch: phase 0 computes the whole
+/// block's home slots with one `slots_of(keys, b, slots)` call (the
+/// vectorized SlotBatch of the map's hash function), phase 1 resolves
+/// slot -> head pointer and prefetches, phase 2 probes. The wider 64-key
+/// block matches the SIMD kernel block so a LearnedHash's model execution
+/// vectorizes fully; prefetch distance stays bounded by the block.
+template <typename SlotsFn, typename HeadAtFn, typename ProbeFn>
+void PipelinedFindBatchSlots(std::span<const uint64_t> keys,
+                             std::span<const Record*> out, SlotsFn&& slots_of,
+                             HeadAtFn&& head_at, ProbeFn&& probe) {
+  using HeadPtr = std::invoke_result_t<HeadAtFn&, uint64_t>;
+  const size_t n = std::min(keys.size(), out.size());
+  constexpr size_t kBlock = 64;
+  uint64_t slots[kBlock];
+  HeadPtr heads[kBlock];
+  for (size_t base = 0; base < n; base += kBlock) {
+    const size_t b = std::min(kBlock, n - base);
+    slots_of(keys.data() + base, b, slots);
+    for (size_t k = 0; k < b; ++k) {
+      heads[k] = head_at(slots[k]);
       PrefetchRead(heads[k]);
     }
     for (size_t k = 0; k < b; ++k) {

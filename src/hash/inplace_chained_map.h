@@ -62,8 +62,8 @@ class InplaceChainedMap {
     return FindFrom(&slots_[hash_fn_(key)], key);
   }
 
-  /// Software-pipelined batch probe (hash + prefetch every home slot,
-  /// then chain walks) — see hash::PipelinedFindBatch.
+  /// Software-pipelined batch probe (vectorized home-slot batch +
+  /// prefetch, then chain walks) — see hash::PipelinedFindBatchSlots.
   void FindBatch(std::span<const uint64_t> keys,
                  std::span<const Record*> out) const {
     const size_t n = std::min(keys.size(), out.size());
@@ -71,8 +71,12 @@ class InplaceChainedMap {
       for (size_t i = 0; i < n; ++i) out[i] = nullptr;
       return;
     }
-    PipelinedFindBatch(
-        keys, out, [&](uint64_t key) { return &slots_[hash_fn_(key)]; },
+    PipelinedFindBatchSlots(
+        keys, out,
+        [&](const uint64_t* ks, size_t b, uint64_t* slots) {
+          hash_fn_.SlotBatch(ks, b, slots);
+        },
+        [&](uint64_t slot) { return &slots_[slot]; },
         [&](const Slot* head, uint64_t key) { return FindFrom(head, key); });
   }
 

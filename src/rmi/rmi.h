@@ -28,6 +28,7 @@
 #include <cmath>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/bits.h"
@@ -38,6 +39,7 @@
 #include "models/model.h"
 #include "rmi/trainers.h"
 #include "search/search.h"
+#include "simd/dispatch.h"
 
 namespace li::rmi {
 
@@ -57,6 +59,14 @@ struct Leaf {
   int32_t min_err = 0;  // most negative (actual - predicted), floored
   int32_t max_err = 0;  // most positive (actual - predicted), ceiled
   float std_err = 0.0f;
+  /// Precomputed σ-scaled sweep sub-window for the vectorized batch path,
+  /// as offsets relative to the clamped prediction: sweep
+  /// [pos + sweep_lo, pos + sweep_hi) — the 3σ band intersected with the
+  /// worst-case window for tight leaves, the full window for wide ones
+  /// (where a σ band would pin and escape too often). Computed at Build
+  /// so the lookup window stage is two adds and two clamps per key.
+  int32_t sweep_lo = 0;
+  int32_t sweep_hi = 1;
 };
 
 template <typename Key, typename TopModel>
@@ -65,6 +75,19 @@ class RmiIndex {
   using key_type = Key;
   using config_type = RmiConfig;
   using Traits = index::KeyTraits<Key>;
+
+  /// Linear top models evaluate through the shared scalar spec
+  /// (simd::ScalarRoute1), which is what the vector route kernel
+  /// replicates; other top models (NN, multivariate) stay on the generic
+  /// Predict() path.
+  static constexpr bool kTopIsLinear =
+      std::is_same_v<TopModel, models::LinearModel>;
+  /// The vectorized batch path needs a linear top AND a key type with a
+  /// feature-extraction kernel (uint64 / double). String keys and NN tops
+  /// use the pipelined scalar batch path.
+  static constexpr bool kSimdCapable =
+      kTopIsLinear &&
+      (std::is_same_v<Key, uint64_t> || std::is_same_v<Key, double>);
 
   RmiIndex() = default;
 
@@ -76,8 +99,13 @@ class RmiIndex {
     data_ = keys;
     config_ = config;
     leaves_.assign(config.num_leaf_models, Leaf{});
+    route_factor_ = 0.0;
     if (keys.empty()) return Status::OK();
     const size_t n = keys.size();
+    // Precomputed M/N rescale: one multiply per key on the routing path
+    // instead of a multiply plus a ~20-cycle divide.
+    route_factor_ = static_cast<double>(config.num_leaf_models) /
+                    static_cast<double>(n);
 
     // ---- Stage 1: train the top model on (key, position) ----
     std::vector<double> xs, ys;
@@ -132,12 +160,13 @@ class RmiIndex {
       }
       LI_RETURN_IF_ERROR(leaf.model.Fit(lx, ly));
       // Error bounds must be computed against the *clamped integer*
-      // prediction the lookup path will actually use.
+      // prediction the lookup path will actually use — i.e. the shared
+      // kernel spec, so the bounds cover every dispatch level.
       double min_e = 0.0, max_e = 0.0, sum = 0.0, sum_sq = 0.0;
       bool first = true;
       for (size_t i = 0; i < lx.size(); ++i) {
         const double pred =
-            static_cast<double>(ClampPos(leaf.model.Predict(lx[i])));
+            static_cast<double>(PredictPos1(leaf.model, lx[i]));
         const double e = ly[i] - pred;
         if (first) {
           min_e = max_e = e;
@@ -155,6 +184,23 @@ class RmiIndex {
       leaf.max_err = static_cast<int32_t>(std::ceil(max_e));
       leaf.std_err = static_cast<float>(
           std::sqrt(std::max(0.0, sum_sq / cnt - mean * mean)));
+      const int64_t two_sigma = 2 * static_cast<int64_t>(leaf.std_err);
+      if (two_sigma > static_cast<int64_t>(kMaxSweepHalf)) {
+        leaf.sweep_lo = leaf.min_err;  // wide leaf: full worst-case window
+        leaf.sweep_hi = leaf.max_err + 1;
+      } else {
+        // 3σ band (capped): one extra sweep iteration per key is cheaper
+        // than the ~5% full-window pin retries a 2σ band incurs.
+        const int64_t three_sigma = 3 * static_cast<int64_t>(leaf.std_err);
+        const int32_t h = static_cast<int32_t>(std::min<int64_t>(
+            std::max<int64_t>(three_sigma, kMinSweepHalf), kMaxSweepHalf));
+        leaf.sweep_lo = std::max(leaf.min_err, -h);
+        leaf.sweep_hi = std::min(leaf.max_err + 1, h + 1);
+        // A heavily biased leaf (error band entirely to one side) can
+        // produce an inverted band; keep it minimally non-empty — the pin
+        // fix-up recovers exactness either way.
+        leaf.sweep_hi = std::max(leaf.sweep_hi, leaf.sweep_lo + 1);
+      }
       fill_pos = ly.back();
     }
     return Status::OK();
@@ -210,12 +256,22 @@ class RmiIndex {
   /// Batched lookup: software-pipelines the three phases (route, predict,
   /// search) over a block of keys so the leaf-table and data-array cache
   /// misses of neighboring keys overlap instead of serializing — the
-  /// hot-path amortization the single-key path cannot do.
+  /// hot-path amortization the single-key path cannot do. When a vector
+  /// dispatch level is active (and the Key/TopModel combination is
+  /// kernel-capable), the phases run as SIMD kernels over 64-key blocks;
+  /// at scalar level this is the pipelined per-key loop below — which is
+  /// also the baseline the per-level benchmarks compare against.
   void LookupBatch(std::span<const Key> keys, std::span<size_t> out) const {
     const size_t n = std::min(keys.size(), out.size());
     if (data_.empty()) {
       for (size_t i = 0; i < n; ++i) out[i] = 0;
       return;
+    }
+    if constexpr (kSimdCapable) {
+      if (simd::ActiveLevel() != simd::Level::kScalar) {
+        LookupBatchSimd(simd::GetKernels(), keys, out, n);
+        return;
+      }
     }
     constexpr size_t kBlock = 16;
     double xs[kBlock];
@@ -240,6 +296,38 @@ class RmiIndex {
             config_.strategy, data_.data(), data_.size(), keys[base + k],
             index::Approx{preds[k].pos, preds[k].lo, preds[k].hi},
             static_cast<size_t>(preds[k].std_err) + 1);
+      }
+    }
+  }
+
+  /// Batched model execution only: pos[i] = the clamped position estimate
+  /// for keys[i] (no search). This is LearnedHash's batch primitive — it
+  /// always runs through the kernel table (the scalar table at scalar
+  /// level), which is spec-identical to the single-key Predict path, so
+  /// slots computed here match slots computed at Build-insert time.
+  void PredictPosBatch(std::span<const Key> keys,
+                       std::span<uint64_t> pos) const {
+    const size_t n = std::min(keys.size(), pos.size());
+    if (data_.empty()) {
+      for (size_t i = 0; i < n; ++i) pos[i] = 0;
+      return;
+    }
+    if constexpr (kSimdCapable) {
+      const simd::Kernels& kern = simd::GetKernels();
+      constexpr size_t kBlock = 64;
+      alignas(64) double xs[kBlock];
+      alignas(64) uint32_t leaf[kBlock];
+      const uint32_t max_leaf = static_cast<uint32_t>(leaves_.size() - 1);
+      for (size_t base = 0; base < n; base += kBlock) {
+        const size_t b = std::min(kBlock, n - base);
+        LoadFeatures(kern, keys.data() + base, b, xs);
+        kern.route(xs, b, top_.slope(), top_.intercept(), route_factor_,
+                   max_leaf, leaf);
+        PredictLeafRuns(kern, xs, leaf, b, pos.data() + base);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        pos[i] = static_cast<uint64_t>(Predict(keys[i]).pos);
       }
     }
   }
@@ -281,17 +369,29 @@ class RmiIndex {
 
  private:
   uint32_t RouteFromTop(double x) const {
-    const double scaled = top_.Predict(x) *
-                          static_cast<double>(leaves_.size()) /
-                          static_cast<double>(data_.size());
-    if (!(scaled > 0.0)) return 0;  // also catches NaN
-    const size_t j = static_cast<size_t>(scaled);
-    return static_cast<uint32_t>(std::min(j, leaves_.size() - 1));
+    if constexpr (kTopIsLinear) {
+      // The shared kernel spec — what the vector route kernel computes.
+      return simd::ScalarRoute1(x, top_.slope(), top_.intercept(),
+                                route_factor_,
+                                static_cast<uint32_t>(leaves_.size() - 1));
+    } else {
+      const double scaled = top_.Predict(x) * route_factor_;
+      if (!(scaled > 0.0)) return 0;  // also catches NaN
+      const double cap = static_cast<double>(leaves_.size() - 1);
+      return static_cast<uint32_t>(scaled < cap ? scaled : cap);
+    }
   }
 
-  Prediction PredictAtLeaf(uint32_t j, double x) const {
-    const Leaf& leaf = leaves_[j];
-    const size_t pos = ClampPos(leaf.model.Predict(x));
+  /// Clamped integer position via the kernel spec: round-to-nearest
+  /// (truncation would bias half of all predictions one position low,
+  /// ~25% extra hash conflicts, §4.2), clamped to [0, size-1].
+  size_t PredictPos1(const models::LinearModel& m, double x) const {
+    return static_cast<size_t>(simd::ScalarPredict1(
+        x, m.slope(), m.intercept(), data_.size() - 1));
+  }
+
+  /// The worst-case search window around a clamped prediction.
+  index::Approx WindowOf(const Leaf& leaf, size_t pos) const {
     const size_t lo =
         leaf.min_err < 0 && pos < static_cast<size_t>(-leaf.min_err)
             ? 0
@@ -299,21 +399,147 @@ class RmiIndex {
     const size_t hi =
         std::min(data_.size(), pos + static_cast<size_t>(std::max(
                                          leaf.max_err, int32_t{0})) + 1);
-    return Prediction{pos, std::min(lo, data_.size()), hi, j, leaf.std_err};
+    return index::Approx{pos, std::min(lo, data_.size()), hi};
   }
 
-  size_t ClampPos(double pred) const {
-    // Round to nearest: truncation would bias half of all predictions one
-    // position low, which alone costs ~25% extra hash conflicts (§4.2).
-    if (!(pred > 0.0)) return 0;
-    const size_t p = static_cast<size_t>(pred + 0.5);
-    return std::min(p, data_.size() - 1);
+  Prediction PredictAtLeaf(uint32_t j, double x) const {
+    const Leaf& leaf = leaves_[j];
+    const index::Approx w = WindowOf(leaf, PredictPos1(leaf.model, x));
+    return Prediction{w.pos, w.lo, w.hi, j, leaf.std_err};
+  }
+
+  /// Feature extraction for one block (the kernel analogue of
+  /// Traits::ToDouble over arithmetic keys).
+  void LoadFeatures(const simd::Kernels& kern, const Key* keys, size_t b,
+                    double* xs) const {
+    if constexpr (std::is_same_v<Key, uint64_t>) {
+      kern.u64_to_f64(keys, b, xs);
+    } else {
+      for (size_t k = 0; k < b; ++k) xs[k] = Traits::ToDouble(keys[k]);
+    }
+  }
+
+  /// Gather-free leaf predict: keys routed to the same leaf sit in runs
+  /// (routing is monotone in the key for monotone tops, and real batches
+  /// are often sorted or locally clustered), so detect runs and evaluate
+  /// each with one broadcast-coefficient kernel call instead of gathering
+  /// per-lane slopes. Short runs (< half a vector) go through the scalar
+  /// spec directly — same results, no setup cost.
+  void PredictLeafRuns(const simd::Kernels& kern, const double* xs,
+                       const uint32_t* leaf, size_t b, uint64_t* pos) const {
+    const uint64_t max_pos = data_.size() - 1;
+    size_t k = 0;
+    while (k < b) {
+      size_t e = k + 1;
+      while (e < b && leaf[e] == leaf[k]) ++e;
+      const models::LinearModel& m = leaves_[leaf[k]].model;
+      if (e - k >= 4) {
+        kern.predict_run(xs + k, e - k, m.slope(), m.intercept(), max_pos,
+                         pos + k);
+      } else {
+        for (size_t t = k; t < e; ++t) {
+          pos[t] = simd::ScalarPredict1(xs[t], m.slope(), m.intercept(),
+                                        max_pos);
+        }
+      }
+      k = e;
+    }
+  }
+
+  /// σ-scaled half-width bounds for the batched last mile. The sweep
+  /// sub-window is `pos ± clamp(3σ, kMinSweepHalf, kMaxSweepHalf)`
+  /// intersected with the worst-case window, so one branchless
+  /// compare-and-accumulate pass (no internal bisection) covers the
+  /// typical-error mass while outliers escape through the pin-to-edge
+  /// fix-up.
+  static constexpr size_t kMinSweepHalf = 8;
+  static constexpr size_t kMaxSweepHalf = 31;
+
+  /// The vectorized batch pipeline: 64-key blocks through the kernel
+  /// table — feature conversion, top routing (+ leaf prefetch),
+  /// run-grouped leaf predict, then the last mile as a single branchless
+  /// sweep of a σ-scaled sub-window around each prediction. Sub-window
+  /// cache lines for the whole block are prefetched before any sweep
+  /// runs, so the misses a per-key binary search would serialize overlap
+  /// across keys instead. Any choice of sub-window is lossless: a result
+  /// strictly inside it is the exact global lower bound, and a result
+  /// pinned to either edge escapes through ExponentialSearch exactly like
+  /// the scalar path's §3.4 fix-up — so results stay bit-identical across
+  /// dispatch levels.
+  void LookupBatchSimd(const simd::Kernels& kern, std::span<const Key> keys,
+                       std::span<size_t> out, size_t n) const {
+    constexpr size_t kBlock = 64;
+    alignas(64) double xs[kBlock];
+    alignas(64) uint32_t leaf[kBlock];
+    alignas(64) uint64_t pos[kBlock];
+    size_t lo[kBlock], hi[kBlock];  // σ-scaled sweep sub-windows
+    const Key* data = data_.data();
+    const size_t size = data_.size();
+    const uint32_t max_leaf = static_cast<uint32_t>(leaves_.size() - 1);
+    for (size_t base = 0; base < n; base += kBlock) {
+      const size_t b = std::min(kBlock, n - base);
+      LoadFeatures(kern, keys.data() + base, b, xs);
+      kern.route(xs, b, top_.slope(), top_.intercept(), route_factor_,
+                 max_leaf, leaf);
+      for (size_t k = 0; k < b; ++k) PrefetchRead(&leaves_[leaf[k]]);
+      PredictLeafRuns(kern, xs, leaf, b, pos);
+      const int64_t isize = static_cast<int64_t>(size);
+      for (size_t k = 0; k < b; ++k) {
+        const Leaf& lf = leaves_[leaf[k]];
+        // Apply the Build-precomputed σ sub-window offsets (see Leaf):
+        // two adds and two clamps per key, all cmovs — σ varies per leaf,
+        // so anything branchy here would mispredict constantly. Outliers
+        // pin to a sub-window edge and escape through the staged fix-up
+        // below.
+        const int64_t p = static_cast<int64_t>(pos[k]);
+        const int64_t sl = std::clamp<int64_t>(p + lf.sweep_lo, 0, isize);
+        const int64_t sh = std::clamp<int64_t>(p + lf.sweep_hi, sl, isize);
+        lo[k] = static_cast<size_t>(sl);
+        hi[k] = static_cast<size_t>(sh);
+        // Prefetch ends + midpoint: the sweep's span for tight keys, the
+        // first bisection probe for wide ones. A prefetch of the empty
+        // window's degenerate address is harmless (prefetch never faults).
+        PrefetchRead(&data[lo[k]]);
+        PrefetchRead(&data[lo[k] + (hi[k] - lo[k]) / 2]);
+        PrefetchRead(&data[hi[k] - (hi[k] != 0 ? 1 : 0)]);
+      }
+      size_t res[kBlock];
+      if constexpr (std::is_same_v<Key, uint64_t>) {
+        kern.lower_bound_u64_multi(data, lo, hi, keys.data() + base, b, res);
+      } else {
+        kern.lower_bound_f64_multi(data, lo, hi, keys.data() + base, b, res);
+      }
+      for (size_t k = 0; k < b; ++k) {
+        size_t r = res[k];
+        if (LI_UNLIKELY((r == lo[k] && lo[k] > 0) ||
+                        (r == hi[k] && hi[k] < size))) {
+          // Staged escape: a pin at a σ-sub-window edge first retries the
+          // full worst-case window; only a pin at the *window* edge takes
+          // the global §3.4 exponential fix-up.
+          const Key& key = keys[base + k];
+          const index::Approx w =
+              WindowOf(leaves_[leaf[k]], static_cast<size_t>(pos[k]));
+          if (lo[k] != w.lo || hi[k] != w.hi) {
+            if constexpr (std::is_same_v<Key, uint64_t>) {
+              r = kern.lower_bound_u64(data, w.lo, w.hi, key);
+            } else {
+              r = kern.lower_bound_f64(data, w.lo, w.hi, key);
+            }
+          }
+          if ((r == w.lo && w.lo > 0) || (r == w.hi && w.hi < size)) {
+            r = search::ExponentialSearch(data, size, key, r);
+          }
+        }
+        out[base + k] = r;
+      }
+    }
   }
 
   std::span<const Key> data_;
   RmiConfig config_;
   TopModel top_;
   std::vector<Leaf> leaves_;
+  double route_factor_ = 0.0;
 };
 
 /// The paper's evaluated configuration: integer keys (Figure 4/5).

@@ -30,6 +30,7 @@
 
 #include "common/bits.h"
 #include "index/approx.h"
+#include "simd/dispatch.h"
 
 namespace li::search {
 
@@ -269,6 +270,31 @@ size_t FindInWindow(Strategy strategy, const T* data, size_t n, const T& key,
     default:
       pos = BinarySearch(data, a.lo, a.hi, key);
       break;
+  }
+  if (LI_UNLIKELY((pos == a.lo && a.lo > 0) || (pos == a.hi && a.hi < n))) {
+    return ExponentialSearch(data, n, key, pos);
+  }
+  return pos;
+}
+
+/// Branchless bounded search through the SIMD kernel table: compare-and-
+/// popcount lower_bound over [a.lo, a.hi) with the same §3.4 boundary
+/// fix-up as FindInWindow. Replaces the per-key strategy dispatch on the
+/// vectorized batch path — data-dependent branch mispredicts, not compare
+/// count, dominate the last mile at batch sizes, so one branch-free shape
+/// beats the tuned scalar strategies there. Key types without a kernel
+/// (strings) fall back to plain binary search.
+template <typename T>
+size_t FindInWindowBranchless(const simd::Kernels& kern, const T* data,
+                              size_t n, const T& key,
+                              const index::Approx& a) {
+  size_t pos;
+  if constexpr (std::is_same_v<T, uint64_t>) {
+    pos = kern.lower_bound_u64(data, a.lo, a.hi, key);
+  } else if constexpr (std::is_same_v<T, double>) {
+    pos = kern.lower_bound_f64(data, a.lo, a.hi, key);
+  } else {
+    pos = BinarySearch(data, a.lo, a.hi, key);
   }
   if (LI_UNLIKELY((pos == a.lo && a.lo > 0) || (pos == a.hi && a.hi < n))) {
     return ExponentialSearch(data, n, key, pos);

@@ -1,0 +1,151 @@
+// Dispatch state: CPU detection, the level table, env + programmatic
+// overrides. See dispatch.h for the contract.
+
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace li::simd {
+
+// Defined in the per-level kernel TUs. The vector levels return nullptr
+// when their TU was compiled without the ISA enabled (non-x86 target or a
+// toolchain lacking the flags).
+const Kernels& ScalarKernels();
+const Kernels* Avx2Kernels();
+const Kernels* Avx512Kernels();
+
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
+// Best supported level, resolved once. The LI_SIMD_LEVEL environment
+// override ("scalar" | "avx2" | "avx512") is also read here; an override
+// naming an unsupported level is ignored rather than crashing, so a stale
+// env var cannot take a deployment down.
+Level ResolveStartupLevel(bool apply_env) {
+  Level best = Level::kScalar;
+  if (Avx2Kernels() != nullptr && CpuHasAvx2Fma()) best = Level::kAvx2;
+  if (Avx512Kernels() != nullptr && CpuHasAvx512()) best = Level::kAvx512;
+  if (!apply_env) return best;
+  const char* env = std::getenv("LI_SIMD_LEVEL");
+  if (env == nullptr || *env == '\0') return best;
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(env, "avx2") == 0 && Avx2Kernels() != nullptr &&
+      CpuHasAvx2Fma()) {
+    return Level::kAvx2;
+  }
+  if (std::strcmp(env, "avx512") == 0 && Avx512Kernels() != nullptr &&
+      CpuHasAvx512()) {
+    return Level::kAvx512;
+  }
+  return best;
+}
+
+Level StartupLevel() {
+  static const Level level = ResolveStartupLevel(/*apply_env=*/true);
+  return level;
+}
+
+// -1 = no pin; otherwise the forced Level value.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+const Kernels& KernelsFor(Level level) {
+  switch (level) {
+    case Level::kAvx512:
+      if (const Kernels* k = Avx512Kernels(); k && CpuHasAvx512()) return *k;
+      break;
+    case Level::kAvx2:
+      if (const Kernels* k = Avx2Kernels(); k && CpuHasAvx2Fma()) return *k;
+      break;
+    case Level::kScalar:
+      break;
+  }
+  return ScalarKernels();
+}
+
+Level ActiveLevel() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  return StartupLevel();
+}
+
+const Kernels& GetKernels() { return KernelsFor(ActiveLevel()); }
+
+Level DetectedLevel() {
+  static const Level level = ResolveStartupLevel(/*apply_env=*/false);
+  return level;
+}
+
+bool LevelCompiled(Level level) {
+  switch (level) {
+    case Level::kScalar: return true;
+    case Level::kAvx2: return Avx2Kernels() != nullptr;
+    case Level::kAvx512: return Avx512Kernels() != nullptr;
+  }
+  return false;
+}
+
+bool LevelSupported(Level level) {
+  switch (level) {
+    case Level::kScalar: return true;
+    case Level::kAvx2: return Avx2Kernels() != nullptr && CpuHasAvx2Fma();
+    case Level::kAvx512: return Avx512Kernels() != nullptr && CpuHasAvx512();
+  }
+  return false;
+}
+
+Status ForceLevel(Level level) {
+  if (!LevelSupported(level)) {
+    return Status::InvalidArgument(
+        std::string("SIMD level '") + LevelName(level) +
+        "' is not supported on this machine/build");
+  }
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ClearForcedLevel() { g_forced.store(-1, std::memory_order_relaxed); }
+
+bool IsForced() { return g_forced.load(std::memory_order_relaxed) >= 0; }
+
+CpuFeatures DetectCpu() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512dq = __builtin_cpu_supports("avx512dq");
+#endif
+  return f;
+}
+
+}  // namespace li::simd

@@ -1,0 +1,294 @@
+// AVX-512 kernel table: 8 x 64-bit lanes. Compiled with -mavx512f
+// -mavx512dq via per-file CMake flags; dispatch gates this level on both
+// CPUID bits (F for the 512-bit lanes and masks, DQ for the native
+// uint64<->double conversions and 64-bit multiplies).
+//
+// Same bit-exactness contract as kernels_avx2.cc: the scalar spec's IEEE
+// operation sequence, lane-wise. AVX-512DQ has native pd<->epu64
+// conversions, so no mantissa-aliasing tricks or range guards are needed.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bits.h"
+#include "simd/dispatch.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+namespace li::simd {
+namespace {
+
+// 64x64 -> high 64 multiply from 32-bit partial products (no native
+// vpmulhuq exists at any ISA level).
+inline __m512i MulHi64v(__m512i a, __m512i m) {
+  const __m512i mask32 = _mm512_set1_epi64(0xFFFFFFFFll);
+  const __m512i ah = _mm512_srli_epi64(a, 32);
+  const __m512i mh = _mm512_srli_epi64(m, 32);
+  const __m512i t = _mm512_srli_epi64(_mm512_mul_epu32(a, m), 32);
+  const __m512i u = _mm512_add_epi64(_mm512_mul_epu32(ah, m), t);
+  const __m512i v = _mm512_add_epi64(_mm512_mul_epu32(a, mh),
+                                     _mm512_and_si512(u, mask32));
+  return _mm512_add_epi64(
+      _mm512_add_epi64(_mm512_mul_epu32(ah, mh), _mm512_srli_epi64(u, 32)),
+      _mm512_srli_epi64(v, 32));
+}
+
+inline __m512i Fmix64v(__m512i k) {
+  k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+  k = _mm512_mullo_epi64(k, _mm512_set1_epi64(static_cast<long long>(
+                                0xff51afd7ed558ccdULL)));
+  k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+  k = _mm512_mullo_epi64(k, _mm512_set1_epi64(static_cast<long long>(
+                                0xc4ceb9fe1a85ec53ULL)));
+  return _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+}
+
+void RouteAvx512(const double* xs, size_t n, double slope, double intercept,
+                 double factor, uint32_t max_leaf, uint32_t* leaves) {
+  const __m512d vs = _mm512_set1_pd(slope);
+  const __m512d vi = _mm512_set1_pd(intercept);
+  const __m512d vf = _mm512_set1_pd(factor);
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d cap = _mm512_set1_pd(static_cast<double>(max_leaf));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d x = _mm512_loadu_pd(xs + i);
+    __m512d s = _mm512_mul_pd(_mm512_fmadd_pd(vs, x, vi), vf);
+    s = _mm512_max_pd(s, zero);  // NaN and non-positive -> 0
+    s = _mm512_min_pd(s, cap);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(leaves + i),
+                        _mm512_cvttpd_epu32(s));
+  }
+  for (; i < n; ++i) {
+    leaves[i] = ScalarRoute1(xs[i], slope, intercept, factor, max_leaf);
+  }
+}
+
+void PredictRunAvx512(const double* xs, size_t n, double slope,
+                      double intercept, uint64_t max_pos, uint64_t* pos) {
+  const __m512d vs = _mm512_set1_pd(slope);
+  const __m512d vi = _mm512_set1_pd(intercept);
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d half = _mm512_set1_pd(0.5);
+  const __m512d cap = _mm512_set1_pd(static_cast<double>(max_pos));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d x = _mm512_loadu_pd(xs + i);
+    __m512d p = _mm512_fmadd_pd(vs, x, vi);
+    p = _mm512_max_pd(p, zero);
+    __m512d r = _mm512_floor_pd(_mm512_add_pd(p, half));
+    r = _mm512_min_pd(r, cap);
+    _mm512_storeu_si512(pos + i, _mm512_cvttpd_epu64(r));
+  }
+  for (; i < n; ++i) {
+    pos[i] = ScalarPredict1(xs[i], slope, intercept, max_pos);
+  }
+}
+
+constexpr size_t kScanWidth = 64;  // same handoff width as every level
+
+// Horizontal sum of eight 64-bit lanes (the compare-accumulator reduction).
+inline size_t HSum8(__m512i acc) {
+  return static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+size_t LowerBoundU64Avx512(const uint64_t* data, size_t lo, size_t hi,
+                           uint64_t key) {
+  while (hi - lo > kScanWidth) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const bool lt = data[mid] < key;
+    lo = lt ? mid + 1 : lo;
+    hi = lt ? hi : mid;
+  }
+  const __m512i vkey = _mm512_set1_epi64(static_cast<long long>(key));
+  __m512i acc = _mm512_setzero_si512();
+  const __m512i vone = _mm512_set1_epi64(1);
+  size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m512i v = _mm512_loadu_si512(data + i);
+    const __mmask8 lt = _mm512_cmplt_epu64_mask(v, vkey);
+    // Masked add accumulates per-lane counts with no kmov/popcnt in the
+    // loop.
+    acc = _mm512_mask_add_epi64(acc, lt, acc, vone);
+  }
+  size_t count = HSum8(acc);
+  for (; i < hi; ++i) count += static_cast<size_t>(data[i] < key);
+  return lo + count;
+}
+
+size_t LowerBoundF64Avx512(const double* data, size_t lo, size_t hi,
+                           double key) {
+  while (hi - lo > kScanWidth) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const bool lt = data[mid] < key;
+    lo = lt ? mid + 1 : lo;
+    hi = lt ? hi : mid;
+  }
+  const __m512d vkey = _mm512_set1_pd(key);
+  __m512i acc = _mm512_setzero_si512();
+  const __m512i vone = _mm512_set1_epi64(1);
+  size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m512d v = _mm512_loadu_pd(data + i);
+    const __mmask8 lt = _mm512_cmp_pd_mask(v, vkey, _CMP_LT_OQ);
+    acc = _mm512_mask_add_epi64(acc, lt, acc, vone);
+  }
+  size_t count = HSum8(acc);
+  for (; i < hi; ++i) count += static_cast<size_t>(data[i] < key);
+  return lo + count;
+}
+
+size_t UpperBoundU64Avx512(const uint64_t* data, size_t lo, size_t hi,
+                           uint64_t key) {
+  while (hi - lo > kScanWidth) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const bool le = data[mid] <= key;
+    lo = le ? mid + 1 : lo;
+    hi = le ? hi : mid;
+  }
+  const __m512i vkey = _mm512_set1_epi64(static_cast<long long>(key));
+  __m512i acc = _mm512_setzero_si512();
+  const __m512i vone = _mm512_set1_epi64(1);
+  size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m512i v = _mm512_loadu_si512(data + i);
+    const __mmask8 le = _mm512_cmple_epu64_mask(v, vkey);
+    acc = _mm512_mask_add_epi64(acc, le, acc, vone);
+  }
+  size_t count = HSum8(acc);
+  for (; i < hi; ++i) count += static_cast<size_t>(data[i] <= key);
+  return lo + count;
+}
+
+void LowerBoundU64MultiAvx512(const uint64_t* data, const size_t* lo,
+                             const size_t* hi, const uint64_t* keys, size_t n,
+                             size_t* out) {
+  const __m512i vone = _mm512_set1_epi64(1);
+  size_t k = 0;
+  // Two keys in flight: their sweep loads are independent, so pairing the
+  // accumulator loops lets outstanding misses overlap instead of
+  // serializing behind each key's horizontal reduction.
+  for (; k + 2 <= n; k += 2) {
+    size_t lo0 = lo[k], hi0 = hi[k], lo1 = lo[k + 1], hi1 = hi[k + 1];
+    const uint64_t k0 = keys[k], k1 = keys[k + 1];
+    while (hi0 - lo0 > kScanWidth) {
+      const size_t mid = lo0 + (hi0 - lo0) / 2;
+      const bool lt = data[mid] < k0;
+      lo0 = lt ? mid + 1 : lo0;
+      hi0 = lt ? hi0 : mid;
+    }
+    while (hi1 - lo1 > kScanWidth) {
+      const size_t mid = lo1 + (hi1 - lo1) / 2;
+      const bool lt = data[mid] < k1;
+      lo1 = lt ? mid + 1 : lo1;
+      hi1 = lt ? hi1 : mid;
+    }
+    const __m512i vk0 = _mm512_set1_epi64(static_cast<long long>(k0));
+    const __m512i vk1 = _mm512_set1_epi64(static_cast<long long>(k1));
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    size_t i0 = lo0, i1 = lo1;
+    while (i0 + 8 <= hi0 && i1 + 8 <= hi1) {
+      const __m512i v0 = _mm512_loadu_si512(data + i0);
+      const __m512i v1 = _mm512_loadu_si512(data + i1);
+      acc0 = _mm512_mask_add_epi64(acc0, _mm512_cmplt_epu64_mask(v0, vk0),
+                                   acc0, vone);
+      acc1 = _mm512_mask_add_epi64(acc1, _mm512_cmplt_epu64_mask(v1, vk1),
+                                   acc1, vone);
+      i0 += 8;
+      i1 += 8;
+    }
+    for (; i0 + 8 <= hi0; i0 += 8) {
+      const __m512i v0 = _mm512_loadu_si512(data + i0);
+      acc0 = _mm512_mask_add_epi64(acc0, _mm512_cmplt_epu64_mask(v0, vk0),
+                                   acc0, vone);
+    }
+    for (; i1 + 8 <= hi1; i1 += 8) {
+      const __m512i v1 = _mm512_loadu_si512(data + i1);
+      acc1 = _mm512_mask_add_epi64(acc1, _mm512_cmplt_epu64_mask(v1, vk1),
+                                   acc1, vone);
+    }
+    size_t c0 = HSum8(acc0);
+    size_t c1 = HSum8(acc1);
+    for (; i0 < hi0; ++i0) c0 += static_cast<size_t>(data[i0] < k0);
+    for (; i1 < hi1; ++i1) c1 += static_cast<size_t>(data[i1] < k1);
+    out[k] = lo0 + c0;
+    out[k + 1] = lo1 + c1;
+  }
+  for (; k < n; ++k) {
+    out[k] = LowerBoundU64Avx512(data, lo[k], hi[k], keys[k]);
+  }
+}
+
+void LowerBoundF64MultiAvx512(const double* data, const size_t* lo,
+                             const size_t* hi, const double* keys, size_t n,
+                             size_t* out) {
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = LowerBoundF64Avx512(data, lo[k], hi[k], keys[k]);
+  }
+}
+
+void U64ToF64Avx512(const uint64_t* keys, size_t n, double* xs) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(xs + i,
+                     _mm512_cvtepu64_pd(_mm512_loadu_si512(keys + i)));
+  }
+  for (; i < n; ++i) xs[i] = static_cast<double>(keys[i]);
+}
+
+void HashSlotsAvx512(const uint64_t* keys, size_t n, uint64_t seed,
+                     uint64_t num_slots, uint64_t* slots) {
+  const __m512i vseed = _mm512_set1_epi64(static_cast<long long>(seed));
+  const __m512i vm = _mm512_set1_epi64(static_cast<long long>(num_slots));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i k =
+        _mm512_xor_si512(_mm512_loadu_si512(keys + i), vseed);
+    _mm512_storeu_si512(slots + i, MulHi64v(Fmix64v(k), vm));
+  }
+  for (; i < n; ++i) slots[i] = ScalarHashSlot(keys[i], seed, num_slots);
+}
+
+void CuckooSlotsAvx512(const uint64_t* keys, size_t n, uint64_t seed,
+                       uint64_t num_buckets, uint64_t* b1, uint64_t* b2) {
+  const __m512i vseed = _mm512_set1_epi64(static_cast<long long>(seed));
+  const __m512i vadd = _mm512_set1_epi64(
+      static_cast<long long>(0x9e3779b97f4a7c15ULL + seed));
+  const __m512i vm = _mm512_set1_epi64(static_cast<long long>(num_buckets));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i k = _mm512_loadu_si512(keys + i);
+    _mm512_storeu_si512(b1 + i,
+                        MulHi64v(Fmix64v(_mm512_xor_si512(k, vseed)), vm));
+    _mm512_storeu_si512(b2 + i,
+                        MulHi64v(Fmix64v(_mm512_add_epi64(k, vadd)), vm));
+  }
+  for (; i < n; ++i) {
+    ScalarCuckooSlots(keys[i], seed, num_buckets, &b1[i], &b2[i]);
+  }
+}
+
+}  // namespace
+
+const Kernels* Avx512Kernels() {
+  static const Kernels kTable = {
+      "avx512",          RouteAvx512,        PredictRunAvx512,
+      LowerBoundU64Avx512, LowerBoundF64Avx512, UpperBoundU64Avx512,
+      LowerBoundU64MultiAvx512, LowerBoundF64MultiAvx512,
+      U64ToF64Avx512,    HashSlotsAvx512,    CuckooSlotsAvx512,
+  };
+  return &kTable;
+}
+
+}  // namespace li::simd
+
+#else  // !(__AVX512F__ && __AVX512DQ__)
+
+namespace li::simd {
+const Kernels* Avx512Kernels() { return nullptr; }
+}  // namespace li::simd
+
+#endif
