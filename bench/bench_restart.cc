@@ -1,0 +1,168 @@
+// Restart-path bench: quantifies the tentpole claim of the snapshot
+// subsystem — reopening a built index from its snapshot is orders of
+// magnitude cheaper than rebuilding it from keys (docs/PERSISTENCE.md).
+//
+// The build leg runs in this process; the open leg re-execs this binary
+// with --open-only so the mmap happens in a *fresh* process with a cold
+// page-cache mapping of its own (the file pages are typically still warm
+// in the kernel cache, which is exactly the steady-state restart
+// scenario: the machine stayed up, the process died).
+//
+//   BENCH_RESTART_KEYS   key count (default 10'000'000)
+//   BENCH_MICRO_JSON     unset = console only; "1" = BENCH_restart.json;
+//                        other = that path (schema: docs/BENCHMARKS.md)
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "json_out.h"
+#include "data/datasets.h"
+#include "rmi/rmi.h"
+#include "snapshot/snapshot.h"
+
+namespace li {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double NsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+}
+
+size_t KeyCount() {
+  const char* env = std::getenv("BENCH_RESTART_KEYS");
+  if (env != nullptr && *env != '\0') {
+    const long long n = std::atoll(env);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  return 10'000'000;
+}
+
+rmi::RmiConfig ConfigFor(size_t n) {
+  rmi::RmiConfig config;
+  config.num_leaf_models = std::max<size_t>(64, n / 100);
+  return config;
+}
+
+// ---- child: --open-only <path> <probe_key> ----
+// Opens the snapshot, runs one lookup (the first-touch latency the
+// restart path actually serves), and reports on stdout for the parent.
+int OpenOnly(const char* path, uint64_t probe) {
+  const auto t_open = Clock::now();
+  auto reopened = rmi::LinearRmi::OpenSnapshot(path);
+  const double open_ns = NsSince(t_open);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 reopened.status().message().c_str());
+    return 1;
+  }
+  const auto t_first = Clock::now();
+  const size_t rank = reopened.value().LowerBound(probe);
+  const double first_ns = NsSince(t_first);
+  // The reader maps the whole file, so mapped bytes == file size.
+  struct stat st {};
+  const size_t mapped = ::stat(path, &st) == 0
+                            ? static_cast<size_t>(st.st_size)
+                            : 0;
+  std::printf("open_ns=%.0f first_lookup_ns=%.0f mapped_bytes=%zu rank=%zu\n",
+              open_ns, first_ns, mapped, rank);
+  return 0;
+}
+
+int Run(const char* self) {
+  const size_t n = KeyCount();
+  std::printf("bench_restart: %zu keys\n", n);
+  const auto keys = data::GenLognormal(n, 13);
+  const uint64_t probe = keys[keys.size() / 2];
+
+  // Build leg: the full from-keys construction the snapshot replaces.
+  const auto t_build = Clock::now();
+  rmi::LinearRmi built;
+  if (Status st = built.Build(keys, ConfigFor(n)); !st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.message().c_str());
+    return 1;
+  }
+  const double build_ns = NsSince(t_build);
+  const size_t want_rank = built.LowerBound(probe);
+
+  const std::string snap = "bench_restart.snap";
+  if (Status st = built.WriteSnapshot(snap); !st.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n", st.message().c_str());
+    return 1;
+  }
+
+  // Open leg: fresh process, zero-copy open, one lookup.
+  const std::string cmd =
+      std::string(self) + " --open-only " + snap + " " + std::to_string(probe);
+  FILE* child = popen(cmd.c_str(), "r");
+  if (child == nullptr) {
+    std::fprintf(stderr, "popen failed\n");
+    return 1;
+  }
+  double open_ns = 0.0, first_ns = 0.0;
+  size_t mapped = 0, got_rank = static_cast<size_t>(-1);
+  char line[256];
+  while (std::fgets(line, sizeof(line), child) != nullptr) {
+    std::sscanf(line, "open_ns=%lf first_lookup_ns=%lf mapped_bytes=%zu rank=%zu",
+                &open_ns, &first_ns, &mapped, &got_rank);
+  }
+  if (pclose(child) != 0 || open_ns <= 0.0) {
+    std::fprintf(stderr, "open-only child failed\n");
+    return 1;
+  }
+  if (got_rank != want_rank) {
+    std::fprintf(stderr, "reopened lookup diverged: %zu != %zu\n", got_rank,
+                 want_rank);
+    return 1;
+  }
+
+  const double speedup = build_ns / open_ns;
+  std::printf("build      %12.0f ns\n", build_ns);
+  std::printf("open       %12.0f ns  (%.0fx faster than build)\n", open_ns,
+              speedup);
+  std::printf("first hit  %12.0f ns\n", first_ns);
+  std::printf("mapped     %12zu bytes\n", mapped);
+
+  if (std::getenv("BENCH_MICRO_JSON") != nullptr) {
+    // Schema note (docs/BENCHMARKS.md): ns_per_op carries each leg's
+    // wall time; for the two dimensionless rows it carries the ratio
+    // (RestartSpeedup) and the byte count (RestartMappedBytes).
+    std::vector<bench_json::Entry> json;
+    json.push_back({"RestartBuild", build_ns, n / (build_ns / 1e9)});
+    json.push_back({"RestartOpen", open_ns, n / (open_ns / 1e9)});
+    json.push_back({"RestartFirstLookup", first_ns,
+                    first_ns > 0.0 ? 1e9 / first_ns : 0.0});
+    json.push_back({"RestartMappedBytes", static_cast<double>(mapped), 0.0});
+    json.push_back({"RestartSpeedup", speedup, 0.0});
+    const char* path = bench_json::ResolvePath(std::getenv("BENCH_MICRO_JSON"),
+                                               "BENCH_restart.json");
+    if (bench_json::Write(path, json)) {
+      std::printf("wrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path);
+      return 1;
+    }
+  }
+  std::remove(snap.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace li
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::strcmp(argv[1], "--open-only") == 0) {
+    return li::OpenOnly(argv[2],
+                        std::strtoull(argv[3], nullptr, 10));
+  }
+  return li::Run(argv[0]);
+}

@@ -18,6 +18,9 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "index/existence_index.h"
+#include "index/snapshottable.h"
+#include "snapshot/arena.h"
+#include "snapshot/snapshot.h"
 
 namespace li::bloom {
 
@@ -73,7 +76,53 @@ class BloomFilter {
   int num_hashes() const { return num_hashes_; }
   size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t); }
 
+  // ---- Persistence (index::Snapshottable; docs/PERSISTENCE.md) ----
+  // Sections: meta {num_bits, num_hashes} + the bit words verbatim. An
+  // opened filter serves MightContain straight out of the mapping; Add on
+  // a mapped filter is a programming error (asserted in debug builds).
+
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix) const {
+    const SnapshotMeta meta{num_bits_, static_cast<int64_t>(num_hashes_)};
+    LI_RETURN_IF_ERROR(writer.AddPod(prefix + "meta", meta));
+    return writer.AddArray(prefix + "bits", bits_.span(),
+                           snapshot::SectionKind::kBitmap);
+  }
+
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix) {
+    SnapshotMeta meta;
+    LI_RETURN_IF_ERROR(reader.GetPod(prefix + "meta", &meta));
+    if (meta.num_bits == 0 || meta.num_hashes < 1) {
+      return Status::InvalidArgument("BloomFilter snapshot meta is corrupt");
+    }
+    auto bits = reader.GetArray<uint64_t>(prefix + "bits");
+    if (!bits.ok()) return bits.status();
+    if (bits.value().size() != (meta.num_bits + 63) / 64) {
+      return Status::InvalidArgument(
+          "BloomFilter snapshot bit section size disagrees with meta");
+    }
+    num_bits_ = meta.num_bits;
+    num_hashes_ = static_cast<int>(meta.num_hashes);
+    bits_ = snapshot::FlatVec<uint64_t>::View(bits.value(),
+                                              reader.keepalive());
+    return Status::OK();
+  }
+
+  Status WriteSnapshot(const std::string& path) const {
+    return index::WriteSnapshotViaSections(*this, path);
+  }
+
+  static Result<BloomFilter> OpenSnapshot(
+      const std::string& path, const snapshot::OpenOptions& opts = {}) {
+    return index::OpenSnapshotViaSections<BloomFilter>(path, opts);
+  }
+
  private:
+  struct SnapshotMeta {
+    uint64_t num_bits = 0;
+    int64_t num_hashes = 0;
+  };
   void AddHash(uint64_t h) {
     const uint64_t h1 = h;
     const uint64_t h2 = (h >> 33) | (h << 31) | 1;  // odd second hash
@@ -94,7 +143,9 @@ class BloomFilter {
 
   uint64_t num_bits_ = 0;
   int num_hashes_ = 0;
-  std::vector<uint64_t> bits_;
+  /// Owned when built (Add mutates), a zero-copy mapped view when opened
+  /// from a snapshot (read-only).
+  snapshot::FlatVec<uint64_t> bits_;
 };
 
 }  // namespace li::bloom

@@ -107,7 +107,75 @@ class LearnedBloomFilter {
     return has_overflow_ ? overflow_.SizeBytes() : 0;
   }
 
+  // ---- Persistence (docs/PERSISTENCE.md) ----
+  // Persists the calibration scalars and the overflow bitmap; the
+  // classifier itself is held by external pointer (see the class comment)
+  // and is re-supplied at OpenSnapshot — the trained model's weights are
+  // the caller's to persist, the filter snapshot pins everything derived
+  // from them (tau, FNR, and the exact false-negative bitmap).
+
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix) const {
+    SnapshotMeta meta;
+    meta.target_fpr = target_fpr_;
+    meta.tau = tau_;
+    meta.fnr = fnr_;
+    meta.has_overflow = has_overflow_ ? 1 : 0;
+    LI_RETURN_IF_ERROR(writer.AddPod(prefix + "meta", meta));
+    if (has_overflow_) {
+      LI_RETURN_IF_ERROR(overflow_.WriteSections(writer, prefix + "of/"));
+    }
+    return Status::OK();
+  }
+
+  /// `classifier` must be the same trained model the snapshot was built
+  /// with: tau and the overflow bitmap are calibrated against its scores.
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix,
+                      const Classifier* classifier) {
+    if (classifier == nullptr) {
+      return Status::InvalidArgument("LearnedBloomFilter: null classifier");
+    }
+    SnapshotMeta meta;
+    LI_RETURN_IF_ERROR(reader.GetPod(prefix + "meta", &meta));
+    if (meta.has_overflow != 0) {
+      LI_RETURN_IF_ERROR(overflow_.LoadSections(reader, prefix + "of/"));
+    } else {
+      overflow_ = BloomFilter();
+    }
+    classifier_ = classifier;
+    target_fpr_ = meta.target_fpr;
+    tau_ = meta.tau;
+    fnr_ = meta.fnr;
+    has_overflow_ = meta.has_overflow != 0;
+    return Status::OK();
+  }
+
+  Status WriteSnapshot(const std::string& path) const {
+    snapshot::SnapshotWriter writer;
+    LI_RETURN_IF_ERROR(WriteSections(writer, ""));
+    return writer.WriteFile(path);
+  }
+
+  static Result<LearnedBloomFilter> OpenSnapshot(
+      const std::string& path, const Classifier* classifier,
+      const snapshot::OpenOptions& opts = {}) {
+    auto reader = snapshot::SnapshotReader::Open(path, opts);
+    if (!reader.ok()) return reader.status();
+    LearnedBloomFilter out;
+    Status st = out.LoadSections(reader.value(), "", classifier);
+    if (!st.ok()) return st;
+    return out;
+  }
+
  private:
+  struct SnapshotMeta {
+    double target_fpr = 0.01;
+    double tau = 0.5;
+    double fnr = 0.0;
+    uint64_t has_overflow = 0;
+  };
+
   const Classifier* classifier_ = nullptr;
   double target_fpr_ = 0.01;
   double tau_ = 0.5;

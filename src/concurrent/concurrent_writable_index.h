@@ -53,7 +53,9 @@
 #include <mutex>
 #include <numeric>
 #include <span>
+#include <string>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -65,7 +67,9 @@
 #include "index/approx.h"
 #include "index/concurrent_writable_index.h"
 #include "index/range_index.h"
+#include "index/snapshottable.h"
 #include "index/writable_range_index.h"
+#include "snapshot/snapshot.h"
 
 namespace li::concurrent {
 
@@ -160,6 +164,50 @@ class ConcurrentWritableIndex {
     return impl_ ? impl_->last_merge_status() : Status::OK();
   }
 
+  // ---- Persistence (index::Snapshottable; docs/PERSISTENCE.md) ----
+  // WriteSnapshot quiesces writers on the writer mutex just long enough
+  // to fold the live write log + frozen delta into one sorted entry list
+  // (the same fold the freeze path uses) and pin the base via its
+  // shared_ptr; serialization then runs outside the lock against the
+  // pinned immutable pieces. Readers stay lock-free throughout, and an
+  // in-flight background merge publishes before or after the capture,
+  // never during (publish takes the same mutex). OpenSnapshot rebuilds a
+  // fully writable index: the key array is copied (merges replace it),
+  // the base model loads against the copy without retraining, and the
+  // background merge worker restarts.
+
+  /// Snapshot support needs a flat key type and a base that can persist
+  /// its model against a caller-owned key span (the RMI family).
+  static constexpr bool kSnapshotCapable =
+      std::is_trivially_copyable_v<key_type> &&
+      index::DataSpanSnapshottable<Base>;
+
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix) const {
+    if (impl_ == nullptr) {
+      return Status::FailedPrecondition("ConcurrentWritableIndex: not built");
+    }
+    return impl_->WriteSections(writer, prefix);
+  }
+
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix) {
+    impl_ = std::make_unique<Impl>();
+    const Status st = impl_->LoadSections(reader, prefix);
+    if (!st.ok()) impl_.reset();
+    return st;
+  }
+
+  Status WriteSnapshot(const std::string& path) const {
+    return index::WriteSnapshotViaSections(*this, path);
+  }
+
+  static Result<ConcurrentWritableIndex> OpenSnapshot(
+      const std::string& path, const snapshot::OpenOptions& opts = {}) {
+    return index::OpenSnapshotViaSections<ConcurrentWritableIndex>(path,
+                                                                   opts);
+  }
+
   index::WritableIndexStats Stats() const {
     return impl_ ? impl_->Stats() : index::WritableIndexStats{};
   }
@@ -172,6 +220,13 @@ class ConcurrentWritableIndex {
   }
 
  private:
+  struct SnapshotCfg {
+    dynamic::MergePolicy policy{};
+    uint64_t log_cap = 1024;
+  };
+  static_assert(std::is_trivially_copyable_v<dynamic::MergePolicy>,
+                "MergePolicy is persisted verbatim in snapshots");
+
   struct LogEntry {
     key_type key{};
     int8_t net = 0;           // liveness delta of this write: -1 / 0 / +1
@@ -447,6 +502,129 @@ class ConcurrentWritableIndex {
     Status last_merge_status() const {
       std::lock_guard<std::mutex> lk(merge_mu_);
       return last_merge_status_;
+    }
+
+    // ---- persistence ----
+
+    Status WriteSections(snapshot::SnapshotWriter& writer,
+                         const std::string& prefix) const {
+      if constexpr (!kSnapshotCapable) {
+        return Status::Unimplemented(
+            "ConcurrentWritableIndex snapshots need a flat key type and a "
+            "section-snapshottable base");
+      } else {
+        // Capture a consistent point-in-time version under the writer
+        // mutex: writers and merge publishes are excluded for the O(delta)
+        // fold only; readers are undisturbed.
+        std::shared_ptr<const std::vector<key_type>> keys;
+        std::shared_ptr<const Base> base;
+        std::vector<dynamic::DeltaEntry<key_type>> folded;
+        SnapshotCfg cfg;
+        {
+          std::lock_guard<std::mutex> lk(write_mu_);
+          const State* s = state_.load(std::memory_order_relaxed);
+          if (s == nullptr) {
+            return Status::FailedPrecondition(
+                "ConcurrentWritableIndex: not built");
+          }
+          const uint32_t n = s->log_count.load(std::memory_order_relaxed);
+          // Redundancy drop is legal here regardless of a pending rebase:
+          // the snapshot pairs the fold with this *same* captured base.
+          folded = FoldedEntries(*s, n, /*drop_redundant=*/true);
+          keys = s->base_keys;
+          base = s->base;
+          cfg.policy = config_.policy;
+          cfg.log_cap = config_.log_cap;
+        }
+        // Serialization outside the lock: every captured piece is
+        // immutable and shared_ptr-pinned (a concurrent merge may retire
+        // the version, not free these).
+        LI_RETURN_IF_ERROR(writer.AddPod(prefix + "cfg", cfg));
+        LI_RETURN_IF_ERROR(
+            writer.AddArray(prefix + "keys", std::span<const key_type>(*keys),
+                            snapshot::SectionKind::kKeys));
+        LI_RETURN_IF_ERROR(base->WriteSections(writer, prefix + "base/",
+                                               /*include_keys=*/false));
+        std::vector<key_type> dkeys;
+        std::vector<uint8_t> dmeta;
+        dkeys.reserve(folded.size());
+        dmeta.reserve(folded.size());
+        for (const dynamic::DeltaEntry<key_type>& e : folded) {
+          dkeys.push_back(e.key);
+          dmeta.push_back(static_cast<uint8_t>((e.tombstone ? 1 : 0) |
+                                               (e.in_base ? 2 : 0)));
+        }
+        LI_RETURN_IF_ERROR(
+            writer.AddArray(prefix + "dkeys", std::span<const key_type>(dkeys),
+                            snapshot::SectionKind::kDelta));
+        return writer.AddArray(prefix + "dmeta",
+                               std::span<const uint8_t>(dmeta),
+                               snapshot::SectionKind::kDelta);
+      }
+    }
+
+    /// Rebuilds a live index from snapshot sections: fresh Impl only
+    /// (build-then-share discipline, same as Build).
+    Status LoadSections(const snapshot::SnapshotReader& reader,
+                        const std::string& prefix) {
+      if constexpr (!kSnapshotCapable) {
+        return Status::Unimplemented(
+            "ConcurrentWritableIndex snapshots need a flat key type and a "
+            "section-snapshottable base");
+      } else {
+        SnapshotCfg cfg;
+        LI_RETURN_IF_ERROR(reader.GetPod(prefix + "cfg", &cfg));
+        auto keys = reader.GetArray<key_type>(prefix + "keys");
+        if (!keys.ok()) return keys.status();
+        auto dkeys = reader.GetArray<key_type>(prefix + "dkeys");
+        if (!dkeys.ok()) return dkeys.status();
+        auto dmeta = reader.GetArray<uint8_t>(prefix + "dmeta");
+        if (!dmeta.ok()) return dmeta.status();
+        if (dkeys.value().size() != dmeta.value().size()) {
+          return Status::InvalidArgument(
+              "ConcurrentWritableIndex snapshot delta arrays disagree in "
+              "size");
+        }
+        // Copied, not mapped: merges replace the key array after restart.
+        auto bk = std::make_shared<std::vector<key_type>>(
+            keys.value().begin(), keys.value().end());
+        auto base = std::make_shared<Base>();
+        LI_RETURN_IF_ERROR(base->LoadSections(
+            reader, prefix + "base/", std::span<const key_type>(*bk)));
+        std::vector<dynamic::DeltaEntry<key_type>> entries;
+        entries.reserve(dkeys.value().size());
+        for (size_t i = 0; i < dkeys.value().size(); ++i) {
+          const uint8_t m = dmeta.value()[i];
+          if ((m & ~uint8_t{3}) != 0) {
+            return Status::InvalidArgument(
+                "ConcurrentWritableIndex snapshot delta flags are corrupt");
+          }
+          entries.push_back(dynamic::DeltaEntry<key_type>{
+              dkeys.value()[i], (m & 1) != 0, (m & 2) != 0});
+        }
+        config_.policy = cfg.policy;
+        config_.log_cap = std::max<size_t>(cfg.log_cap, 2);
+        if constexpr (requires {
+                        {
+                          base->config()
+                        } -> std::convertible_to<base_config_type>;
+                      }) {
+          config_.base = base->config();
+        }
+        State* s = new State;
+        s->base_keys = std::move(bk);
+        s->base = std::move(base);
+        s->frozen = dynamic::DeltaBuffer<key_type>::FromSortedEntries(
+            std::span<const dynamic::DeltaEntry<key_type>>(entries), 2);
+        s->log = std::make_unique<LogEntry[]>(config_.log_cap);
+        s->log_cap = config_.log_cap;
+        const int64_t live = static_cast<int64_t>(s->base_keys->size()) +
+                             s->frozen.LiveAdjustTotal();
+        state_.store(s, std::memory_order_seq_cst);
+        live_count_.store(live, std::memory_order_relaxed);
+        worker_ = std::thread([this] { WorkerLoop(); });
+        return Status::OK();
+      }
     }
 
     // ---- stats ----
@@ -756,7 +934,8 @@ class ConcurrentWritableIndex {
 
     Config config_{};
     std::atomic<State*> state_{nullptr};
-    std::mutex write_mu_;
+    // mutable: the const WriteSections capture quiesces writers on it.
+    mutable std::mutex write_mu_;
     mutable EpochManager epoch_;
     std::atomic<int64_t> live_count_{0};
     // Reclaimed-but-not-freed versions (mutated under write_mu_ only;

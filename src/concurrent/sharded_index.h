@@ -45,6 +45,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -55,8 +56,10 @@
 #include "index/approx.h"
 #include "index/concurrent_writable_index.h"
 #include "index/range_index.h"
+#include "index/snapshottable.h"
 #include "index/writable_range_index.h"
 #include "simd/dispatch.h"
+#include "snapshot/snapshot.h"
 
 namespace li::concurrent {
 
@@ -268,6 +271,47 @@ class ShardedIndex {
     return impl_ ? impl_->last_rebalance_status() : Status::OK();
   }
 
+  // ---- Persistence (index::Snapshottable; docs/PERSISTENCE.md) ----
+  // One file holds the routing manifest (shard count, boundaries, knobs)
+  // plus every shard's sections under "s<i>/". WriteSnapshot drains any
+  // in-flight rebalance first so the captured map version is final, then
+  // snapshots each shard through its own quiesce protocol — every shard
+  // is individually exact; writes racing the capture on *other* shards
+  // land in whichever shard section is written later (quiesce writers
+  // for a globally exact cut). OpenSnapshot rebuilds the map and every
+  // shard, and restarts the rebalance worker.
+
+  /// Snapshot support needs a flat key type and a section-snapshottable
+  /// inner index.
+  static constexpr bool kSnapshotCapable =
+      std::is_trivially_copyable_v<key_type> &&
+      index::SectionSnapshottable<Inner>;
+
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix) const {
+    if (impl_ == nullptr) {
+      return Status::FailedPrecondition("ShardedIndex: not built");
+    }
+    return impl_->WriteSections(writer, prefix);
+  }
+
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix) {
+    impl_ = std::make_unique<Impl>();
+    const Status st = impl_->LoadSections(reader, prefix);
+    if (!st.ok()) impl_.reset();
+    return st;
+  }
+
+  Status WriteSnapshot(const std::string& path) const {
+    return index::WriteSnapshotViaSections(*this, path);
+  }
+
+  static Result<ShardedIndex> OpenSnapshot(
+      const std::string& path, const snapshot::OpenOptions& opts = {}) {
+    return index::OpenSnapshotViaSections<ShardedIndex>(path, opts);
+  }
+
   // ---- stats ----
 
   index::WritableIndexStats Stats() const {
@@ -324,6 +368,15 @@ class ShardedIndex {
     std::vector<key_type> boundaries;  // slots.size() - 1 split points
     std::vector<std::shared_ptr<Slot>> slots;
   };
+
+  struct SnapshotManifest {
+    uint64_t shard_count = 0;
+    uint64_t num_shards_cfg = 0;
+    uint64_t cdf_sample = 0;
+    ShardRebalanceConfig rebalance{};
+  };
+  static_assert(std::is_trivially_copyable_v<ShardRebalanceConfig>,
+                "rebalance knobs are persisted verbatim in snapshots");
 
   /// Smallest representable key — the snapshot scan's starting probe.
   static key_type MinKey() {
@@ -627,6 +680,112 @@ class ShardedIndex {
     Status last_rebalance_status() const {
       std::lock_guard<std::mutex> lk(rebalance_mu_);
       return last_rebalance_status_;
+    }
+
+    // ---- persistence ----
+
+    Status WriteSections(snapshot::SnapshotWriter& writer,
+                         const std::string& prefix) {
+      if constexpr (!kSnapshotCapable) {
+        return Status::Unimplemented(
+            "ShardedIndex snapshots need a flat key type and a "
+            "section-snapshottable inner index");
+      } else {
+        // Drain the rebalancer so the map version captured below is
+        // final — no shard gets retired mid-snapshot. The worker only
+        // re-runs on a writer trigger, so the capture that follows sees
+        // a stable map unless writes keep racing (documented above).
+        WaitForRebalances();
+        std::vector<key_type> boundaries;
+        std::vector<std::shared_ptr<Slot>> slots;
+        {
+          EpochManager::Guard g(epoch_);
+          const ShardMap* m = map_.load(std::memory_order_seq_cst);
+          boundaries = m->boundaries;
+          slots = m->slots;  // shared_ptrs outlive the pin
+        }
+        SnapshotManifest man;
+        man.shard_count = slots.size();
+        man.num_shards_cfg = config_.num_shards;
+        man.cdf_sample = config_.cdf_sample;
+        man.rebalance = config_.rebalance;
+        LI_RETURN_IF_ERROR(writer.AddPod(prefix + "manifest", man));
+        LI_RETURN_IF_ERROR(writer.AddArray(
+            prefix + "bounds", std::span<const key_type>(boundaries),
+            snapshot::SectionKind::kManifest));
+        for (size_t i = 0; i < slots.size(); ++i) {
+          LI_RETURN_IF_ERROR(slots[i]->index.WriteSections(
+              writer, prefix + "s" + std::to_string(i) + "/"));
+        }
+        return Status::OK();
+      }
+    }
+
+    /// Rebuilds the map and every shard from snapshot sections; fresh
+    /// Impl only (build-then-share discipline, same as Build).
+    Status LoadSections(const snapshot::SnapshotReader& reader,
+                        const std::string& prefix) {
+      if constexpr (!kSnapshotCapable) {
+        return Status::Unimplemented(
+            "ShardedIndex snapshots need a flat key type and a "
+            "section-snapshottable inner index");
+      } else {
+        SnapshotManifest man;
+        LI_RETURN_IF_ERROR(reader.GetPod(prefix + "manifest", &man));
+        if (man.shard_count == 0) {
+          return Status::InvalidArgument(
+              "ShardedIndex snapshot manifest has zero shards");
+        }
+        auto bounds = reader.GetArray<key_type>(prefix + "bounds");
+        if (!bounds.ok()) return bounds.status();
+        if (bounds.value().size() != man.shard_count - 1) {
+          return Status::InvalidArgument(
+              "ShardedIndex snapshot boundary count disagrees with "
+              "manifest");
+        }
+        for (size_t i = 1; i < bounds.value().size(); ++i) {
+          if (!(bounds.value()[i - 1] < bounds.value()[i])) {
+            return Status::InvalidArgument(
+                "ShardedIndex snapshot boundaries are not strictly "
+                "increasing");
+          }
+        }
+        config_.num_shards = man.num_shards_cfg;
+        config_.cdf_sample = man.cdf_sample;
+        config_.rebalance = man.rebalance;
+        // Re-apply Build's knob clamps: a corrupt or hand-edited
+        // manifest must not re-enable oscillation or div-by-zero.
+        config_.rebalance.check_stride =
+            std::max<size_t>(config_.rebalance.check_stride, 1);
+        config_.rebalance.scan_chunk =
+            std::max<size_t>(config_.rebalance.scan_chunk, 2);
+        config_.rebalance.max_imbalance =
+            std::max(config_.rebalance.max_imbalance, 1.1);
+        config_.rebalance.coalesce_fraction =
+            std::clamp(config_.rebalance.coalesce_fraction, 0.0,
+                       config_.rebalance.max_imbalance * 0.45);
+        auto map = std::make_unique<ShardMap>();
+        map->boundaries.assign(bounds.value().begin(), bounds.value().end());
+        for (size_t i = 0; i < man.shard_count; ++i) {
+          auto slot = std::make_shared<Slot>();
+          LI_RETURN_IF_ERROR(slot->index.LoadSections(
+              reader, prefix + "s" + std::to_string(i) + "/"));
+          map->slots.push_back(std::move(slot));
+        }
+        if constexpr (requires(const Inner& i) {
+                        {
+                          i.config()
+                        } -> std::convertible_to<inner_config_type>;
+                      }) {
+          config_.inner = map->slots[0]->index.config();
+        }
+        map_.store(map.release(), std::memory_order_seq_cst);
+        maps_published_.fetch_add(1, std::memory_order_relaxed);
+        if constexpr (kRebalanceCapable) {
+          worker_ = std::thread([this] { WorkerLoop(); });
+        }
+        return Status::OK();
+      }
     }
 
     // ---- stats ----

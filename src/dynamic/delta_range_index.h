@@ -29,6 +29,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -38,7 +40,9 @@
 #include "dynamic/merge_policy.h"
 #include "index/approx.h"
 #include "index/range_index.h"
+#include "index/snapshottable.h"
 #include "index/writable_range_index.h"
+#include "snapshot/snapshot.h"
 
 namespace li::dynamic {
 
@@ -250,6 +254,119 @@ class DeltaRangeIndex {
   size_t delta_entries() const { return delta_.entry_count(); }
   const Config& config() const { return config_; }
 
+  // ---- Persistence (index::Snapshottable; docs/PERSISTENCE.md) ----
+  // Sections: the owned base key array (persisted once, the base model
+  // loads against a span over the reopened copy — no retraining), the
+  // base's model-only sections under "<prefix>base/", and the folded
+  // delta as parallel key/flag arrays. The key array is *copied* on open
+  // rather than mapped: merges replace it, so the wrapper stays writable
+  // after restart.
+
+  /// Snapshot support needs a flat key type and a base that can persist
+  /// its model against a caller-owned key span (the RMI family).
+  static constexpr bool kSnapshotCapable =
+      std::is_trivially_copyable_v<key_type> &&
+      index::DataSpanSnapshottable<Base>;
+
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix) const {
+    if constexpr (!kSnapshotCapable) {
+      return Status::Unimplemented(
+          "DeltaRangeIndex snapshots need a flat key type and a "
+          "section-snapshottable base");
+    } else {
+      SnapshotCfg cfg;
+      cfg.policy = config_.policy;
+      cfg.active_cap = config_.active_cap;
+      LI_RETURN_IF_ERROR(writer.AddPod(prefix + "cfg", cfg));
+      LI_RETURN_IF_ERROR(
+          writer.AddArray(prefix + "keys",
+                          std::span<const key_type>(base_keys_),
+                          snapshot::SectionKind::kKeys));
+      LI_RETURN_IF_ERROR(
+          base_.WriteSections(writer, prefix + "base/",
+                              /*include_keys=*/false));
+      std::vector<key_type> dkeys;
+      std::vector<uint8_t> dmeta;
+      dkeys.reserve(delta_.entry_count());
+      dmeta.reserve(delta_.entry_count());
+      delta_.VisitAll([&](const DeltaEntry<key_type>& e) {
+        dkeys.push_back(e.key);
+        dmeta.push_back(static_cast<uint8_t>((e.tombstone ? 1 : 0) |
+                                             (e.in_base ? 2 : 0)));
+        return true;
+      });
+      LI_RETURN_IF_ERROR(
+          writer.AddArray(prefix + "dkeys", std::span<const key_type>(dkeys),
+                          snapshot::SectionKind::kDelta));
+      return writer.AddArray(prefix + "dmeta",
+                             std::span<const uint8_t>(dmeta),
+                             snapshot::SectionKind::kDelta);
+    }
+  }
+
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix) {
+    if constexpr (!kSnapshotCapable) {
+      return Status::Unimplemented(
+          "DeltaRangeIndex snapshots need a flat key type and a "
+          "section-snapshottable base");
+    } else {
+      SnapshotCfg cfg;
+      LI_RETURN_IF_ERROR(reader.GetPod(prefix + "cfg", &cfg));
+      auto keys = reader.GetArray<key_type>(prefix + "keys");
+      if (!keys.ok()) return keys.status();
+      auto dkeys = reader.GetArray<key_type>(prefix + "dkeys");
+      if (!dkeys.ok()) return dkeys.status();
+      auto dmeta = reader.GetArray<uint8_t>(prefix + "dmeta");
+      if (!dmeta.ok()) return dmeta.status();
+      if (dkeys.value().size() != dmeta.value().size()) {
+        return Status::InvalidArgument(
+            "DeltaRangeIndex snapshot delta arrays disagree in size");
+      }
+      base_keys_.assign(keys.value().begin(), keys.value().end());
+      LI_RETURN_IF_ERROR(
+          base_.LoadSections(reader, prefix + "base/",
+                             std::span<const key_type>(base_keys_)));
+      std::vector<DeltaEntry<key_type>> entries;
+      entries.reserve(dkeys.value().size());
+      for (size_t i = 0; i < dkeys.value().size(); ++i) {
+        const uint8_t m = dmeta.value()[i];
+        if ((m & ~uint8_t{3}) != 0) {
+          return Status::InvalidArgument(
+              "DeltaRangeIndex snapshot delta flags are corrupt");
+        }
+        entries.push_back(DeltaEntry<key_type>{dkeys.value()[i],
+                                               (m & 1) != 0, (m & 2) != 0});
+      }
+      config_.policy = cfg.policy;
+      config_.active_cap = std::max<size_t>(cfg.active_cap, 2);
+      if constexpr (requires {
+                      {
+                        base_.config()
+                      } -> std::convertible_to<base_config_type>;
+                    }) {
+        config_.base = base_.config();
+      }
+      delta_ = DeltaBuffer<key_type>::FromSortedEntries(
+          std::span<const DeltaEntry<key_type>>(entries), config_.active_cap);
+      stats_ = {};
+      writes_since_merge_ = 0;
+      reads_since_merge_ = 0;
+      last_auto_merge_status_ = Status::OK();
+      return Status::OK();
+    }
+  }
+
+  Status WriteSnapshot(const std::string& path) const {
+    return index::WriteSnapshotViaSections(*this, path);
+  }
+
+  static Result<DeltaRangeIndex> OpenSnapshot(
+      const std::string& path, const snapshot::OpenOptions& opts = {}) {
+    return index::OpenSnapshotViaSections<DeltaRangeIndex>(path, opts);
+  }
+
   /// Outcome of the most recent policy-triggered merge. Insert/Erase keep
   /// their boolean liveness contract, so a failed auto-merge (possible
   /// only with bases whose Build/Rebuild can fail) surfaces here; the
@@ -259,6 +376,13 @@ class DeltaRangeIndex {
   }
 
  private:
+  struct SnapshotCfg {
+    MergePolicy policy{};
+    uint64_t active_cap = 256;
+  };
+  static_assert(std::is_trivially_copyable_v<MergePolicy>,
+                "MergePolicy is persisted verbatim in snapshots");
+
   bool BaseContains(const key_type& key) const {
     return index::ContainsViaLookup(
         base_, std::span<const key_type>(base_keys_), key);

@@ -17,6 +17,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bits.h"
@@ -24,6 +26,9 @@
 #include "hash/hash_fn.h"
 #include "hash/record.h"
 #include "index/point_index.h"
+#include "index/snapshottable.h"
+#include "snapshot/arena.h"
+#include "snapshot/snapshot.h"
 
 namespace li::hash {
 
@@ -112,6 +117,76 @@ class ChainedHashMap {
   /// Bytes wasted in never-used primary slots.
   size_t EmptySlotBytes() const { return EmptySlots() * sizeof(Slot); }
 
+  // ---- Persistence (index::Snapshottable; docs/PERSISTENCE.md) ----
+  // The slot and overflow arrays are flat 24-byte-slot tables already —
+  // they persist verbatim and reopen as zero-copy views; the hash
+  // function (including a learned CDF model) nests under "<prefix>hash/".
+
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix) const {
+    SnapshotMeta meta;
+    meta.num_slots = slots_.size();
+    meta.overflow_size = overflow_.size();
+    meta.num_records = num_records_;
+    LI_RETURN_IF_ERROR(writer.AddPod(prefix + "meta", meta));
+    LI_RETURN_IF_ERROR(writer.AddArray(prefix + "slots", slots_.span(),
+                                       snapshot::SectionKind::kSlots));
+    LI_RETURN_IF_ERROR(writer.AddArray(prefix + "ovf", overflow_.span(),
+                                       snapshot::SectionKind::kSlots));
+    return hash_fn_.WriteSections(writer, prefix + "hash/");
+  }
+
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix) {
+    SnapshotMeta meta;
+    LI_RETURN_IF_ERROR(reader.GetPod(prefix + "meta", &meta));
+    auto slots = reader.GetArray<Slot>(prefix + "slots");
+    if (!slots.ok()) return slots.status();
+    auto ovf = reader.GetArray<Slot>(prefix + "ovf");
+    if (!ovf.ok()) return ovf.status();
+    if (slots.value().size() != meta.num_slots ||
+        ovf.value().size() != meta.overflow_size) {
+      return Status::InvalidArgument(
+          "ChainedHashMap snapshot table sizes disagree with meta");
+    }
+    LI_RETURN_IF_ERROR(hash_fn_.LoadSections(reader, prefix + "hash/"));
+    // The hash must index exactly this table: a mismatched pair would
+    // probe out of bounds.
+    if (hash_fn_.num_slots() != slots.value().size()) {
+      return Status::InvalidArgument(
+          "ChainedHashMap snapshot hash range disagrees with slot table");
+    }
+    // Chain links must stay inside the overflow table (links are 1-based).
+    const auto in_range = [&](const Slot& s) {
+      return s.next <= ovf.value().size();
+    };
+    for (const Slot& s : slots.value()) {
+      if (!in_range(s)) {
+        return Status::InvalidArgument(
+            "ChainedHashMap snapshot has an out-of-range chain link");
+      }
+    }
+    for (const Slot& s : ovf.value()) {
+      if (!in_range(s)) {
+        return Status::InvalidArgument(
+            "ChainedHashMap snapshot has an out-of-range chain link");
+      }
+    }
+    slots_ = snapshot::FlatVec<Slot>::View(slots.value(), reader.keepalive());
+    overflow_ = snapshot::FlatVec<Slot>::View(ovf.value(), reader.keepalive());
+    num_records_ = meta.num_records;
+    return Status::OK();
+  }
+
+  Status WriteSnapshot(const std::string& path) const {
+    return index::WriteSnapshotViaSections(*this, path);
+  }
+
+  static Result<ChainedHashMap> OpenSnapshot(
+      const std::string& path, const snapshot::OpenOptions& opts = {}) {
+    return index::OpenSnapshotViaSections<ChainedHashMap>(path, opts);
+  }
+
   index::PointIndexStats Stats() const {
     index::PointIndexStats stats;
     stats.num_slots = slots_.size();
@@ -145,14 +220,27 @@ class ChainedHashMap {
     uint32_t meta = 0;   // bit 31: occupied; low bits mirror record.meta
     uint32_t next = kNull;  // 1-based index into overflow_
   };
+  static_assert(std::is_trivially_copyable_v<Slot>,
+                "Slot tables are persisted verbatim in snapshots");
 
+  struct SnapshotMeta {
+    uint64_t num_slots = 0;
+    uint64_t overflow_size = 0;
+    uint64_t num_records = 0;
+  };
+
+  /// Builds into local vectors, then adopts them as the flat tables —
+  /// the incremental Insert path needs vector growth; the steady state
+  /// (Find/FindBatch) only needs the flat layout.
   Status Populate(std::span<const Record> records, uint64_t num_slots) {
-    slots_.assign(num_slots, Slot{});
-    overflow_.clear();
+    std::vector<Slot> slots(num_slots);
+    std::vector<Slot> overflow;
     num_records_ = 0;
     for (const Record& r : records) {
-      Insert(r);
+      Insert(slots, overflow, r);
     }
+    slots_ = snapshot::FlatVec<Slot>::Adopt(std::move(slots));
+    overflow_ = snapshot::FlatVec<Slot>::Adopt(std::move(overflow));
     return Status::OK();
   }
 
@@ -165,8 +253,9 @@ class ChainedHashMap {
     }
   }
 
-  void Insert(const Record& r) {
-    Slot& head = slots_[hash_fn_(r.key)];
+  void Insert(std::vector<Slot>& slots, std::vector<Slot>& overflow,
+              const Record& r) {
+    Slot& head = slots[hash_fn_(r.key)];
     if (!(head.meta & kOccupied)) {
       head.record = r;
       head.meta = kOccupied | (r.meta & ~kOccupied);
@@ -179,26 +268,28 @@ class ChainedHashMap {
     while (true) {
       if (cursor->record.key == r.key) return;
       if (cursor->next == kNull) break;
-      cursor = &overflow_[cursor->next - 1];
+      cursor = &overflow[cursor->next - 1];
     }
     Slot extra;
     extra.record = r;
     extra.meta = kOccupied | (r.meta & ~kOccupied);
     extra.next = kNull;
-    // push_back may reallocate overflow_, so re-resolve the chain tail by
+    // push_back may reallocate overflow, so re-resolve the chain tail by
     // index if it lives there.
     const bool tail_in_overflow = cursor != &head;
     const size_t tail_idx =
-        tail_in_overflow ? static_cast<size_t>(cursor - overflow_.data()) : 0;
-    overflow_.push_back(extra);
-    Slot* tail = tail_in_overflow ? &overflow_[tail_idx] : &head;
-    tail->next = static_cast<uint32_t>(overflow_.size());
+        tail_in_overflow ? static_cast<size_t>(cursor - overflow.data()) : 0;
+    overflow.push_back(extra);
+    Slot* tail = tail_in_overflow ? &overflow[tail_idx] : &head;
+    tail->next = static_cast<uint32_t>(overflow.size());
     ++num_records_;
   }
 
   PointHash hash_fn_;
-  std::vector<Slot> slots_;
-  std::vector<Slot> overflow_;
+  /// Adopted from the build vectors, or zero-copy mapped views when
+  /// opened from a snapshot; the probe path is identical either way.
+  snapshot::FlatVec<Slot> slots_;
+  snapshot::FlatVec<Slot> overflow_;
   size_t num_records_ = 0;
 };
 

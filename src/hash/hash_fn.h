@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "hash/record.h"
 #include "rmi/rmi.h"
 #include "simd/dispatch.h"
+#include "snapshot/snapshot.h"
 
 namespace li::hash {
 
@@ -52,6 +54,7 @@ class RandomHash {
   void Retarget(uint64_t num_slots) { num_slots_ = num_slots; }
 
   uint64_t num_slots() const { return num_slots_; }
+  uint64_t seed() const { return seed_; }
   size_t SizeBytes() const { return 2 * sizeof(uint64_t); }
 
  private:
@@ -118,7 +121,47 @@ class LearnedHash {
   uint64_t num_slots() const { return num_slots_; }
   size_t SizeBytes() const { return rmi_.SizeBytes(); }
 
+  // ---- Persistence (docs/PERSISTENCE.md) ----
+  // The CDF model snapshots in *model-only* form (no key section): the
+  // RMI's key span already dangles by design after Build (see the Build
+  // comment), so the reopened model reconstructs only the span's size.
+  // scale_ is recomputed from the persisted (num_slots, num_keys) via
+  // Retarget — a derived value stays derived.
+
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix) const {
+    const SnapshotMeta meta{num_slots_, num_keys_};
+    LI_RETURN_IF_ERROR(writer.AddPod(prefix + "meta", meta));
+    return rmi_.WriteSections(writer, prefix + "rmi/",
+                              /*include_keys=*/false);
+  }
+
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix) {
+    SnapshotMeta meta;
+    LI_RETURN_IF_ERROR(reader.GetPod(prefix + "meta", &meta));
+    if (meta.num_keys == 0 || meta.num_slots == 0) {
+      return Status::InvalidArgument("LearnedHash snapshot meta is corrupt");
+    }
+    LI_RETURN_IF_ERROR(rmi_.LoadSections(reader, prefix + "rmi/"));
+    // The slot mapping is only in [0, num_slots) when the model's
+    // position estimates stay below num_keys; a mismatched pair would
+    // turn lookups into out-of-bounds slot indexes.
+    if (rmi_.data().size() != meta.num_keys) {
+      return Status::InvalidArgument(
+          "LearnedHash snapshot key count disagrees with its CDF model");
+    }
+    num_keys_ = meta.num_keys;
+    Retarget(meta.num_slots);
+    return Status::OK();
+  }
+
  private:
+  struct SnapshotMeta {
+    uint64_t num_slots = 1;
+    uint64_t num_keys = 1;
+  };
+
   uint64_t num_slots_ = 1;
   uint64_t num_keys_ = 1;
   unsigned __int128 scale_ = 0;
@@ -201,7 +244,52 @@ class PointHash {
                                           : random_.SizeBytes();
   }
 
+  // ---- Persistence (docs/PERSISTENCE.md) ----
+  // One meta section covers the random family entirely (two scalars);
+  // the learned family nests its CDF model under "<prefix>cdf/".
+
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix) const {
+    SnapshotMeta meta;
+    meta.kind = static_cast<uint32_t>(kind_);
+    meta.num_slots = num_slots();
+    meta.seed = kind_ == HashKind::kRandom ? random_.seed() : 0;
+    LI_RETURN_IF_ERROR(writer.AddPod(prefix + "meta", meta));
+    if (kind_ == HashKind::kLearnedCdf) {
+      LI_RETURN_IF_ERROR(learned_.WriteSections(writer, prefix + "cdf/"));
+    }
+    return Status::OK();
+  }
+
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix) {
+    SnapshotMeta meta;
+    LI_RETURN_IF_ERROR(reader.GetPod(prefix + "meta", &meta));
+    if (meta.kind > static_cast<uint32_t>(HashKind::kLearnedCdf) ||
+        meta.num_slots == 0) {
+      return Status::InvalidArgument("PointHash snapshot meta is corrupt");
+    }
+    kind_ = static_cast<HashKind>(meta.kind);
+    if (kind_ == HashKind::kLearnedCdf) {
+      LI_RETURN_IF_ERROR(learned_.LoadSections(reader, prefix + "cdf/"));
+      if (learned_.num_slots() != meta.num_slots) {
+        return Status::InvalidArgument(
+            "PointHash snapshot slot count disagrees with its CDF hash");
+      }
+    } else {
+      random_ = RandomHash(meta.num_slots, meta.seed);
+    }
+    return Status::OK();
+  }
+
  private:
+  struct SnapshotMeta {
+    uint32_t kind = 0;
+    uint32_t reserved = 0;
+    uint64_t num_slots = 1;
+    uint64_t seed = 0;
+  };
+
   HashKind kind_ = HashKind::kRandom;
   RandomHash random_;
   LearnedHash<models::LinearModel> learned_;

@@ -15,11 +15,15 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <utility>
 
+#include "common/status.h"
 #include "index/approx.h"
 #include "index/range_index.h"
+#include "index/snapshottable.h"
+#include "snapshot/snapshot.h"
 
 namespace li::index {
 
@@ -64,6 +68,33 @@ class AnyRangeIndexOf {
     }
   }
 
+  // ---- Persistence (docs/PERSISTENCE.md) ----
+  // The erased writer side: sections of whichever concrete index is
+  // wrapped, plus its SnapshotKindName tag so a loader (the LIF winner
+  // persistence in lif/synthesizer.h) can dispatch back to the concrete
+  // OpenSnapshot. Opening is inherently type-directed and therefore not
+  // erased here.
+
+  /// The wrapped index's snapshot kind tag ("" when it has none or the
+  /// wrapper is empty).
+  const char* SnapshotKind() const {
+    return impl_ ? impl_->SnapshotKind() : "";
+  }
+
+  /// Writes the wrapped index's sections; Unimplemented when the wrapped
+  /// type has no section protocol (or nothing is wrapped).
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix) const {
+    if (impl_ == nullptr) {
+      return Status::FailedPrecondition("AnyRangeIndexOf: empty");
+    }
+    return impl_->WriteSections(writer, prefix);
+  }
+
+  Status WriteSnapshot(const std::string& path) const {
+    return index::WriteSnapshotViaSections(*this, path);
+  }
+
  private:
   struct Iface {
     virtual ~Iface() = default;
@@ -72,6 +103,9 @@ class AnyRangeIndexOf {
     virtual size_t SizeBytes() const = 0;
     virtual void LookupBatch(std::span<const Key> keys,
                              std::span<size_t> out) const = 0;
+    virtual const char* SnapshotKind() const = 0;
+    virtual Status WriteSections(snapshot::SnapshotWriter& writer,
+                                 const std::string& prefix) const = 0;
   };
 
   template <typename I>
@@ -87,6 +121,26 @@ class AnyRangeIndexOf {
     void LookupBatch(std::span<const Key> keys,
                      std::span<size_t> out) const override {
       index::LookupBatch(impl, keys, out);
+    }
+    const char* SnapshotKind() const override {
+      if constexpr (requires {
+                      { I::SnapshotKindName() } -> std::convertible_to<
+                          const char*>;
+                    }) {
+        return I::SnapshotKindName();
+      } else {
+        return "";
+      }
+    }
+    Status WriteSections(snapshot::SnapshotWriter& writer,
+                         const std::string& prefix) const override {
+      if constexpr (SectionSnapshottable<I>) {
+        return impl.WriteSections(writer, prefix);
+      } else {
+        return Status::Unimplemented(
+            "AnyRangeIndexOf: wrapped index has no section snapshot "
+            "protocol");
+      }
     }
 
     I impl;

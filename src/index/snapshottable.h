@@ -1,0 +1,85 @@
+// Snapshottable: the persistence contract. An index class satisfies it by
+// providing
+//   Status WriteSnapshot(const std::string& path) const;
+//   static Result<I> OpenSnapshot(const std::string& path,
+//                                 const snapshot::OpenOptions& = {});
+// where OpenSnapshot mmaps the file read-only and the returned index
+// serves lookups directly out of the mapping (zero-copy), bit-identical
+// to the freshly built instance the snapshot was taken from.
+//
+// Classes implement the pair via the finer-grained *section* protocol —
+//   Status WriteSections(snapshot::SnapshotWriter&, const std::string&
+//                        prefix) const;
+//   Status LoadSections(const snapshot::SnapshotReader&, const
+//                       std::string& prefix);
+// — which is what composite indexes (Delta/Concurrent/Sharded/LIF) call
+// on their components with extended prefixes ("s3/base/…"), so one file
+// holds a whole index tree. The helpers below turn a section
+// implementation into the whole-file pair. Semantics, the quiesce
+// protocol for concurrent classes, and format details: docs/PERSISTENCE.md.
+
+#ifndef LI_INDEX_SNAPSHOTTABLE_H_
+#define LI_INDEX_SNAPSHOTTABLE_H_
+
+#include <concepts>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "snapshot/snapshot.h"
+
+namespace li::index {
+
+/// Whole-file persistence pair.
+template <typename I>
+concept Snapshottable = requires(const I& ci, const std::string& path) {
+  { ci.WriteSnapshot(path) } -> std::same_as<Status>;
+  { I::OpenSnapshot(path) } -> std::same_as<Result<I>>;
+};
+
+/// Section-level persistence (composable into a parent's snapshot file).
+template <typename I>
+concept SectionSnapshottable =
+    requires(const I& ci, I& mi, snapshot::SnapshotWriter& w,
+             const snapshot::SnapshotReader& r, const std::string& prefix) {
+      { ci.WriteSections(w, prefix) } -> std::same_as<Status>;
+      { mi.LoadSections(r, prefix) } -> std::same_as<Status>;
+    };
+
+/// Section persistence where the key array can live outside the
+/// component's own sections: the parent persists the keys once and hands
+/// the loaded component a span over them (WriteSections(..., false)
+/// skips the key section; LoadSections(..., data) points the component
+/// at the parent's array). RmiIndex models this.
+template <typename I>
+concept DataSpanSnapshottable =
+    requires(const I& ci, I& mi, snapshot::SnapshotWriter& w,
+             const snapshot::SnapshotReader& r, const std::string& prefix,
+             std::span<const typename I::key_type> data) {
+      { ci.WriteSections(w, prefix, false) } -> std::same_as<Status>;
+      { mi.LoadSections(r, prefix, data) } -> std::same_as<Status>;
+    };
+
+/// Writes `index`'s sections (empty prefix) as a complete snapshot file.
+template <typename I>
+Status WriteSnapshotViaSections(const I& index, const std::string& path) {
+  snapshot::SnapshotWriter writer;
+  LI_RETURN_IF_ERROR(index.WriteSections(writer, ""));
+  return writer.WriteFile(path);
+}
+
+/// Opens a snapshot written by WriteSnapshotViaSections.
+template <typename I>
+Result<I> OpenSnapshotViaSections(const std::string& path,
+                                  const snapshot::OpenOptions& opts = {}) {
+  auto reader = snapshot::SnapshotReader::Open(path, opts);
+  if (!reader.ok()) return reader.status();
+  I out;
+  Status st = out.LoadSections(reader.value(), "");
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace li::index
+
+#endif  // LI_INDEX_SNAPSHOTTABLE_H_

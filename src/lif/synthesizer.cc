@@ -118,6 +118,52 @@ Status SynthesizedIndex::Synthesize(std::span<const uint64_t> keys,
   return Status::OK();
 }
 
+Status SynthesizedIndex::WriteSnapshot(const std::string& path) const {
+  const std::string kind = winner_.SnapshotKind();
+  if (kind.empty()) {
+    return Status::Unimplemented("SynthesizedIndex: winner '" + description_ +
+                                 "' has no flat snapshot format");
+  }
+  snapshot::SnapshotWriter writer;
+  LI_RETURN_IF_ERROR(writer.AddSection("lif/kind",
+                                       snapshot::SectionKind::kMeta,
+                                       kind.data(), kind.size()));
+  LI_RETURN_IF_ERROR(writer.AddSection("lif/desc",
+                                       snapshot::SectionKind::kMeta,
+                                       description_.data(),
+                                       description_.size()));
+  LI_RETURN_IF_ERROR(winner_.WriteSections(writer, "w/"));
+  return writer.WriteFile(path);
+}
+
+Result<SynthesizedIndex> SynthesizedIndex::OpenSnapshot(
+    const std::string& path, const snapshot::OpenOptions& opts) {
+  auto reader = snapshot::SnapshotReader::Open(path, opts);
+  if (!reader.ok()) return reader.status();
+  auto kind_bytes = reader.value().Get("lif/kind");
+  if (!kind_bytes.ok()) return kind_bytes.status();
+  auto desc_bytes = reader.value().Get("lif/desc");
+  if (!desc_bytes.ok()) return desc_bytes.status();
+  const std::string kind(
+      reinterpret_cast<const char*>(kind_bytes.value().data()),
+      kind_bytes.value().size());
+  SynthesizedIndex out;
+  out.description_.assign(
+      reinterpret_cast<const char*>(desc_bytes.value().data()),
+      desc_bytes.value().size());
+  // The kind-tag registry: one entry per candidate type with a flat
+  // snapshot format. New snapshottable candidates add a case here.
+  if (kind == "rmi.linear.u64") {
+    rmi::LinearRmi idx;
+    LI_RETURN_IF_ERROR(idx.LoadSections(reader.value(), "w/"));
+    out.winner_ = index::AnyRangeIndex(std::move(idx));
+  } else {
+    return Status::Unimplemented("SynthesizedIndex snapshot kind '" + kind +
+                                 "' has no registered loader");
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Point-index synthesis (§4): {random, learned-CDF} x slot sweep x family.
 // ---------------------------------------------------------------------------

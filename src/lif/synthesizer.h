@@ -39,6 +39,7 @@
 #include "common/status.h"
 #include "dynamic/merge_policy.h"
 #include "lif/measure.h"
+#include "snapshot/snapshot.h"
 #include "index/any_range_index.h"
 #include "index/existence_index.h"
 #include "index/point_index.h"
@@ -103,6 +104,19 @@ class SynthesizedIndex {
 
   /// Runs the grid search over `keys` (sorted; caller owns the data).
   Status Synthesize(std::span<const uint64_t> keys, const SynthesisSpec& spec);
+
+  // ---- Persistence (docs/PERSISTENCE.md) ----
+  // The expensive part of LIF is the grid search; persisting the winner
+  // makes it a build-once artifact. The file carries the winner's
+  // snapshot-kind tag ("lif/kind") next to its sections ("w/..."), so
+  // OpenSnapshot can dispatch back to the concrete index type without
+  // the caller knowing which candidate won. Winners without a flat
+  // snapshot format (NN / multivariate tops) return Unimplemented —
+  // re-synthesize those on restart.
+
+  Status WriteSnapshot(const std::string& path) const;
+  static Result<SynthesizedIndex> OpenSnapshot(
+      const std::string& path, const snapshot::OpenOptions& opts = {});
 
  private:
   index::AnyRangeIndex winner_;

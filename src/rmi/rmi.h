@@ -27,7 +27,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -35,11 +37,14 @@
 #include "common/status.h"
 #include "index/approx.h"
 #include "index/key_traits.h"
+#include "index/snapshottable.h"
 #include "models/linear.h"
 #include "models/model.h"
 #include "rmi/trainers.h"
 #include "search/search.h"
 #include "simd/dispatch.h"
+#include "snapshot/arena.h"
+#include "snapshot/snapshot.h"
 
 namespace li::rmi {
 
@@ -68,6 +73,8 @@ struct Leaf {
   int32_t sweep_lo = 0;
   int32_t sweep_hi = 1;
 };
+static_assert(std::is_trivially_copyable_v<Leaf>,
+              "Leaf is persisted verbatim in snapshot leaf sections");
 
 template <typename Key, typename TopModel>
 class RmiIndex {
@@ -98,8 +105,16 @@ class RmiIndex {
     }
     data_ = keys;
     config_ = config;
-    leaves_.assign(config.num_leaf_models, Leaf{});
+    snapshot_keepalive_.reset();
     route_factor_ = 0.0;
+    // Retrain-reuse (Appendix D.1 merge cycles): when the leaf table is
+    // owned and already the right size, refit in place — keeping the old
+    // per-leaf error state around long enough to skip re-deriving the 3σ
+    // sweep sub-windows for leaves whose error bounds did not change.
+    const bool refit_in_place = !leaves_.mapped() &&
+                                leaves_.size() == config.num_leaf_models &&
+                                !keys.empty();
+    if (!refit_in_place) leaves_.assign(config.num_leaf_models, Leaf{});
     if (keys.empty()) return Status::OK();
     const size_t n = keys.size();
     // Precomputed M/N rescale: one multiply per key on the routing path
@@ -143,10 +158,13 @@ class RmiIndex {
     double fill_pos = 0.0;  // last seen position, for empty leaves
     for (size_t j = 0; j < m; ++j) {
       Leaf& leaf = leaves_[j];
+      const Leaf prev = leaf;  // pre-refit state, valid iff refit_in_place
       const uint32_t begin = offsets[j], end = offsets[j + 1];
       if (begin == end) {
         // Empty leaf: constant model at the running position so absent
-        // keys routed here land near the right region.
+        // keys routed here land near the right region. Reset explicitly —
+        // an in-place refit does not get the table-wide wipe.
+        leaf = Leaf{};
         leaf.model = models::LinearModel(0.0, fill_pos);
         continue;
       }
@@ -184,6 +202,18 @@ class RmiIndex {
       leaf.max_err = static_cast<int32_t>(std::ceil(max_e));
       leaf.std_err = static_cast<float>(
           std::sqrt(std::max(0.0, sum_sq / cnt - mean * mean)));
+      // Sweep windows are a pure function of (min_err, max_err, std_err):
+      // when a rebuild lands on identical bounds (the common case for an
+      // unchanged key distribution), reuse the previous sub-window
+      // instead of re-deriving it.
+      if (refit_in_place && prev.min_err == leaf.min_err &&
+          prev.max_err == leaf.max_err && prev.std_err == leaf.std_err) {
+        leaf.sweep_lo = prev.sweep_lo;
+        leaf.sweep_hi = prev.sweep_hi;
+        ++sweep_windows_reused_;
+        fill_pos = ly.back();
+        continue;
+      }
       const int64_t two_sigma = 2 * static_cast<int64_t>(leaf.std_err);
       if (two_sigma > static_cast<int64_t>(kMaxSweepHalf)) {
         leaf.sweep_lo = leaf.min_err;  // wide leaf: full worst-case window
@@ -345,9 +375,94 @@ class RmiIndex {
   }
 
   const TopModel& top() const { return top_; }
-  std::span<const Leaf> leaves() const { return leaves_; }
+  std::span<const Leaf> leaves() const { return leaves_.span(); }
   std::span<const Key> data() const { return data_; }
   const RmiConfig& config() const { return config_; }
+
+  /// Cumulative count of leaves whose 3σ sweep sub-window was carried
+  /// over from the previous Build because the error bounds matched
+  /// (retrain-reuse diagnostic; see Rebuild).
+  size_t sweep_windows_reused() const {
+    return static_cast<size_t>(sweep_windows_reused_);
+  }
+  /// True when the leaf table is a zero-copy view into an open snapshot.
+  bool FromSnapshot() const { return leaves_.mapped(); }
+
+  // ---- Persistence (index::Snapshottable; docs/PERSISTENCE.md) ----
+  //
+  // Only kernel-capable instantiations (linear top, uint64/double keys)
+  // snapshot: those are the flat-layout serving configurations; NN and
+  // string variants return Unimplemented. Sections under `prefix`:
+  //   meta    routing/search scalars + the top model's coefficients
+  //   leaves  the Leaf table verbatim (models + error bands + sweeps)
+  //   keys    the sorted key array (omitted when the parent owns it)
+
+  /// Stable type tag used by type-erased snapshots (LIF winners) to pick
+  /// the OpenSnapshot instantiation; empty when not snapshottable.
+  static constexpr const char* SnapshotKindName() {
+    if constexpr (kTopIsLinear && std::is_same_v<Key, uint64_t>) {
+      return "rmi.linear.u64";
+    } else if constexpr (kTopIsLinear && std::is_same_v<Key, double>) {
+      return "rmi.linear.f64";
+    } else {
+      return "";
+    }
+  }
+
+  Status WriteSections(snapshot::SnapshotWriter& writer,
+                       const std::string& prefix,
+                       bool include_keys = true) const {
+    if constexpr (!kSimdCapable) {
+      return Status::Unimplemented(
+          "RmiIndex snapshots require a linear top and uint64/double keys");
+    } else {
+      SnapshotMeta meta;
+      meta.key_kind = KeyKind();
+      meta.top_kind = 1;
+      meta.num_leaf_models = config_.num_leaf_models;
+      meta.top_train_sample = config_.top_train_sample;
+      meta.strategy = static_cast<uint32_t>(config_.strategy);
+      meta.has_keys = include_keys ? 1u : 0u;
+      meta.data_size = data_.size();
+      meta.route_factor = route_factor_;
+      meta.top_slope = top_.slope();
+      meta.top_intercept = top_.intercept();
+      LI_RETURN_IF_ERROR(writer.AddPod(prefix + "meta", meta));
+      LI_RETURN_IF_ERROR(writer.AddArray(prefix + "leaves", leaves_.span(),
+                                         snapshot::SectionKind::kLeaves));
+      if (include_keys) {
+        LI_RETURN_IF_ERROR(writer.AddArray(prefix + "keys", data_,
+                                           snapshot::SectionKind::kKeys));
+      }
+      return Status::OK();
+    }
+  }
+
+  /// Loads from sections written with include_keys=true (self-contained)
+  /// or =false (model-only; see the data-span overload for the case where
+  /// the parent owns the keys). All structural fields are validated so a
+  /// corrupt table yields a Status, not UB.
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix) {
+    return LoadSectionsImpl(reader, prefix, std::span<const Key>(), false);
+  }
+
+  /// Load with the key array supplied by the caller (a parent index that
+  /// persisted the keys once for several components).
+  Status LoadSections(const snapshot::SnapshotReader& reader,
+                      const std::string& prefix,
+                      std::span<const Key> external_keys) {
+    return LoadSectionsImpl(reader, prefix, external_keys, true);
+  }
+
+  Status WriteSnapshot(const std::string& path) const {
+    return index::WriteSnapshotViaSections(*this, path);
+  }
+
+  static Result<RmiIndex> OpenSnapshot(
+      const std::string& path, const snapshot::OpenOptions& opts = {}) {
+    return index::OpenSnapshotViaSections<RmiIndex>(path, opts);
+  }
 
   /// Worst |error| across leaves — the hybrid-threshold diagnostic.
   int64_t MaxAbsError() const {
@@ -368,6 +483,96 @@ class RmiIndex {
   }
 
  private:
+  /// Fixed 64-byte snapshot metadata record (format.h SectionKind::kMeta).
+  struct SnapshotMeta {
+    uint32_t key_kind = 0;        // 1 = uint64_t, 2 = double
+    uint32_t top_kind = 0;        // 1 = models::LinearModel
+    uint64_t num_leaf_models = 0;
+    uint64_t top_train_sample = 0;
+    uint32_t strategy = 0;        // search::Strategy
+    uint32_t has_keys = 0;        // keys section present
+    uint64_t data_size = 0;       // key count the model was trained over
+    double route_factor = 0.0;
+    double top_slope = 0.0;
+    double top_intercept = 0.0;
+  };
+  static_assert(sizeof(SnapshotMeta) == 64 &&
+                std::is_trivially_copyable_v<SnapshotMeta>);
+
+  static constexpr uint32_t KeyKind() {
+    if constexpr (std::is_same_v<Key, uint64_t>) {
+      return 1;
+    } else if constexpr (std::is_same_v<Key, double>) {
+      return 2;
+    } else {
+      return 0;
+    }
+  }
+
+  Status LoadSectionsImpl(const snapshot::SnapshotReader& reader,
+                          const std::string& prefix,
+                          std::span<const Key> external_keys,
+                          bool use_external) {
+    if constexpr (!kSimdCapable) {
+      (void)reader;
+      (void)prefix;
+      (void)external_keys;
+      (void)use_external;
+      return Status::Unimplemented(
+          "RmiIndex snapshots require a linear top and uint64/double keys");
+    } else {
+      SnapshotMeta meta;
+      LI_RETURN_IF_ERROR(reader.GetPod(prefix + "meta", &meta));
+      if (meta.key_kind != KeyKind() || meta.top_kind != 1) {
+        return Status::InvalidArgument(
+            "RmiIndex snapshot was written for a different key/top type");
+      }
+      if (meta.num_leaf_models == 0 ||
+          meta.strategy > static_cast<uint32_t>(
+                              search::Strategy::kInterpolation)) {
+        return Status::InvalidArgument("RmiIndex snapshot meta is corrupt");
+      }
+      auto leaves = reader.GetArray<Leaf>(prefix + "leaves");
+      if (!leaves.ok()) return leaves.status();
+      if (leaves.value().size() != meta.num_leaf_models) {
+        return Status::InvalidArgument(
+            "RmiIndex snapshot leaf table size disagrees with meta");
+      }
+      if (use_external) {
+        if (external_keys.size() != meta.data_size) {
+          return Status::InvalidArgument(
+              "RmiIndex snapshot external key array has the wrong size");
+        }
+        data_ = external_keys;
+      } else if (meta.has_keys != 0) {
+        auto keys = reader.GetArray<Key>(prefix + "keys");
+        if (!keys.ok()) return keys.status();
+        if (keys.value().size() != meta.data_size) {
+          return Status::InvalidArgument(
+              "RmiIndex snapshot key section size disagrees with meta");
+        }
+        data_ = keys.value();  // zero-copy: served out of the mapping
+      } else {
+        // Model-only load (LearnedHash's CDF model): reconstruct a span
+        // with the right *size* but no dereferenceable keys — mirroring
+        // the documented dangling-span semantics in hash_fn.h, where only
+        // size()/empty() are ever used on this span.
+        data_ = std::span<const Key>(
+            reinterpret_cast<const Key*>(leaves.value().data()),
+            meta.data_size);
+      }
+      config_.num_leaf_models = meta.num_leaf_models;
+      config_.strategy = static_cast<search::Strategy>(meta.strategy);
+      config_.top_train_sample = meta.top_train_sample;
+      top_ = models::LinearModel(meta.top_slope, meta.top_intercept);
+      route_factor_ = meta.route_factor;
+      leaves_ = snapshot::FlatVec<Leaf>::View(leaves.value(),
+                                              reader.keepalive());
+      snapshot_keepalive_ = reader.keepalive();
+      return Status::OK();
+    }
+  }
+
   uint32_t RouteFromTop(double x) const {
     if constexpr (kTopIsLinear) {
       // The shared kernel spec — what the vector route kernel computes.
@@ -538,8 +743,13 @@ class RmiIndex {
   std::span<const Key> data_;
   RmiConfig config_;
   TopModel top_;
-  std::vector<Leaf> leaves_;
+  /// Owned when built, a zero-copy mapped view when opened from a
+  /// snapshot; the read path is identical either way.
+  snapshot::FlatVec<Leaf> leaves_;
   double route_factor_ = 0.0;
+  uint64_t sweep_windows_reused_ = 0;
+  /// Pins the mmap that data_ (and leaves_) may point into.
+  std::shared_ptr<const void> snapshot_keepalive_;
 };
 
 /// The paper's evaluated configuration: integer keys (Figure 4/5).

@@ -4,6 +4,7 @@
 #include "simd/dispatch.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -38,8 +39,10 @@ bool CpuHasAvx512() {
 
 // Best supported level, resolved once. The LI_SIMD_LEVEL environment
 // override ("scalar" | "avx2" | "avx512") is also read here; an override
-// naming an unsupported level is ignored rather than crashing, so a stale
-// env var cannot take a deployment down.
+// that cannot take effect is ignored rather than crashing, so a stale
+// env var cannot take a deployment down — but the fallback is announced
+// once on stderr (a silently ignored override reads as a benchmarking
+// lie). Accepted values are documented in docs/SIMD.md.
 Level ResolveStartupLevel(bool apply_env) {
   Level best = Level::kScalar;
   if (Avx2Kernels() != nullptr && CpuHasAvx2Fma()) best = Level::kAvx2;
@@ -48,14 +51,26 @@ Level ResolveStartupLevel(bool apply_env) {
   const char* env = std::getenv("LI_SIMD_LEVEL");
   if (env == nullptr || *env == '\0') return best;
   if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
-  if (std::strcmp(env, "avx2") == 0 && Avx2Kernels() != nullptr &&
-      CpuHasAvx2Fma()) {
-    return Level::kAvx2;
+  if (std::strcmp(env, "avx2") == 0) {
+    if (Avx2Kernels() != nullptr && CpuHasAvx2Fma()) return Level::kAvx2;
+    std::fprintf(stderr,
+                 "li/simd: LI_SIMD_LEVEL=avx2 requested but AVX2 is not "
+                 "available in this build/CPU; using %s\n",
+                 LevelName(best));
+    return best;
   }
-  if (std::strcmp(env, "avx512") == 0 && Avx512Kernels() != nullptr &&
-      CpuHasAvx512()) {
-    return Level::kAvx512;
+  if (std::strcmp(env, "avx512") == 0) {
+    if (Avx512Kernels() != nullptr && CpuHasAvx512()) return Level::kAvx512;
+    std::fprintf(stderr,
+                 "li/simd: LI_SIMD_LEVEL=avx512 requested but AVX-512 is "
+                 "not available in this build/CPU; using %s\n",
+                 LevelName(best));
+    return best;
   }
+  std::fprintf(stderr,
+               "li/simd: unknown LI_SIMD_LEVEL value '%s' (accepted: "
+               "\"scalar\", \"avx2\", \"avx512\"); using %s\n",
+               env, LevelName(best));
   return best;
 }
 

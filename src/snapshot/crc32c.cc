@@ -1,0 +1,80 @@
+#include "snapshot/crc32c.h"
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace li::snapshot {
+namespace {
+
+// Slicing-by-8 tables, generated once at first use. Table 0 is the plain
+// byte-at-a-time table; tables 1..7 fold 8 input bytes per iteration.
+struct Crc32cTables {
+  uint32_t t[8][256];
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+uint32_t SoftwareCrc32c(const uint8_t* p, size_t n, uint32_t crc) {
+  static const Crc32cTables tables;
+  const auto& t = tables.t;
+  // Byte-align is unnecessary for the software path; fold 8 at a time.
+  while (n >= 8) {
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+#if defined(__SSE4_2__)
+uint32_t HardwareCrc32c(const uint8_t* p, size_t n, uint32_t crc) {
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    c = _mm_crc32_u64(c, v);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n--) c32 = _mm_crc32_u8(c32, *p++);
+  return c32;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  const uint32_t crc = ~seed;
+#if defined(__SSE4_2__)
+  return ~HardwareCrc32c(p, n, crc);
+#else
+  return ~SoftwareCrc32c(p, n, crc);
+#endif
+}
+
+}  // namespace li::snapshot

@@ -1,0 +1,25 @@
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected to 0x82F63B78):
+// the checksum used by the snapshot file format for its header, section
+// table, and per-section payloads. CRC-32C was chosen over xxhash because
+// SSE4.2 ships a dedicated instruction for it (the `crc32` op), so the
+// hardware path keeps full-payload verification cheap enough to leave on
+// in paranoid deployments, while the software slicing-by-8 fallback keeps
+// portable (non -march=native) builds dependency-free.
+
+#ifndef LI_SNAPSHOT_CRC32C_H_
+#define LI_SNAPSHOT_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace li::snapshot {
+
+/// CRC-32C of `n` bytes at `data`, chained from `seed` (pass a previous
+/// result to checksum discontiguous regions as one stream; 0 starts a
+/// fresh checksum). Hardware (SSE4.2) and software paths produce
+/// identical values — snapshot files are portable across both.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace li::snapshot
+
+#endif  // LI_SNAPSHOT_CRC32C_H_

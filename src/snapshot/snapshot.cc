@@ -1,0 +1,271 @@
+#include "snapshot/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace li::snapshot {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) & ~(a - 1); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MappedFile
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::NotFound(Errno("open('" + path + "')"));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Status::Internal(Errno("fstat('" + path + "')"));
+    ::close(fd);
+    return s;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < sizeof(FileHeader)) {
+    ::close(fd);
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' is smaller than a file header");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base == MAP_FAILED) {
+    return Status::Internal(Errno("mmap('" + path + "')"));
+  }
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(static_cast<const uint8_t*>(base), size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+void MappedFile::AdviseWillneed() const {
+  if (data_ != nullptr) {
+    (void)::madvise(const_cast<uint8_t*>(data_), size_, MADV_WILLNEED);
+  }
+}
+
+void MappedFile::AdviseHugepage() const {
+#ifdef MADV_HUGEPAGE
+  if (data_ != nullptr) {
+    (void)::madvise(const_cast<uint8_t*>(data_), size_, MADV_HUGEPAGE);
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+
+Status SnapshotWriter::AddSection(std::string_view name, SectionKind kind,
+                                  const void* data, size_t size) {
+  if (name.empty() || name.size() > kMaxSectionName) {
+    return Status::InvalidArgument("section name '" + std::string(name) +
+                                   "' is empty or longer than " +
+                                   std::to_string(kMaxSectionName) + " chars");
+  }
+  if (Has(name)) {
+    return Status::InvalidArgument("duplicate section name '" +
+                                   std::string(name) + "'");
+  }
+  if (size != 0 && data == nullptr) {
+    return Status::InvalidArgument("null data for non-empty section '" +
+                                   std::string(name) + "'");
+  }
+  const uint64_t off = arena_.Append(data, size, kArenaAlign);
+  sections_.push_back(Staged{std::string(name), kind, off, size,
+                             Crc32c(data, size)});
+  return Status::OK();
+}
+
+bool SnapshotWriter::Has(std::string_view name) const {
+  for (const Staged& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  // Layout: header | payloads (arena image shifted by 64) | table.
+  // kArenaAlign == sizeof(FileHeader), so arena offsets stay 64-aligned
+  // after the shift.
+  static_assert(sizeof(FileHeader) == kArenaAlign);
+  const uint64_t payload_base = sizeof(FileHeader);
+  const uint64_t table_offset = AlignUp(payload_base + arena_.size(),
+                                        kSectionAlign);
+  const uint64_t table_bytes = sections_.size() * sizeof(SectionEntry);
+
+  std::vector<SectionEntry> table(sections_.size());
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    const Staged& s = sections_[i];
+    SectionEntry& e = table[i];
+    std::memcpy(e.name, s.name.data(), s.name.size());
+    e.kind = static_cast<uint32_t>(s.kind);
+    e.offset = payload_base + s.arena_off;
+    e.size = s.size;
+    e.crc = s.crc;
+  }
+
+  FileHeader header;
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  header.file_size = table_offset + table_bytes;
+  header.table_offset = table_offset;
+  header.table_crc = Crc32c(table.data(), table_bytes);
+  header.header_crc = 0;
+  header.header_crc = Crc32c(&header, sizeof(header));
+
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Internal(Errno("fopen('" + tmp + "')"));
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  if (ok && arena_.size() != 0) {
+    ok = std::fwrite(arena_.data(), 1, arena_.size(), f) == arena_.size();
+  }
+  // Pad payloads out to the aligned table offset.
+  for (uint64_t at = payload_base + arena_.size(); ok && at < table_offset;
+       ++at) {
+    ok = std::fputc(0, f) != EOF;
+  }
+  if (ok && table_bytes != 0) {
+    ok = std::fwrite(table.data(), 1, table_bytes, f) == table_bytes;
+  }
+  if (ok) ok = std::fflush(f) == 0;
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    ::unlink(tmp.c_str());
+    return Status::Internal(Errno("write('" + tmp + "')"));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal(Errno("rename -> '" + path + "'"));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            const OpenOptions& opts) {
+  auto mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  std::shared_ptr<MappedFile> file = mapped.take();
+
+  SnapshotReader r;
+  r.file_ = file;
+  std::memcpy(&r.header_, file->data(), sizeof(FileHeader));
+  const FileHeader& h = r.header_;
+
+  if (h.magic != kMagic) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a snapshot (bad magic)");
+  }
+  if (h.version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' has format version " +
+        std::to_string(h.version) + "; this build reads version " +
+        std::to_string(kFormatVersion));
+  }
+  FileHeader crc_check = h;
+  crc_check.header_crc = 0;
+  if (Crc32c(&crc_check, sizeof(crc_check)) != h.header_crc) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' header checksum mismatch");
+  }
+  if (h.file_size != file->size()) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' is truncated or padded: header says " +
+        std::to_string(h.file_size) + " bytes, file has " +
+        std::to_string(file->size()));
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(h.section_count) * sizeof(SectionEntry);
+  if (h.table_offset % kSectionAlign != 0 ||
+      h.table_offset > file->size() ||
+      table_bytes > file->size() - h.table_offset) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' section table is out of bounds");
+  }
+  const auto* entries = reinterpret_cast<const SectionEntry*>(
+      file->data() + h.table_offset);
+  if (Crc32c(entries, table_bytes) != h.table_crc) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' section table checksum mismatch");
+  }
+  r.table_ = std::span<const SectionEntry>(entries, h.section_count);
+  for (const SectionEntry& e : r.table_) {
+    if (e.name[kMaxSectionName] != '\0') {
+      return Status::InvalidArgument("snapshot '" + path +
+                                     "' has an unterminated section name");
+    }
+    if (e.offset % kSectionAlign != 0 || e.offset > file->size() ||
+        e.size > file->size() - e.offset) {
+      return Status::InvalidArgument("snapshot '" + path + "' section '" +
+                                     e.name + "' is out of bounds");
+    }
+  }
+
+  if (opts.madvise_hugepage) file->AdviseHugepage();
+  if (opts.madvise_willneed) file->AdviseWillneed();
+  if (opts.verify_payloads) {
+    LI_RETURN_IF_ERROR(r.VerifyAllPayloads());
+  }
+  return r;
+}
+
+const SectionEntry* SnapshotReader::Find(std::string_view name) const {
+  for (const SectionEntry& e : table_) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+Result<std::span<const uint8_t>> SnapshotReader::Get(
+    std::string_view name) const {
+  const SectionEntry* e = Find(name);
+  if (e == nullptr) {
+    return Status::NotFound("snapshot has no section '" + std::string(name) +
+                            "'");
+  }
+  return std::span<const uint8_t>(file_->data() + e->offset, e->size);
+}
+
+Status SnapshotReader::VerifyEntry(const SectionEntry& e) const {
+  if (Crc32c(file_->data() + e.offset, e.size) != e.crc) {
+    return Status::InvalidArgument(std::string("snapshot section '") +
+                                   e.name + "' payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status SnapshotReader::VerifySection(std::string_view name) const {
+  const SectionEntry* e = Find(name);
+  if (e == nullptr) {
+    return Status::NotFound("snapshot has no section '" + std::string(name) +
+                            "'");
+  }
+  return VerifyEntry(*e);
+}
+
+Status SnapshotReader::VerifyAllPayloads() const {
+  for (const SectionEntry& e : table_) {
+    LI_RETURN_IF_ERROR(VerifyEntry(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace li::snapshot

@@ -1,0 +1,186 @@
+// Snapshot writer / reader: the versioned, checksummed, mmap-able
+// persistence layer behind every index's WriteSnapshot/OpenSnapshot pair
+// (the index::Snapshottable contract).
+//
+// Write side: `SnapshotWriter` stages named sections into a relocatable
+// Arena, then `WriteFile` lays out header + payloads + section table and
+// publishes atomically (temp file + fsync + rename), so a crash never
+// leaves a half-written snapshot under the target name.
+//
+// Read side: `SnapshotReader::Open` mmaps the file read-only and
+// validates the envelope — magic, version, header CRC, section-table CRC
+// and bounds — unconditionally. Per-section payload CRCs are verified
+// lazily (opt-in at Open, or per-section via VerifySection): a full-file
+// CRC pass touches every page and would erase most of the instant-restart
+// win on multi-GB snapshots; see docs/PERSISTENCE.md ("restart-path
+// tuning"). Indexes opened from a reader hold its keepalive(), so the
+// mapping outlives every zero-copy view carved out of it.
+
+#ifndef LI_SNAPSHOT_SNAPSHOT_H_
+#define LI_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "snapshot/arena.h"
+#include "snapshot/crc32c.h"
+#include "snapshot/format.h"
+
+namespace li::snapshot {
+
+/// Read-only mmap of a snapshot file; the shared keepalive that pins
+/// every zero-copy view into it. Unmapped when the last reference drops.
+class MappedFile {
+ public:
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// madvise hints for the restart path: `Willneed` faults the whole
+  /// mapping ahead of first use (fast first lookup, slower open);
+  /// `Hugepage` requests transparent huge pages where supported. Both are
+  /// best-effort; failures are ignored.
+  void AdviseWillneed() const;
+  void AdviseHugepage() const;
+
+ private:
+  MappedFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Stages named sections and writes the versioned file. Section names are
+/// composed by convention as "<prefix><component>", where nested indexes
+/// pass extended prefixes down ("s3/" -> "s3/base/" -> "s3/base/leaves"),
+/// which is what lets composite indexes (sharded, concurrent, LIF) reuse
+/// their components' WriteSections unchanged.
+class SnapshotWriter {
+ public:
+  /// Stages `size` bytes under `name`. Fails on duplicate or over-long
+  /// names. Data is copied; the source need not outlive the call.
+  Status AddSection(std::string_view name, SectionKind kind,
+                    const void* data, size_t size);
+
+  template <typename T>
+  Status AddPod(std::string_view name, const T& pod,
+                SectionKind kind = SectionKind::kMeta) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return AddSection(name, kind, &pod, sizeof(T));
+  }
+
+  template <typename T>
+  Status AddArray(std::string_view name, std::span<const T> v,
+                  SectionKind kind = SectionKind::kRaw) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return AddSection(name, kind, v.data(), v.size_bytes());
+  }
+
+  bool Has(std::string_view name) const;
+  size_t section_count() const { return sections_.size(); }
+
+  /// Writes "<path>.tmp", fsyncs, and renames over `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Staged {
+    std::string name;
+    SectionKind kind;
+    uint64_t arena_off;
+    uint64_t size;
+    uint32_t crc;
+  };
+  Arena arena_;
+  std::vector<Staged> sections_;
+};
+
+struct OpenOptions {
+  /// Verify every section payload's CRC at Open (one full read of the
+  /// file). Off by default on the restart path; corruption surfaces
+  /// instead through the always-on envelope checks and any explicit
+  /// VerifySection/VerifyAllPayloads call.
+  bool verify_payloads = false;
+  /// Fault the mapping in ahead of first lookup (madvise MADV_WILLNEED).
+  bool madvise_willneed = true;
+  /// Request transparent huge pages for the mapping.
+  bool madvise_hugepage = false;
+};
+
+/// Validated view over an open snapshot. Cheap to copy (shares the
+/// mapping). All accessors are bounds-checked against the mapped size —
+/// a truncated or bit-flipped file yields a Status, never UB.
+class SnapshotReader {
+ public:
+  SnapshotReader() = default;
+
+  static Result<SnapshotReader> Open(const std::string& path,
+                                     const OpenOptions& opts = {});
+
+  /// nullptr when absent.
+  const SectionEntry* Find(std::string_view name) const;
+
+  Result<std::span<const uint8_t>> Get(std::string_view name) const;
+
+  template <typename T>
+  Result<std::span<const T>> GetArray(std::string_view name) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = Get(name);
+    if (!raw.ok()) return raw.status();
+    const std::span<const uint8_t> b = raw.value();
+    if (b.size() % sizeof(T) != 0) {
+      return Status::Internal("section '" + std::string(name) +
+                              "' size is not a multiple of element size");
+    }
+    if (reinterpret_cast<uintptr_t>(b.data()) % alignof(T) != 0) {
+      return Status::Internal("section '" + std::string(name) +
+                              "' is misaligned for its element type");
+    }
+    return std::span<const T>(reinterpret_cast<const T*>(b.data()),
+                              b.size() / sizeof(T));
+  }
+
+  template <typename T>
+  Status GetPod(std::string_view name, T* out) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = Get(name);
+    if (!raw.ok()) return raw.status();
+    if (raw.value().size() != sizeof(T)) {
+      return Status::Internal("section '" + std::string(name) +
+                              "' has unexpected size");
+    }
+    std::memcpy(out, raw.value().data(), sizeof(T));
+    return Status::OK();
+  }
+
+  /// Recomputes one section's payload CRC against its table entry.
+  Status VerifySection(std::string_view name) const;
+  /// Verifies every payload (reads the whole file).
+  Status VerifyAllPayloads() const;
+
+  std::span<const SectionEntry> sections() const { return table_; }
+  const FileHeader& header() const { return header_; }
+  size_t mapped_bytes() const { return file_ ? file_->size() : 0; }
+  /// Pin for zero-copy views carved out of this mapping.
+  std::shared_ptr<const void> keepalive() const { return file_; }
+
+ private:
+  Status VerifyEntry(const SectionEntry& e) const;
+
+  std::shared_ptr<MappedFile> file_;
+  FileHeader header_{};
+  std::span<const SectionEntry> table_;
+};
+
+}  // namespace li::snapshot
+
+#endif  // LI_SNAPSHOT_SNAPSHOT_H_

@@ -298,5 +298,54 @@ TEST(StringRmiTest, ErrorBoundsHoldForStoredStrings) {
   }
 }
 
+// ---- Retrain-reuse (Appendix D.1) ----
+
+TEST(RebuildReuseTest, UnchangedDistributionReusesSweepWindows) {
+  const auto keys = data::Generate(data::DatasetKind::kLognormal, 50'000, 31);
+  RmiConfig config;
+  config.num_leaf_models = 500;
+  LinearRmi rmi;
+  ASSERT_TRUE(rmi.Build(keys, config).ok());
+  ASSERT_EQ(rmi.sweep_windows_reused(), 0u);
+
+  // Same keys, same config: every *populated* leaf lands on identical
+  // error bounds, so its sweep sub-window is carried over, not
+  // re-derived (leaves no key routes to never enter the reuse path).
+  ASSERT_TRUE(rmi.Rebuild(keys).ok());
+  const size_t per_cycle = rmi.sweep_windows_reused();
+  EXPECT_GT(per_cycle, 0u);
+  EXPECT_LE(per_cycle, config.num_leaf_models);
+  for (const uint64_t q : MixedQueries(keys, 20'000, 33)) {
+    ASSERT_EQ(rmi.LowerBound(q), StdLowerBound(keys, q)) << q;
+  }
+  // The reuse set is a pure function of the key distribution: a second
+  // identical rebuild carries over exactly the same windows again.
+  ASSERT_TRUE(rmi.Rebuild(keys).ok());
+  EXPECT_EQ(rmi.sweep_windows_reused(), 2 * per_cycle);
+
+  // A merge-cycle-sized perturbation: most leaves keep their bounds and
+  // reuse; correctness is unconditional either way.
+  auto grown = keys;
+  Xorshift128Plus rng(35);
+  for (int i = 0; i < 500; ++i) grown.push_back(rng.Next());
+  std::sort(grown.begin(), grown.end());
+  grown.erase(std::unique(grown.begin(), grown.end()), grown.end());
+  const size_t before = rmi.sweep_windows_reused();
+  ASSERT_TRUE(rmi.Rebuild(grown).ok());
+  EXPECT_GT(rmi.sweep_windows_reused(), before);
+  for (const uint64_t q : MixedQueries(grown, 20'000, 37)) {
+    ASSERT_EQ(rmi.LowerBound(q), StdLowerBound(grown, q)) << q;
+  }
+
+  // A genuinely different distribution: the counter may tick for the odd
+  // coincidentally-identical leaf, but lookups must stay exact — reuse
+  // is an optimization, never a semantic.
+  const auto other = data::Generate(data::DatasetKind::kMaps, 50'000, 39);
+  ASSERT_TRUE(rmi.Rebuild(other).ok());
+  for (const uint64_t q : MixedQueries(other, 20'000, 41)) {
+    ASSERT_EQ(rmi.LowerBound(q), StdLowerBound(other, q)) << q;
+  }
+}
+
 }  // namespace
 }  // namespace li::rmi

@@ -1,0 +1,87 @@
+// snapshot_inspect: dump a snapshot file's header and section table —
+// names, kinds, offsets, sizes, stored CRCs — and optionally recompute
+// every payload checksum. The debugging companion to the format in
+// docs/PERSISTENCE.md: when an OpenSnapshot fails, this shows which
+// layer (header, table, payload) disagrees and where.
+//
+//   snapshot_inspect <file.snap>            dump header + section table
+//   snapshot_inspect --verify <file.snap>   also recompute payload CRCs
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "snapshot/format.h"
+#include "snapshot/snapshot.h"
+
+namespace li {
+namespace {
+
+int Inspect(const char* path, bool verify) {
+  // Envelope checks (magic, version, header/table CRCs, bounds) run
+  // unconditionally in Open; payload CRCs only under --verify.
+  auto reader = snapshot::SnapshotReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path, reader.status().message().c_str());
+    return 1;
+  }
+  const snapshot::FileHeader& h = reader.value().header();
+  std::printf("%s\n", path);
+  std::printf("  magic         0x%016" PRIx64 "  (\"LISNAP01\")\n", h.magic);
+  std::printf("  version       %" PRIu32 "\n", h.version);
+  std::printf("  file_size     %" PRIu64 " bytes\n", h.file_size);
+  std::printf("  sections      %" PRIu32 "  (table at offset %" PRIu64 ")\n",
+              h.section_count, h.table_offset);
+  std::printf("  header_crc    0x%08" PRIx32 "   table_crc 0x%08" PRIx32 "\n",
+              h.header_crc, h.table_crc);
+  std::printf("\n  %-36s %-9s %10s %12s %10s\n", "name", "kind", "offset",
+              "size", "crc32c");
+  for (const snapshot::SectionEntry& e : reader.value().sections()) {
+    std::printf("  %-36s %-9s %10" PRIu64 " %12" PRIu64 " 0x%08" PRIx32 "\n",
+                e.name,
+                snapshot::SectionKindName(
+                    static_cast<snapshot::SectionKind>(e.kind)),
+                e.offset, e.size, e.crc);
+  }
+  if (!verify) return 0;
+
+  int bad = 0;
+  for (const snapshot::SectionEntry& e : reader.value().sections()) {
+    const Status st = reader.value().VerifySection(e.name);
+    if (st.ok()) {
+      std::printf("  verify %-36s OK\n", e.name);
+    } else {
+      std::printf("  verify %-36s FAILED: %s\n", e.name,
+                  st.message().c_str());
+      ++bad;
+    }
+  }
+  if (bad != 0) {
+    std::fprintf(stderr, "%d section(s) failed payload verification\n", bad);
+    return 1;
+  }
+  std::printf("all payloads verified\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace li
+
+int main(int argc, char** argv) {
+  bool verify = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: snapshot_inspect [--verify] <file.snap>\n");
+    return 2;
+  }
+  return li::Inspect(path, verify);
+}
