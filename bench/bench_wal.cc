@@ -1,0 +1,166 @@
+// WAL bench: puts numbers on the two costs the durability layer asks a
+// writer to pay (docs/DURABILITY.md) —
+//
+//   * append throughput vs fsync policy: the group-commit spectrum from
+//     sync-on-ack (fsync_every_n = 1, every acknowledged write is on the
+//     platter) through batched sync to never-sync (0, page-cache
+//     durability). The spread between the ends is the price of the
+//     strongest guarantee, and the batched points show how quickly group
+//     commit buys most of it back.
+//   * recovery time vs log length: Replay cost is linear in the record
+//     count; these legs pin the constant so "how long after a crash until
+//     the index serves again" is a multiplication, not a guess.
+//
+//   BENCH_WAL_OPS        records per leg (default 200'000)
+//   BENCH_MICRO_JSON     unset = console only; "1" = BENCH_wal.json;
+//                        other = that path (schema: docs/BENCHMARKS.md)
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "json_out.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "wal/wal.h"
+
+namespace li {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double NsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+}
+
+size_t OpsFromEnv() {
+  const char* env = std::getenv("BENCH_WAL_OPS");
+  if (env == nullptr) return 200'000;
+  const long long v = std::atoll(env);
+  return v > 0 ? static_cast<size_t>(v) : 200'000;
+}
+
+std::string TmpPath(const char* tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/li_bench_wal_" + tag +
+         ".wal";
+}
+
+[[noreturn]] void Fail(const char* what, const Status& st) {
+  std::fprintf(stderr, "bench_wal: %s: %s\n", what, st.message().c_str());
+  std::exit(1);
+}
+
+/// One append-throughput leg: `ops` 8-byte records under the given
+/// group-commit policy. Returns ns/op.
+double AppendLeg(size_t ops, size_t fsync_every_n) {
+  wal::DurabilityConfig cfg;
+  cfg.fsync_every_n = fsync_every_n;
+  const std::string path = TmpPath("append");
+  auto writer = wal::WalWriter::Create(path, 0, sizeof(uint64_t), cfg);
+  if (!writer.ok()) Fail("create", writer.status());
+  wal::WalWriter w = writer.take();
+
+  Xorshift128Plus rng(42);
+  const auto t0 = Clock::now();
+  for (size_t i = 0; i < ops; ++i) {
+    const uint64_t key = rng.Next();
+    auto lsn = w.Append(wal::WalRecordType::kInsert, &key, sizeof(key));
+    if (!lsn.ok()) Fail("append", lsn.status());
+  }
+  if (Status st = w.Sync(); !st.ok()) Fail("final sync", st);
+  const double ns = NsSince(t0);
+  std::remove(path.c_str());
+  return ns / static_cast<double>(ops);
+}
+
+/// One recovery leg: write `records` entries (no syncing — write cost is
+/// not under test), then time a full Replay scan. Returns ns/record.
+double ReplayLeg(size_t records) {
+  wal::DurabilityConfig cfg;
+  cfg.fsync_every_n = 0;
+  const std::string path = TmpPath("replay");
+  {
+    auto writer = wal::WalWriter::Create(path, 0, sizeof(uint64_t), cfg);
+    if (!writer.ok()) Fail("create", writer.status());
+    wal::WalWriter w = writer.take();
+    Xorshift128Plus rng(43);
+    for (size_t i = 0; i < records; ++i) {
+      const uint64_t key = rng.Next();
+      auto lsn = w.Append(wal::WalRecordType::kInsert, &key, sizeof(key));
+      if (!lsn.ok()) Fail("append", lsn.status());
+    }
+    if (Status st = w.Sync(); !st.ok()) Fail("sync", st);
+  }
+
+  uint64_t applied = 0;
+  const auto t0 = Clock::now();
+  auto result = wal::Replay(
+      path, [&](wal::WalRecordType, uint64_t, const void*, size_t) {
+        ++applied;
+        return Status::OK();
+      });
+  const double ns = NsSince(t0);
+  if (!result.ok()) Fail("replay", result.status());
+  if (applied != records) {
+    std::fprintf(stderr, "bench_wal: replay saw %" PRIu64 " of %zu records\n",
+                 applied, records);
+    std::exit(1);
+  }
+  std::remove(path.c_str());
+  return ns / static_cast<double>(records);
+}
+
+}  // namespace
+}  // namespace li
+
+int main() {
+  using li::bench_json::Entry;
+  const size_t ops = li::OpsFromEnv();
+  std::vector<Entry> entries;
+
+  std::printf("WAL bench (%zu records per leg)\n\n", ops);
+  std::printf("append throughput vs fsync policy:\n");
+  struct { size_t n; const char* label; } kPolicies[] = {
+      {1, "fsync_every_1"},
+      {8, "fsync_every_8"},
+      {64, "fsync_every_64"},
+      {0, "fsync_never"},
+  };
+  for (const auto& p : kPolicies) {
+    // Sync-on-ack pays a device flush per record; cap the leg so the
+    // bench stays interactive on slow disks.
+    const size_t leg_ops = p.n == 1 ? std::min<size_t>(ops, 20'000) : ops;
+    const double ns = li::AppendLeg(leg_ops, p.n);
+    std::printf("  %-16s %10.0f ns/append  %12.0f appends/s\n", p.label, ns,
+                1e9 / ns);
+    entries.push_back({std::string("wal_append/") + p.label, ns, 1e9 / ns});
+  }
+
+  std::printf("\nrecovery time vs log length:\n");
+  for (const size_t records : {ops / 8, ops / 2, ops}) {
+    if (records == 0) continue;
+    const double ns = li::ReplayLeg(records);
+    std::printf("  %-16zu %10.2f ns/record  (%.1f ms total)\n", records, ns,
+                ns * static_cast<double>(records) / 1e6);
+    entries.push_back({"wal_replay/records_" + std::to_string(records), ns,
+                       1e9 / ns});
+  }
+
+  if (std::getenv("BENCH_MICRO_JSON") != nullptr) {
+    const char* path = li::bench_json::ResolvePath(
+        std::getenv("BENCH_MICRO_JSON"), "BENCH_wal.json");
+    if (li::bench_json::Write(path, entries)) {
+      std::printf("\nwrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "bench_wal: failed to write %s\n", path);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -40,6 +40,14 @@
 // (same oracle conformance suite), which is what lets the LIF synthesizer
 // qualify concurrent candidates with the same contract as everything
 // else.
+//
+// Durability (index::DurableIndex; docs/DURABILITY.md): with
+// EnableDurability attached, Write appends a CRC-framed record to the
+// write-ahead log under the writer mutex *before* the log-entry publish
+// — so WAL order, LSN order and acknowledgement order coincide — and
+// recovery (OpenSnapshot + RecoverFromWal) replays the tail through the
+// same Write path. WriteSnapshot publishes the covered LSN inside its
+// captured version and truncates the log behind it.
 
 #ifndef LI_CONCURRENT_CONCURRENT_WRITABLE_INDEX_H_
 #define LI_CONCURRENT_CONCURRENT_WRITABLE_INDEX_H_
@@ -49,6 +57,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <numeric>
@@ -70,6 +79,7 @@
 #include "index/snapshottable.h"
 #include "index/writable_range_index.h"
 #include "snapshot/snapshot.h"
+#include "wal/wal.h"
 
 namespace li::concurrent {
 
@@ -164,6 +174,45 @@ class ConcurrentWritableIndex {
     return impl_ ? impl_->last_merge_status() : Status::OK();
   }
 
+  // ---- Durability (index::DurableIndex; docs/DURABILITY.md) ----
+
+  /// WAL support needs a flat key type (records carry the raw key bytes).
+  static constexpr bool kDurabilityCapable =
+      std::is_trivially_copyable_v<key_type>;
+
+  /// Attach a fresh write-ahead log at cfg.path; subsequent writes are
+  /// log-then-apply. Call after Build (or after a snapshot): earlier
+  /// writes are only recoverable through a snapshot containing them.
+  Status EnableDurability(const wal::DurabilityConfig& cfg) {
+    return impl_ ? impl_->EnableDurability(cfg)
+                 : Status::FailedPrecondition(
+                       "ConcurrentWritableIndex: not built");
+  }
+
+  /// Replay the log past the snapshot's covered LSN through the normal
+  /// write path, then resume logging to the same file (torn tail
+  /// truncated, missing file started fresh).
+  Status RecoverFromWal(const wal::DurabilityConfig& cfg) {
+    return impl_ ? impl_->RecoverFromWal(cfg)
+                 : Status::FailedPrecondition(
+                       "ConcurrentWritableIndex: not built");
+  }
+
+  bool durable() const { return impl_ != nullptr && impl_->durable(); }
+
+  /// Sticky status of the logging path (an append failure poisons the
+  /// log; the in-memory index keeps serving).
+  Status wal_status() const {
+    return impl_ ? impl_->wal_status() : Status::OK();
+  }
+
+  wal::WalStats DurabilityStats() const {
+    return impl_ ? impl_->DurabilityStats() : wal::WalStats{};
+  }
+
+  /// Flush the group-commit window now.
+  Status SyncWal() { return impl_ ? impl_->SyncWal() : Status::OK(); }
+
   // ---- Persistence (index::Snapshottable; docs/PERSISTENCE.md) ----
   // WriteSnapshot quiesces writers on the writer mutex just long enough
   // to fold the live write log + frozen delta into one sorted entry list
@@ -199,7 +248,10 @@ class ConcurrentWritableIndex {
   }
 
   Status WriteSnapshot(const std::string& path) const {
-    return index::WriteSnapshotViaSections(*this, path);
+    LI_RETURN_IF_ERROR(index::WriteSnapshotViaSections(*this, path));
+    // The snapshot is published; truncate the log behind the LSN it
+    // covers (no-op when durability is off).
+    return impl_ ? impl_->TruncateWalAfterPublish() : Status::OK();
   }
 
   static Result<ConcurrentWritableIndex> OpenSnapshot(
@@ -445,6 +497,12 @@ class ConcurrentWritableIndex {
         writer_contended_.fetch_add(1, std::memory_order_relaxed);
         lk.lock();
       }
+      // Log-then-apply: the WAL append happens under the writer mutex
+      // before the in-memory log-entry publish, so WAL order == LSN
+      // order == acknowledgement order, and a crash after the append
+      // but before the publish at worst replays a write the caller was
+      // never acked for (safe: replay goes through this same path).
+      WalAppendLocked(key, tombstone);
       State* s = state_.load(std::memory_order_relaxed);
       uint32_t n = s->log_count.load(std::memory_order_relaxed);
       if (n == s->log_cap) {
@@ -520,6 +578,8 @@ class ConcurrentWritableIndex {
         std::shared_ptr<const Base> base;
         std::vector<dynamic::DeltaEntry<key_type>> folded;
         SnapshotCfg cfg;
+        wal::WalSnapshotMeta wal_meta;
+        bool durable = false;
         {
           std::lock_guard<std::mutex> lk(write_mu_);
           const State* s = state_.load(std::memory_order_relaxed);
@@ -535,11 +595,22 @@ class ConcurrentWritableIndex {
           base = s->base;
           cfg.policy = config_.policy;
           cfg.log_cap = config_.log_cap;
+          if (wal_ != nullptr) {
+            // Every record up to last_lsn is reflected in this capture
+            // (appends serialize on the same mutex), so the snapshot
+            // covers it and truncation behind it is safe after publish.
+            wal_meta.covered_lsn = wal_->stats().last_lsn;
+            snapshot_covered_lsn_ = wal_meta.covered_lsn;
+            durable = true;
+          }
         }
         // Serialization outside the lock: every captured piece is
         // immutable and shared_ptr-pinned (a concurrent merge may retire
         // the version, not free these).
         LI_RETURN_IF_ERROR(writer.AddPod(prefix + "cfg", cfg));
+        if (durable) {
+          LI_RETURN_IF_ERROR(writer.AddPod(prefix + "wal", wal_meta));
+        }
         LI_RETURN_IF_ERROR(
             writer.AddArray(prefix + "keys", std::span<const key_type>(*keys),
                             snapshot::SectionKind::kKeys));
@@ -602,6 +673,15 @@ class ConcurrentWritableIndex {
           entries.push_back(dynamic::DeltaEntry<key_type>{
               dkeys.value()[i], (m & 1) != 0, (m & 2) != 0});
         }
+        wal::WalSnapshotMeta wal_meta;  // absent in pre-durability snaps
+        const Status wal_st = reader.GetPod(prefix + "wal", &wal_meta);
+        if (wal_st.ok()) {
+          covered_lsn_ = wal_meta.covered_lsn;
+        } else if (wal_st.code() == StatusCode::kNotFound) {
+          covered_lsn_ = 0;
+        } else {
+          return wal_st;
+        }
         config_.policy = cfg.policy;
         config_.log_cap = std::max<size_t>(cfg.log_cap, 2);
         if constexpr (requires {
@@ -625,6 +705,115 @@ class ConcurrentWritableIndex {
         worker_ = std::thread([this] { WorkerLoop(); });
         return Status::OK();
       }
+    }
+
+    // ---- durability ----
+
+    Status EnableDurability(const wal::DurabilityConfig& cfg) {
+      if constexpr (!kDurabilityCapable) {
+        return Status::Unimplemented(
+            "ConcurrentWritableIndex durability needs a flat key type");
+      } else {
+        std::lock_guard<std::mutex> lk(write_mu_);
+        if (wal_ != nullptr) {
+          return Status::FailedPrecondition("durability already enabled");
+        }
+        auto w = wal::WalWriter::Create(cfg.path, covered_lsn_,
+                                        sizeof(key_type), cfg);
+        if (!w.ok()) return w.status();
+        wal_ = std::make_unique<wal::WalWriter>(w.take());
+        wal_status_ = Status::OK();
+        return Status::OK();
+      }
+    }
+
+    Status RecoverFromWal(const wal::DurabilityConfig& cfg) {
+      if constexpr (!kDurabilityCapable) {
+        return Status::Unimplemented(
+            "ConcurrentWritableIndex durability needs a flat key type");
+      } else {
+        {
+          std::lock_guard<std::mutex> lk(write_mu_);
+          if (wal_ != nullptr) {
+            return Status::FailedPrecondition("durability already enabled");
+          }
+        }
+        const uint64_t covered = covered_lsn_;
+        // Replay through the normal write path (no wal_ attached yet, so
+        // nothing re-logs); recovery is single-threaded by contract.
+        auto replay = wal::Replay(
+            cfg.path,
+            [&](wal::WalRecordType type, uint64_t lsn, const void* payload,
+                size_t len) -> Status {
+              if (len != sizeof(key_type)) {
+                return Status::InvalidArgument("WAL record size mismatch");
+              }
+              if (lsn <= covered) return Status::OK();
+              key_type k;
+              std::memcpy(&k, payload, sizeof(k));
+              Write(k, type == wal::WalRecordType::kErase);
+              return Status::OK();
+            });
+        if (!replay.ok()) {
+          if (replay.status().code() == StatusCode::kNotFound) {
+            return EnableDurability(cfg);  // no log yet: start one
+          }
+          return replay.status();
+        }
+        if (replay.value().base_lsn > covered) {
+          return Status::InvalidArgument(
+              "WAL gap: log starts past the snapshot's covered LSN");
+        }
+        auto w = wal::WalWriter::Open(cfg.path, cfg, nullptr);
+        if (!w.ok()) return w.status();
+        std::lock_guard<std::mutex> lk(write_mu_);
+        wal_ = std::make_unique<wal::WalWriter>(w.take());
+        wal_status_ = Status::OK();
+        if (wal_->stats().last_lsn < covered) {
+          // Stale log older than the snapshot: rotate so LSNs cannot
+          // regress below the watermark.
+          LI_RETURN_IF_ERROR(wal_->ResetTo(covered));
+        }
+        covered_lsn_ = wal_->stats().last_lsn;
+        return Status::OK();
+      }
+    }
+
+    void WalAppendLocked(const key_type& key, bool tombstone) {
+      if (wal_ == nullptr) return;
+      if constexpr (kDurabilityCapable) {
+        auto r = wal_->Append(tombstone ? wal::WalRecordType::kErase
+                                        : wal::WalRecordType::kInsert,
+                              &key, sizeof(key));
+        if (!r.ok()) wal_status_ = r.status();
+      }
+    }
+
+    Status TruncateWalAfterPublish() const {
+      std::lock_guard<std::mutex> lk(write_mu_);
+      if (wal_ == nullptr) return Status::OK();
+      // Under the writer mutex no append can race the rotation scan.
+      return wal_->ResetTo(snapshot_covered_lsn_);
+    }
+
+    bool durable() const {
+      std::lock_guard<std::mutex> lk(write_mu_);
+      return wal_ != nullptr;
+    }
+
+    Status wal_status() const {
+      std::lock_guard<std::mutex> lk(write_mu_);
+      return wal_status_;
+    }
+
+    wal::WalStats DurabilityStats() const {
+      std::lock_guard<std::mutex> lk(write_mu_);
+      return wal_ != nullptr ? wal_->stats() : wal::WalStats{};
+    }
+
+    Status SyncWal() {
+      std::lock_guard<std::mutex> lk(write_mu_);
+      return wal_ != nullptr ? wal_->Sync() : Status::OK();
     }
 
     // ---- stats ----
@@ -969,6 +1158,13 @@ class ConcurrentWritableIndex {
     // True between merge rotation and publish (writer-mutex holders
     // only): freeze folds must not drop entries then — see FreezeLocked.
     bool merge_rebase_pending_ = false;
+
+    // Durability (guarded by write_mu_; mutable because the const
+    // snapshot path stashes the covered LSN and truncates after publish).
+    mutable std::unique_ptr<wal::WalWriter> wal_;
+    Status wal_status_{};
+    uint64_t covered_lsn_ = 0;  // watermark inherited from OpenSnapshot
+    mutable uint64_t snapshot_covered_lsn_ = 0;
   };
 
   std::unique_ptr<Impl> impl_;

@@ -35,11 +35,17 @@
 #ifndef LI_CONCURRENT_SHARDED_INDEX_H_
 #define LI_CONCURRENT_SHARDED_INDEX_H_
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -55,11 +61,13 @@
 #include "concurrent/epoch.h"
 #include "index/approx.h"
 #include "index/concurrent_writable_index.h"
+#include "index/durable_index.h"
 #include "index/range_index.h"
 #include "index/snapshottable.h"
 #include "index/writable_range_index.h"
 #include "simd/dispatch.h"
 #include "snapshot/snapshot.h"
+#include "wal/wal.h"
 
 namespace li::concurrent {
 
@@ -74,6 +82,15 @@ concept HasMergeControl = requires(I& idx) {
   { idx.RequestMerge() };
   { idx.WaitForMerges() };
 };
+
+/// True when the inner index can carry a per-shard write-ahead log AND
+/// checkpoint itself to its own snapshot file — the two halves of the
+/// sharded durability protocol (each shard owns an s<uid>.snap +
+/// s<uid>.wal pair beneath the durability directory).
+template <typename I>
+concept DurableShardInner =
+    index::DurableIndex<I> && index::Snapshottable<I> &&
+    static_cast<bool>(I::kDurabilityCapable);
 
 /// Knobs for the online shard split/coalesce machinery. All mass terms
 /// are live key counts (base + delta + log) as reported by the inner
@@ -271,6 +288,78 @@ class ShardedIndex {
     return impl_ ? impl_->last_rebalance_status() : Status::OK();
   }
 
+  // ---- Durability (per-shard WAL routing; docs/DURABILITY.md) ----
+  //
+  // Durable mode turns DurabilityConfig::path into a directory this
+  // index owns:
+  //
+  //   MANIFEST      routing manifest (boundaries, shard uids) — every
+  //                 rebalance cutover commits by atomically rewriting it
+  //   s<uid>.snap   per-shard snapshot (the inner WriteSnapshot format)
+  //   s<uid>.wal    per-shard write-ahead log
+  //
+  // A write routes to exactly one shard, so it appends to exactly one
+  // log — per-shard group commit, no cross-shard sync ordering. A
+  // split/coalesce gives the replacement shards fresh uids, snapshots
+  // them, attaches fresh logs, and replays the sealed shard's catch-up
+  // records through the durable write path (they land in the new
+  // shards' logs like any other write — the same machinery), syncs,
+  // and only then flips MANIFEST inside the cutover critical section.
+  // The rename is the commit point: a crash on either side recovers a
+  // consistent shard set with every acknowledged write.
+
+  /// Per-shard logs need an inner index that is itself durable and
+  /// whole-file snapshottable.
+  static constexpr bool kDurabilityCapable =
+      std::is_trivially_copyable_v<key_type> && DurableShardInner<Inner>;
+
+  /// Attach per-shard logs beneath directory `cfg.path` (created if
+  /// missing): checkpoints every shard, starts its log, writes the
+  /// MANIFEST. Call quiesced (build-then-share, as Build); earlier
+  /// writes are covered by the checkpoints taken here.
+  Status EnableDurability(const wal::DurabilityConfig& cfg) {
+    return impl_ ? impl_->EnableDurability(cfg)
+                 : Status::FailedPrecondition("ShardedIndex: not built");
+  }
+
+  /// Durable-mode snapshot: re-checkpoints every shard (each inner
+  /// WriteSnapshot truncates its log behind the published LSN) and
+  /// rewrites the MANIFEST. Bounds recovery replay time.
+  Status Checkpoint() {
+    return impl_ ? impl_->Checkpoint()
+                 : Status::FailedPrecondition("ShardedIndex: not built");
+  }
+
+  /// Rebuild a durable index from its directory: MANIFEST -> per-shard
+  /// OpenSnapshot + RecoverFromWal, then resume logging. Orphan shard
+  /// files from a crashed rebalance (never committed into MANIFEST) are
+  /// removed.
+  static Result<ShardedIndex> RecoverDurable(
+      const wal::DurabilityConfig& cfg) {
+    ShardedIndex out;
+    out.impl_ = std::make_unique<Impl>();
+    const Status st = out.impl_->RecoverDurable(cfg);
+    if (!st.ok()) return st;
+    return out;
+  }
+
+  bool durable() const { return impl_ != nullptr && impl_->durable(); }
+
+  /// First non-OK sticky log status across shards (an append failure
+  /// poisons that shard's log; the in-memory index keeps serving).
+  Status wal_status() const {
+    return impl_ ? impl_->wal_status() : Status::OK();
+  }
+
+  /// Aggregated per-shard log counters (sums; LSN fields are maxima —
+  /// LSN streams are per shard).
+  wal::WalStats DurabilityStats() const {
+    return impl_ ? impl_->DurabilityStats() : wal::WalStats{};
+  }
+
+  /// Flush every shard's group-commit window now; first failure wins.
+  Status SyncWal() { return impl_ ? impl_->SyncWal() : Status::OK(); }
+
   // ---- Persistence (index::Snapshottable; docs/PERSISTENCE.md) ----
   // One file holds the routing manifest (shard count, boundaries, knobs)
   // plus every shard's sections under "s<i>/". WriteSnapshot drains any
@@ -359,6 +448,11 @@ class ShardedIndex {
     bool sealed = false;   // dual-write every write into `catchup`
     bool retired = false;  // no longer routable; writers must retry
     std::vector<std::pair<key_type, bool>> catchup;  // (key, tombstone)
+    /// Durable mode: names this shard's s<uid>.snap / s<uid>.wal pair.
+    /// Uids are never reused — a rebalance gives replacement shards
+    /// fresh ones, so the old and new file sets coexist until the
+    /// MANIFEST flip picks the survivor.
+    uint64_t uid = 0;
   };
 
   /// An immutable routing-table version. Slots are shared across map
@@ -682,6 +776,218 @@ class ShardedIndex {
       return last_rebalance_status_;
     }
 
+    // ---- durability ----
+    // `durable_mu_` serializes everything that touches the durability
+    // directory: EnableDurability, Checkpoint, and the durable leg of a
+    // rebalance cutover. It is taken *before* any cutover lock (the
+    // worker) or inner writer mutex (Checkpoint), never after — writers
+    // never take it, so shard writes stay durable_mu_-free.
+
+    Status EnableDurability(const wal::DurabilityConfig& cfg) {
+      if constexpr (!kDurabilityCapable) {
+        (void)cfg;
+        return Status::Unimplemented(
+            "ShardedIndex durability needs a flat key type and a "
+            "durable, snapshottable inner index");
+      } else {
+        if (cfg.path.empty()) {
+          return Status::InvalidArgument(
+              "ShardedIndex durability needs a directory path");
+        }
+        WaitForRebalances();
+        std::lock_guard<std::mutex> dlk(durable_mu_);
+        if (durable_.load(std::memory_order_relaxed)) {
+          return Status::FailedPrecondition(
+              "ShardedIndex: durability already enabled");
+        }
+        if (::mkdir(cfg.path.c_str(), 0755) != 0 && errno != EEXIST) {
+          return Status::Internal("mkdir('" + cfg.path +
+                                  "'): " + std::strerror(errno));
+        }
+        dur_cfg_ = cfg;
+        std::vector<key_type> boundaries;
+        std::vector<std::shared_ptr<Slot>> slots;
+        {
+          EpochManager::Guard g(epoch_);
+          const ShardMap* m = map_.load(std::memory_order_seq_cst);
+          boundaries = m->boundaries;
+          slots = m->slots;
+        }
+        for (const auto& slot : slots) {
+          LI_RETURN_IF_ERROR(AttachShardDurability(*slot));
+        }
+        LI_RETURN_IF_ERROR(WriteManifestLocked(boundaries, slots));
+        durable_.store(true, std::memory_order_release);
+        return Status::OK();
+      }
+    }
+
+    Status Checkpoint() {
+      if constexpr (!kDurabilityCapable) {
+        return Status::Unimplemented(
+            "ShardedIndex durability needs a flat key type and a "
+            "durable, snapshottable inner index");
+      } else {
+        WaitForRebalances();
+        std::lock_guard<std::mutex> dlk(durable_mu_);
+        if (!durable_.load(std::memory_order_relaxed)) {
+          return Status::FailedPrecondition(
+              "ShardedIndex: durability not enabled");
+        }
+        std::vector<key_type> boundaries;
+        std::vector<std::shared_ptr<Slot>> slots;
+        {
+          EpochManager::Guard g(epoch_);
+          const ShardMap* m = map_.load(std::memory_order_seq_cst);
+          boundaries = m->boundaries;
+          slots = m->slots;
+        }
+        for (const auto& slot : slots) {
+          // Atomic per-shard publish (tmp + rename inside), then the
+          // inner class truncates its own log behind the covered LSN.
+          LI_RETURN_IF_ERROR(
+              slot->index.WriteSnapshot(ShardSnapPath(slot->uid)));
+        }
+        return WriteManifestLocked(boundaries, slots);
+      }
+    }
+
+    /// Fresh-Impl only (the static RecoverDurable entry point).
+    Status RecoverDurable(const wal::DurabilityConfig& cfg) {
+      if constexpr (!kDurabilityCapable) {
+        (void)cfg;
+        return Status::Unimplemented(
+            "ShardedIndex durability needs a flat key type and a "
+            "durable, snapshottable inner index");
+      } else {
+        if (cfg.path.empty()) {
+          return Status::InvalidArgument(
+              "ShardedIndex durability needs a directory path");
+        }
+        dur_cfg_ = cfg;
+        auto reader = snapshot::SnapshotReader::Open(ManifestPath());
+        if (!reader.ok()) return reader.status();
+        SnapshotManifest man;
+        LI_RETURN_IF_ERROR(reader.value().GetPod("manifest", &man));
+        if (man.shard_count == 0) {
+          return Status::InvalidArgument(
+              "ShardedIndex MANIFEST has zero shards");
+        }
+        auto bounds = reader.value().template GetArray<key_type>("bounds");
+        if (!bounds.ok()) return bounds.status();
+        auto uids = reader.value().template GetArray<uint64_t>("uids");
+        if (!uids.ok()) return uids.status();
+        uint64_t next_uid = 0;
+        LI_RETURN_IF_ERROR(reader.value().GetPod("nextuid", &next_uid));
+        if (bounds.value().size() != man.shard_count - 1 ||
+            uids.value().size() != man.shard_count) {
+          return Status::InvalidArgument(
+              "ShardedIndex MANIFEST shard count disagrees with its "
+              "bounds/uids sections");
+        }
+        for (size_t i = 1; i < bounds.value().size(); ++i) {
+          if (!(bounds.value()[i - 1] < bounds.value()[i])) {
+            return Status::InvalidArgument(
+                "ShardedIndex MANIFEST boundaries are not strictly "
+                "increasing");
+          }
+        }
+        config_.num_shards = man.num_shards_cfg;
+        config_.cdf_sample = man.cdf_sample;
+        config_.rebalance = man.rebalance;
+        config_.rebalance.check_stride =
+            std::max<size_t>(config_.rebalance.check_stride, 1);
+        config_.rebalance.scan_chunk =
+            std::max<size_t>(config_.rebalance.scan_chunk, 2);
+        config_.rebalance.max_imbalance =
+            std::max(config_.rebalance.max_imbalance, 1.1);
+        config_.rebalance.coalesce_fraction =
+            std::clamp(config_.rebalance.coalesce_fraction, 0.0,
+                       config_.rebalance.max_imbalance * 0.45);
+        next_uid_ = next_uid;
+        auto map = std::make_unique<ShardMap>();
+        map->boundaries.assign(bounds.value().begin(), bounds.value().end());
+        for (size_t i = 0; i < man.shard_count; ++i) {
+          const uint64_t uid = uids.value()[i];
+          auto inner = Inner::OpenSnapshot(ShardSnapPath(uid));
+          if (!inner.ok()) return inner.status();
+          auto slot = std::make_shared<Slot>();
+          slot->index = inner.take();
+          slot->uid = uid;
+          // Replays records past the shard snapshot's covered LSN
+          // through the inner write path, truncates a torn tail, and
+          // resumes logging (a missing log file starts a fresh one).
+          LI_RETURN_IF_ERROR(slot->index.RecoverFromWal(ShardCfg(uid)));
+          map->slots.push_back(std::move(slot));
+        }
+        if constexpr (requires(const Inner& i) {
+                        {
+                          i.config()
+                        } -> std::convertible_to<inner_config_type>;
+                      }) {
+          config_.inner = map->slots[0]->index.config();
+        }
+        // Shard files MANIFEST never committed (a rebalance that died
+        // before its flip) are garbage: remove them.
+        RemoveOrphanShardFiles(
+            {uids.value().begin(), uids.value().end()});
+        durable_.store(true, std::memory_order_release);
+        map_.store(map.release(), std::memory_order_seq_cst);
+        maps_published_.fetch_add(1, std::memory_order_relaxed);
+        if constexpr (kRebalanceCapable) {
+          worker_ = std::thread([this] { WorkerLoop(); });
+        }
+        return Status::OK();
+      }
+    }
+
+    bool durable() const { return durable_.load(std::memory_order_acquire); }
+
+    Status wal_status() const {
+      if constexpr (!kDurabilityCapable) {
+        return Status::OK();
+      } else {
+        if (!durable()) return Status::OK();
+        for (const auto& slot : SlotSnapshot()) {
+          const Status st = slot->index.wal_status();
+          if (!st.ok()) return st;
+        }
+        return Status::OK();
+      }
+    }
+
+    wal::WalStats DurabilityStats() const {
+      wal::WalStats agg{};
+      if constexpr (kDurabilityCapable) {
+        for (const auto& slot : SlotSnapshot()) {
+          const wal::WalStats s = slot->index.DurabilityStats();
+          agg.appends += s.appends;
+          agg.syncs += s.syncs;
+          agg.resets += s.resets;
+          agg.bytes_appended += s.bytes_appended;
+          agg.last_lsn = std::max(agg.last_lsn, s.last_lsn);
+          agg.last_synced_lsn = std::max(agg.last_synced_lsn,
+                                         s.last_synced_lsn);
+          agg.base_lsn = std::max(agg.base_lsn, s.base_lsn);
+        }
+      }
+      return agg;
+    }
+
+    Status SyncWal() {
+      if constexpr (!kDurabilityCapable) {
+        return Status::OK();
+      } else {
+        if (!durable()) return Status::OK();
+        Status first = Status::OK();
+        for (const auto& slot : SlotSnapshot()) {
+          const Status st = slot->index.SyncWal();
+          if (first.ok() && !st.ok()) first = st;
+        }
+        return first;
+      }
+    }
+
     // ---- persistence ----
 
     Status WriteSections(snapshot::SnapshotWriter& writer,
@@ -969,6 +1275,103 @@ class ShardedIndex {
       slot.catchup.clear();
     }
 
+    // ---- durability internals (durable_mu_ held throughout) ----
+
+    std::string ShardSnapPath(uint64_t uid) const {
+      return dur_cfg_.path + "/s" + std::to_string(uid) + ".snap";
+    }
+    std::string ShardWalPath(uint64_t uid) const {
+      return dur_cfg_.path + "/s" + std::to_string(uid) + ".wal";
+    }
+    std::string ManifestPath() const { return dur_cfg_.path + "/MANIFEST"; }
+
+    /// The directory-level config specialized to one shard's log file;
+    /// group-commit knobs and the (test-injected) backend pass through.
+    wal::DurabilityConfig ShardCfg(uint64_t uid) const {
+      wal::DurabilityConfig c = dur_cfg_;
+      c.path = ShardWalPath(uid);
+      return c;
+    }
+
+    /// Give `slot` a fresh uid, checkpoint it, start its log. The slot
+    /// must not be receiving writes yet (EnableDurability is quiesced;
+    /// rebalance replacement shards are attached before cutover).
+    Status AttachShardDurability(Slot& slot)
+      requires kDurabilityCapable
+    {
+      slot.uid = next_uid_++;
+      LI_RETURN_IF_ERROR(slot.index.WriteSnapshot(ShardSnapPath(slot.uid)));
+      return slot.index.EnableDurability(ShardCfg(slot.uid));
+    }
+
+    /// Atomically commit the routing state: boundaries + shard uids.
+    /// The rename inside WriteFile is the durability commit point for
+    /// every rebalance cutover.
+    Status WriteManifestLocked(
+        const std::vector<key_type>& boundaries,
+        const std::vector<std::shared_ptr<Slot>>& slots)
+      requires kDurabilityCapable
+    {
+      snapshot::SnapshotWriter w;
+      SnapshotManifest man;
+      man.shard_count = slots.size();
+      man.num_shards_cfg = config_.num_shards;
+      man.cdf_sample = config_.cdf_sample;
+      man.rebalance = config_.rebalance;
+      LI_RETURN_IF_ERROR(w.AddPod("manifest", man));
+      LI_RETURN_IF_ERROR(
+          w.AddArray("bounds", std::span<const key_type>(boundaries),
+                     snapshot::SectionKind::kManifest));
+      std::vector<uint64_t> uids;
+      uids.reserve(slots.size());
+      for (const auto& s : slots) uids.push_back(s->uid);
+      LI_RETURN_IF_ERROR(w.AddArray("uids", std::span<const uint64_t>(uids),
+                                    snapshot::SectionKind::kManifest));
+      LI_RETURN_IF_ERROR(w.AddPod("nextuid", next_uid_));
+      return w.WriteFile(ManifestPath());
+    }
+
+    /// Best-effort removal of one shard's file pair (a retired shard
+    /// after its cutover committed, or an aborted attach).
+    void DropShardFiles(uint64_t uid) const {
+      ::unlink(ShardSnapPath(uid).c_str());
+      ::unlink(ShardWalPath(uid).c_str());
+    }
+
+    /// Recovery hygiene: remove s<uid>.{snap,wal} pairs whose uid the
+    /// MANIFEST does not reference (a rebalance that crashed before its
+    /// commit point) and stale .tmp staging files.
+    void RemoveOrphanShardFiles(const std::vector<uint64_t>& live) const {
+      DIR* d = ::opendir(dur_cfg_.path.c_str());
+      if (d == nullptr) return;
+      std::vector<std::string> doomed;
+      while (struct dirent* e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        const size_t n = name.size();
+        if (n > 4 && name.compare(n - 4, 4, ".tmp") == 0) {
+          doomed.push_back(name);
+          continue;
+        }
+        if (n < 2 || name[0] != 's') continue;
+        uint64_t uid = 0;
+        size_t i = 1;
+        while (i < n && name[i] >= '0' && name[i] <= '9') {
+          uid = uid * 10 + static_cast<uint64_t>(name[i] - '0');
+          ++i;
+        }
+        if (i == 1) continue;  // no digits after 's'
+        const std::string ext = name.substr(i);
+        if (ext != ".snap" && ext != ".wal") continue;
+        if (std::find(live.begin(), live.end(), uid) == live.end()) {
+          doomed.push_back(name);
+        }
+      }
+      ::closedir(d);
+      for (const std::string& name : doomed) {
+        ::unlink((dur_cfg_.path + "/" + name).c_str());
+      }
+    }
+
     /// One split: seal -> snapshot -> build halves -> cutover (replay
     /// catch-up, publish new map). Readers never block; writers to the
     /// splitting shard block only during seal and cutover (brief).
@@ -1003,10 +1406,29 @@ class ShardedIndex {
         Unseal(*old);
         return st;
       }
+      // Durable cutovers serialize with Checkpoint() on durable_mu_ and
+      // give the halves their own snapshot + fresh log *before* any
+      // catch-up record is replayed, so the replay below lands in the
+      // new logs through the ordinary durable write path.
+      std::unique_lock<std::mutex> dlk;
+      if constexpr (kDurabilityCapable) {
+        if (durable_.load(std::memory_order_acquire)) {
+          dlk = std::unique_lock<std::mutex>(durable_mu_);
+          st = AttachShardDurability(*left);
+          if (st.ok()) st = AttachShardDurability(*right);
+          if (!st.ok()) {
+            DropShardFiles(left->uid);
+            DropShardFiles(right->uid);
+            Unseal(*old);
+            return st;
+          }
+        }
+      }
       {
         // Cutover: no writer holds the slot (exclusive lock), so the
-        // catch-up log is complete; replay it into the halves, publish
-        // the new map, retire the old shard.
+        // catch-up log is complete; replay it into the halves, commit
+        // the MANIFEST (durable mode), publish the new map, retire the
+        // old shard.
         std::unique_lock<std::shared_mutex> lk(old->cutover_mu);
         for (const auto& [k, tomb] : old->catchup) {
           Inner& dst = (k < mid) ? left->index : right->index;
@@ -1018,13 +1440,37 @@ class ShardedIndex {
         fresh->boundaries.insert(
             fresh->boundaries.begin() + static_cast<ptrdiff_t>(s), mid);
         fresh->slots = m->slots;
-        fresh->slots[s] = std::move(left);
+        fresh->slots[s] = left;
         fresh->slots.insert(
-            fresh->slots.begin() + static_cast<ptrdiff_t>(s) + 1,
-            std::move(right));
+            fresh->slots.begin() + static_cast<ptrdiff_t>(s) + 1, right);
+        if constexpr (kDurabilityCapable) {
+          if (dlk.owns_lock()) {
+            // Commit point, inside the critical section: sync the
+            // replayed catch-up records, then flip MANIFEST to the new
+            // shard set. No write can be acknowledged against the new
+            // shards until the flip is on disk — a crash on either side
+            // of the rename recovers every acknowledged write.
+            Status dst = left->index.SyncWal();
+            if (dst.ok()) dst = right->index.SyncWal();
+            if (dst.ok()) {
+              dst = WriteManifestLocked(fresh->boundaries, fresh->slots);
+            }
+            if (!dst.ok()) {
+              // Abort: the old shard set stays authoritative (its log
+              // holds every write, catch-up included — dual-write).
+              DropShardFiles(left->uid);
+              DropShardFiles(right->uid);
+              old->sealed = false;  // cutover_mu already held exclusive
+              return dst;
+            }
+          }
+        }
         PublishMap(fresh.release(), m);
         old->retired = true;
         splits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if constexpr (kDurabilityCapable) {
+        if (dlk.owns_lock()) DropShardFiles(old->uid);
       }
       *published = true;
       return Status::OK();
@@ -1047,12 +1493,27 @@ class ShardedIndex {
         snap.insert(snap.end(), upper.begin(), upper.end());
       }
       auto merged = std::make_shared<Slot>();
-      const Status st = merged->index.Build(
+      Status st = merged->index.Build(
           std::span<const key_type>(snap), config_.inner);
       if (!st.ok()) {
         Unseal(*lo);
         Unseal(*hi);
         return st;
+      }
+      // Durable: the merged shard gets its snapshot + fresh log before
+      // the catch-up replay (same protocol as SplitShard).
+      std::unique_lock<std::mutex> dlk;
+      if constexpr (kDurabilityCapable) {
+        if (durable_.load(std::memory_order_acquire)) {
+          dlk = std::unique_lock<std::mutex>(durable_mu_);
+          st = AttachShardDurability(*merged);
+          if (!st.ok()) {
+            DropShardFiles(merged->uid);
+            Unseal(*lo);
+            Unseal(*hi);
+            return st;
+          }
+        }
       }
       {
         // Lock order: always lower shard first (the only multi-lock
@@ -1072,13 +1533,34 @@ class ShardedIndex {
         fresh->boundaries.erase(fresh->boundaries.begin() +
                                 static_cast<ptrdiff_t>(s));
         fresh->slots = m->slots;
-        fresh->slots[s] = std::move(merged);
+        fresh->slots[s] = merged;
         fresh->slots.erase(fresh->slots.begin() +
                            static_cast<ptrdiff_t>(s) + 1);
+        if constexpr (kDurabilityCapable) {
+          if (dlk.owns_lock()) {
+            // Commit point (see SplitShard).
+            Status dst = merged->index.SyncWal();
+            if (dst.ok()) {
+              dst = WriteManifestLocked(fresh->boundaries, fresh->slots);
+            }
+            if (!dst.ok()) {
+              DropShardFiles(merged->uid);
+              lo->sealed = false;  // cutover locks already held exclusive
+              hi->sealed = false;
+              return dst;
+            }
+          }
+        }
         PublishMap(fresh.release(), m);
         lo->retired = true;
         hi->retired = true;
         coalesces_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if constexpr (kDurabilityCapable) {
+        if (dlk.owns_lock()) {
+          DropShardFiles(lo->uid);
+          DropShardFiles(hi->uid);
+        }
       }
       *published = true;
       return Status::OK();
@@ -1179,6 +1661,14 @@ class ShardedIndex {
     std::atomic<uint64_t> splits_{0};
     std::atomic<uint64_t> coalesces_{0};
     std::atomic<uint64_t> maps_published_{0};
+
+    // Durability state. `durable_` flips once (under durable_mu_) and
+    // is read by the worker without it; everything else behind the flag
+    // is touched only with durable_mu_ held.
+    std::atomic<bool> durable_{false};
+    mutable std::mutex durable_mu_;
+    wal::DurabilityConfig dur_cfg_;
+    uint64_t next_uid_ = 0;
   };
 
   std::unique_ptr<Impl> impl_;

@@ -21,6 +21,13 @@
 // Base can be *any* RangeIndex with uint64/double/string keys — the same
 // genericity seam the rest of the library builds on — so a learned RMI, a
 // read-only B-Tree or a lookup table all become writable by wrapping.
+//
+// Durability (index::DurableIndex; docs/DURABILITY.md): with
+// EnableDurability attached, every Insert/Erase appends a CRC-framed
+// record to a write-ahead log *before* touching the delta, WriteSnapshot
+// publishes the covered LSN and truncates the log behind it, and
+// OpenSnapshot + RecoverFromWal replays the tail so a crashed writer
+// resumes at its last acknowledged write instead of the last snapshot.
 
 #ifndef LI_DYNAMIC_DELTA_RANGE_INDEX_H_
 #define LI_DYNAMIC_DELTA_RANGE_INDEX_H_
@@ -28,6 +35,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -43,6 +52,7 @@
 #include "index/snapshottable.h"
 #include "index/writable_range_index.h"
 #include "snapshot/snapshot.h"
+#include "wal/wal.h"
 
 namespace li::dynamic {
 
@@ -87,6 +97,9 @@ class DeltaRangeIndex {
     stats_ = {};
     writes_since_merge_ = 0;
     reads_since_merge_ = 0;
+    wal_.reset();
+    wal_status_ = Status::OK();
+    covered_lsn_ = 0;
     return base_.Build(std::span<const key_type>(base_keys_), config.base);
   }
 
@@ -129,8 +142,10 @@ class DeltaRangeIndex {
 
   // ---- WritableRangeIndex: the write path ----
 
-  /// Buffers an insert; true iff `key` was not live before.
+  /// Buffers an insert; true iff `key` was not live before. With
+  /// durability on, the WAL append happens first (log-then-apply).
   bool Insert(const key_type& key) {
+    WalAppend(wal::WalRecordType::kInsert, key);
     ++stats_.inserts;
     ++writes_since_merge_;
     const auto prev = delta_.Find(key);
@@ -143,6 +158,7 @@ class DeltaRangeIndex {
 
   /// Buffers an erase (tombstone); true iff `key` was live before.
   bool Erase(const key_type& key) {
+    WalAppend(wal::WalRecordType::kErase, key);
     ++stats_.erases;
     ++writes_since_merge_;
     const auto prev = delta_.Find(key);
@@ -279,6 +295,15 @@ class DeltaRangeIndex {
       cfg.policy = config_.policy;
       cfg.active_cap = config_.active_cap;
       LI_RETURN_IF_ERROR(writer.AddPod(prefix + "cfg", cfg));
+      if (wal_ != nullptr) {
+        // Publish the durability watermark: this snapshot reflects every
+        // WAL record up to and including last_lsn, so recovery replays
+        // only what comes after, and WriteSnapshot truncates behind it.
+        wal::WalSnapshotMeta meta;
+        meta.covered_lsn = wal_->stats().last_lsn;
+        snapshot_covered_lsn_ = meta.covered_lsn;
+        LI_RETURN_IF_ERROR(writer.AddPod(prefix + "wal", meta));
+      }
       LI_RETURN_IF_ERROR(
           writer.AddArray(prefix + "keys",
                           std::span<const key_type>(base_keys_),
@@ -339,6 +364,17 @@ class DeltaRangeIndex {
         entries.push_back(DeltaEntry<key_type>{dkeys.value()[i],
                                                (m & 1) != 0, (m & 2) != 0});
       }
+      wal::WalSnapshotMeta meta;  // absent in pre-durability snapshots
+      const Status wal_meta = reader.GetPod(prefix + "wal", &meta);
+      if (wal_meta.ok()) {
+        covered_lsn_ = meta.covered_lsn;
+      } else if (wal_meta.code() == StatusCode::kNotFound) {
+        covered_lsn_ = 0;
+      } else {
+        return wal_meta;
+      }
+      wal_.reset();
+      wal_status_ = Status::OK();
       config_.policy = cfg.policy;
       config_.active_cap = std::max<size_t>(cfg.active_cap, 2);
       if constexpr (requires {
@@ -359,7 +395,14 @@ class DeltaRangeIndex {
   }
 
   Status WriteSnapshot(const std::string& path) const {
-    return index::WriteSnapshotViaSections(*this, path);
+    LI_RETURN_IF_ERROR(index::WriteSnapshotViaSections(*this, path));
+    if (wal_ != nullptr) {
+      // The snapshot file is published (fsync + rename), so the log can
+      // be truncated behind the watermark it covers. A crash between the
+      // two leaves a longer log; replay filters by covered LSN.
+      return wal_->ResetTo(snapshot_covered_lsn_);
+    }
+    return Status::OK();
   }
 
   static Result<DeltaRangeIndex> OpenSnapshot(
@@ -374,6 +417,104 @@ class DeltaRangeIndex {
   const Status& last_auto_merge_status() const {
     return last_auto_merge_status_;
   }
+
+  // ---- Durability (index::DurableIndex; docs/DURABILITY.md) ----
+
+  /// WAL support needs a flat key type (records carry the raw key bytes).
+  static constexpr bool kDurabilityCapable =
+      std::is_trivially_copyable_v<key_type>;
+
+  /// Attach a fresh write-ahead log at cfg.path. Every subsequent
+  /// Insert/Erase appends before applying. Call right after Build (or
+  /// after a snapshot): writes made before enabling are only recoverable
+  /// through a snapshot that contains them.
+  Status EnableDurability(const wal::DurabilityConfig& cfg) {
+    if constexpr (!kDurabilityCapable) {
+      return Status::Unimplemented(
+          "DeltaRangeIndex durability needs a flat key type");
+    } else {
+      if (wal_ != nullptr) {
+        return Status::FailedPrecondition("durability already enabled");
+      }
+      auto w = wal::WalWriter::Create(cfg.path, covered_lsn_,
+                                      sizeof(key_type), cfg);
+      if (!w.ok()) return w.status();
+      wal_ = std::make_unique<wal::WalWriter>(w.take());
+      wal_status_ = Status::OK();
+      return Status::OK();
+    }
+  }
+
+  /// Replay the log at cfg.path on top of the current state (fresh Build
+  /// or OpenSnapshot), applying records past the snapshot's covered LSN,
+  /// then resume logging to the same file. A torn tail is truncated; a
+  /// missing file starts a fresh log. Gap detection: a log whose records
+  /// begin after the snapshot watermark is rejected.
+  Status RecoverFromWal(const wal::DurabilityConfig& cfg) {
+    if constexpr (!kDurabilityCapable) {
+      return Status::Unimplemented(
+          "DeltaRangeIndex durability needs a flat key type");
+    } else {
+      if (wal_ != nullptr) {
+        return Status::FailedPrecondition("durability already enabled");
+      }
+      const uint64_t covered = covered_lsn_;
+      auto replay = wal::Replay(
+          cfg.path,
+          [&](wal::WalRecordType type, uint64_t lsn, const void* payload,
+              size_t len) -> Status {
+            if (len != sizeof(key_type)) {
+              return Status::InvalidArgument("WAL record size mismatch");
+            }
+            if (lsn <= covered) return Status::OK();  // snapshot has it
+            key_type k;
+            std::memcpy(&k, payload, sizeof(k));
+            // wal_ is still null here, so these do not re-log.
+            if (type == wal::WalRecordType::kInsert) {
+              Insert(k);
+            } else {
+              Erase(k);
+            }
+            return Status::OK();
+          });
+      if (!replay.ok()) {
+        if (replay.status().code() == StatusCode::kNotFound) {
+          return EnableDurability(cfg);  // no log yet: start one
+        }
+        return replay.status();
+      }
+      if (replay.value().base_lsn > covered) {
+        return Status::InvalidArgument(
+            "WAL gap: log starts past the snapshot's covered LSN");
+      }
+      auto w = wal::WalWriter::Open(cfg.path, cfg, nullptr);
+      if (!w.ok()) return w.status();
+      wal_ = std::make_unique<wal::WalWriter>(w.take());
+      wal_status_ = Status::OK();
+      if (wal_->stats().last_lsn < covered) {
+        // Stale log older than the snapshot: rotate so LSNs cannot
+        // regress below the watermark.
+        LI_RETURN_IF_ERROR(wal_->ResetTo(covered));
+      }
+      covered_lsn_ = wal_->stats().last_lsn;
+      return Status::OK();
+    }
+  }
+
+  bool durable() const { return wal_ != nullptr; }
+
+  /// Sticky status of the logging path: an append failure poisons the
+  /// log (the in-memory index keeps serving, but durability is lost
+  /// until re-enabled), and callers that need ack-implies-durable check
+  /// this after writes.
+  const Status& wal_status() const { return wal_status_; }
+
+  wal::WalStats DurabilityStats() const {
+    return wal_ != nullptr ? wal_->stats() : wal::WalStats{};
+  }
+
+  /// Flush the group-commit window now (e.g. before a clean shutdown).
+  Status SyncWal() { return wal_ != nullptr ? wal_->Sync() : Status::OK(); }
 
  private:
   struct SnapshotCfg {
@@ -392,6 +533,14 @@ class DeltaRangeIndex {
     const int64_t rank = static_cast<int64_t>(base_.Lookup(key)) +
                          (delta_.empty() ? 0 : delta_.RankAdjustBelow(key));
     return static_cast<size_t>(rank);
+  }
+
+  void WalAppend(wal::WalRecordType type, const key_type& key) {
+    if (wal_ == nullptr) return;
+    if constexpr (kDurabilityCapable) {
+      auto r = wal_->Append(type, &key, sizeof(key));
+      if (!r.ok()) wal_status_ = r.status();
+    }
   }
 
   void MaybeMerge() {
@@ -414,6 +563,11 @@ class DeltaRangeIndex {
   mutable uint64_t writes_since_merge_ = 0;
   mutable uint64_t reads_since_merge_ = 0;
   Status last_auto_merge_status_{};
+  // mutable: WriteSnapshot is const but truncates the log after publish.
+  mutable std::unique_ptr<wal::WalWriter> wal_;
+  Status wal_status_{};
+  uint64_t covered_lsn_ = 0;  // watermark inherited from OpenSnapshot
+  mutable uint64_t snapshot_covered_lsn_ = 0;  // stashed by WriteSections
 };
 
 }  // namespace li::dynamic

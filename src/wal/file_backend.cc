@@ -1,0 +1,128 @@
+#include "wal/file_backend.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace li::wal {
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+Status FullWrite(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  size_t left = n;
+  while (left > 0) {
+    const ssize_t w = ::write(fd, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write"));
+    }
+    p += w;
+    left -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+uint64_t FileSize(int fd) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+class RealFileBackend final : public FileBackend {
+ public:
+  Status Write(int fd, const void* data, size_t n) override {
+    return FullWrite(fd, data, n);
+  }
+  Status Sync(int fd) override {
+    if (::fdatasync(fd) != 0) return Status::Internal(Errno("fdatasync"));
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+FileBackend* DefaultFileBackend() {
+  static RealFileBackend backend;
+  return &backend;
+}
+
+uint64_t CrashFileBackend::SyncedSize(int fd) {
+  auto it = synced_size_.find(fd);
+  if (it == synced_size_.end()) {
+    // First sight of this fd: its current content was created by
+    // Create/rotation, which fsync before publishing — treat as durable.
+    it = synced_size_.emplace(fd, FileSize(fd)).first;
+  }
+  // Clamp: after a rotation the fd number may be reused for a shorter
+  // file; never "truncate" upward past what actually exists.
+  return std::min(it->second, FileSize(fd));
+}
+
+Status CrashFileBackend::Crash(int fd, bool truncate_to_synced) {
+  crashed_ = true;
+  if (truncate_to_synced) {
+    // Drop the un-synced tail: everything written since the last
+    // successful Sync is lost, as if the OS never flushed those pages.
+    (void)::ftruncate(fd, static_cast<off_t>(SyncedSize(fd)));
+  }
+  if (plan_.kill_process) {
+    // SIGKILL self: no atexit handlers, no stream flushes, worker
+    // threads die mid-step — the honest crash the harness wants.
+    ::kill(::getpid(), SIGKILL);
+    ::pause();  // unreachable
+  }
+  return Status::Internal("injected crash");
+}
+
+Status CrashFileBackend::Write(int fd, const void* data, size_t n) {
+  if (crashed_) return Status::Internal("injected crash (log is dead)");
+  SyncedSize(fd);  // adopt pre-existing content before the first append
+  ++writes_;
+  if (plan_.trigger_at != 0 && writes_ == plan_.trigger_at) {
+    switch (plan_.mode) {
+      case Mode::kNone:
+      case Mode::kDropBeforeSync:  // sync-triggered; write normally
+        break;
+      case Mode::kBeforeWrite:
+        return Crash(fd, false);
+      case Mode::kTornWrite: {
+        const size_t torn = std::min(plan_.torn_bytes, n);
+        (void)FullWrite(fd, data, torn);
+        return Crash(fd, false);
+      }
+      case Mode::kDropTail:
+        (void)FullWrite(fd, data, n);
+        return Crash(fd, true);
+      case Mode::kAfterWrite: {
+        LI_RETURN_IF_ERROR(FullWrite(fd, data, n));
+        return Crash(fd, false);
+      }
+    }
+  }
+  return FullWrite(fd, data, n);
+}
+
+Status CrashFileBackend::Sync(int fd) {
+  if (crashed_) return Status::Internal("injected crash (log is dead)");
+  ++syncs_;
+  if (plan_.mode == Mode::kDropBeforeSync && plan_.trigger_at != 0 &&
+      syncs_ == plan_.trigger_at) {
+    // The crash lands "mid-fsync": the caller asked for durability but
+    // the un-synced tail never reached the platter.
+    return Crash(fd, true);
+  }
+  if (::fdatasync(fd) != 0) return Status::Internal(Errno("fdatasync"));
+  synced_size_[fd] = FileSize(fd);
+  return Status::OK();
+}
+
+}  // namespace li::wal

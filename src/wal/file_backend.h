@@ -1,0 +1,94 @@
+// Pluggable file I/O layer for the write-ahead log. Production code uses
+// DefaultFileBackend() (plain write/fdatasync with EINTR handling); the
+// crash-injection harness (tools/crashkit, tests/crash_recovery_test)
+// substitutes CrashFileBackend, which counts record writes and sync
+// calls and, at an armed trigger point, simulates a crash:
+//
+//   kTornWrite  — apply only a prefix of the triggering write (a torn
+//                 record on the tail page), then die
+//   kDropTail   — ftruncate the file back to the last fdatasync'd size
+//                 (un-synced page-cache tail lost, the OS-crash model),
+//                 then die
+//   kDropBeforeSync — same truncation but triggered on the N-th Sync
+//                 call, i.e. a crash that lands "mid-fsync"
+//   kBeforeWrite / kAfterWrite — die on a clean record boundary just
+//                 before / just after the triggering write completes
+//
+// "Die" is SIGKILL by default (no destructors, no flushes — exactly what
+// the recovery path must survive); unit tests set kill_process = false
+// and get a sticky error status instead so the fault layer itself can be
+// tested in-process.
+
+#ifndef LI_WAL_FILE_BACKEND_H_
+#define LI_WAL_FILE_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace li::wal {
+
+/// Append-oriented file I/O. Write() has full-write semantics (loops on
+/// short writes and EINTR); Sync() is fdatasync. One backend instance
+/// may be shared by every WalWriter of a process (the sharded path hands
+/// one to each per-shard log so a single crash plan covers them all).
+class FileBackend {
+ public:
+  virtual ~FileBackend() = default;
+  virtual Status Write(int fd, const void* data, size_t n) = 0;
+  virtual Status Sync(int fd) = 0;
+};
+
+/// Process-wide real-I/O backend (stateless).
+FileBackend* DefaultFileBackend();
+
+/// Fault-injecting backend for crash tests. Tracks the last successfully
+/// synced size per fd (adopting pre-existing file content — which the
+/// writer created with an fsync'd header — as synced on first sight) so
+/// the drop modes can truncate precisely to the durable prefix. Counters
+/// are process-global across all logs sharing the backend; the harness
+/// drives single-writer workloads, so no locking.
+class CrashFileBackend : public FileBackend {
+ public:
+  enum class Mode : int {
+    kNone = 0,        // never trigger (pass-through)
+    kBeforeWrite,     // die before applying the N-th write
+    kAfterWrite,      // die after the N-th write fully completes
+    kTornWrite,       // apply torn_bytes of the N-th write, then die
+    kDropTail,        // on the N-th write: truncate to last synced size, die
+    kDropBeforeSync,  // on the N-th Sync call: truncate to last synced
+                      // size (the fsync "never happened"), die
+  };
+
+  struct Plan {
+    Mode mode = Mode::kNone;
+    uint64_t trigger_at = 0;   // 1-based write (or sync) ordinal
+    size_t torn_bytes = 0;     // kTornWrite: bytes of the write to apply
+    bool kill_process = true;  // false: return sticky kInternal instead
+  };
+
+  explicit CrashFileBackend(Plan plan) : plan_(plan) {}
+
+  Status Write(int fd, const void* data, size_t n) override;
+  Status Sync(int fd) override;
+
+  uint64_t writes() const { return writes_; }
+  uint64_t syncs() const { return syncs_; }
+  bool crashed() const { return crashed_; }
+
+ private:
+  Status Crash(int fd, bool truncate_to_synced);
+  uint64_t SyncedSize(int fd);
+
+  Plan plan_;
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+  bool crashed_ = false;
+  std::unordered_map<int, uint64_t> synced_size_;
+};
+
+}  // namespace li::wal
+
+#endif  // LI_WAL_FILE_BACKEND_H_

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 #include <set>
@@ -38,6 +39,7 @@
 #include "index/range_index.h"
 #include "index/writable_range_index.h"
 #include "rmi/rmi.h"
+#include "wal/wal.h"
 
 // ---- Counting allocator hooks (for the Scan regression) ----
 // External linkage is required for the replacements to take effect; the
@@ -423,6 +425,45 @@ TEST(WritableOracleTest, ShardedWrapperMatchesSet) {
   idx.WaitForMerges();
   EXPECT_GT(idx.Stats().merges, 0u);
   EXPECT_EQ(idx.ConcurrentStats().shards, 4u);
+}
+
+// A WAL-attached DeltaRangeIndex must pass the same oracle stream as the
+// plain one — logging is write-path instrumentation, never a semantic
+// change — and the log it leaves behind must reconstruct the exact final
+// state from the pre-stream snapshot. Merges run throughout, so this
+// also pins that consolidation does not disturb the LSN sequence.
+TEST(WritableOracleTest, WalEnabledDeltaMatchesSetAndRecovers) {
+  const auto keys = SeedKeys(20'000, 17);
+  dynamic::MergePolicy policy;
+  policy.min_delta_entries = 512;
+  policy.max_delta_entries = 1024;
+  DeltaRmi idx;
+  ASSERT_TRUE(idx.Build(keys, RmiConfigFor(keys.size(), policy, 64)).ok());
+
+  const std::string base = ::testing::TempDir() + "li_conf_wal_base.snap";
+  wal::DurabilityConfig dcfg;
+  dcfg.path = ::testing::TempDir() + "li_conf_wal.log";
+  dcfg.fsync_every_n = 64;  // group commit; stream correctness is sync-free
+  ASSERT_TRUE(idx.WriteSnapshot(base).ok());
+  ASSERT_TRUE(idx.EnableDurability(dcfg).ok());
+
+  std::set<uint64_t> oracle(keys.begin(), keys.end());
+  RunOracleStream(idx, oracle, 12'000, 107, 2'000'000'000, false);
+  EXPECT_GT(idx.Stats().merges, 0u);
+  ASSERT_TRUE(idx.wal_status().ok());
+  ASSERT_TRUE(idx.SyncWal().ok());
+  EXPECT_GT(idx.DurabilityStats().appends, 0u);
+
+  // Recovery equivalence: snapshot + full replay == the live index.
+  auto reopened = DeltaRmi::OpenSnapshot(base);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  DeltaRmi rec = reopened.take();
+  ASSERT_TRUE(rec.RecoverFromWal(dcfg).ok());
+  const std::vector<uint64_t> ref(oracle.begin(), oracle.end());
+  EXPECT_EQ(rec.size(), ref.size());
+  EXPECT_EQ(rec.Scan(0, ref.size() + 10), ref);
+  std::remove(base.c_str());
+  std::remove(dcfg.path.c_str());
 }
 
 // ---- Scan allocation regression ----

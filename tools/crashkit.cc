@@ -1,0 +1,359 @@
+// crashkit — the crash-injection workload driver behind
+// tests/crash_recovery_test.cc (and usable by hand; see
+// docs/DURABILITY.md, "crash matrix").
+//
+// Two subcommands share one deterministic workload definition, so the
+// child that dies and the verifier that judges the wreckage can never
+// disagree about what the acknowledged history was:
+//
+//   crashkit child --mode=M --dir=D --seed=S --ops=N [--crash-mode=C]
+//                  [--trigger=T] [--torn-bytes=B] [--fsync-every=F]
+//                  [--checkpoint-every=K]
+//     Builds a base index, enables durability, then applies the seeded
+//     op stream. After each op is acknowledged by the index it appends
+//     one byte to D/journal — the ack record the verifier replays
+//     against. A CrashFileBackend armed with (C, T) SIGKILLs the
+//     process from inside the log's write path: no destructors, no
+//     flushes, exactly the state a real crash leaves. Exits 0 if the
+//     stream completes without the trigger firing.
+//
+//   crashkit verify --mode=M --dir=D --seed=S --ops=N
+//     Recovers the index from D (snapshot + WAL replay), re-derives the
+//     op stream from the seed, reads m = size(D/journal), and demands
+//     the recovered live set equal the oracle after m or m+1 ops — the
+//     child was single-threaded, so at most one op can be in flight
+//     (appended but not yet journaled) at the kill. Every acknowledged
+//     write present, no torn record applied, clean Status throughout.
+//     Exit 0 = verified, 2 = divergence (a durability bug), 3 = error.
+//
+// Crash modes map to CrashFileBackend: none, before, after, torn,
+// droptail, midsync. The droptail/midsync legs model an OS crash (the
+// un-fsync'd page cache dies too) and are only sound with
+// --fsync-every=1, where acknowledged implies synced; the SIGKILL-only
+// legs exercise group commit at any --fsync-every.
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "concurrent/concurrent_writable_index.h"
+#include "concurrent/sharded_index.h"
+#include "data/datasets.h"
+#include "dynamic/delta_range_index.h"
+#include "rmi/rmi.h"
+#include "wal/file_backend.h"
+#include "wal/wal.h"
+
+namespace li {
+namespace {
+
+using DeltaRmi = dynamic::DeltaRangeIndex<rmi::LinearRmi>;
+using ConcRmi = concurrent::ConcurrentWritableIndex<rmi::LinearRmi>;
+using ShardedRmi = concurrent::ShardedIndex<ConcRmi>;
+
+constexpr size_t kBaseKeys = 20'000;
+constexpr uint64_t kKeySpace = 1ULL << 26;  // dense enough for erase hits
+
+struct Options {
+  std::string cmd;
+  std::string mode = "delta";  // delta | conc | sharded
+  std::string dir;
+  uint64_t seed = 1;
+  uint64_t ops = 2'000;
+  std::string crash_mode = "none";
+  uint64_t trigger = 0;
+  size_t torn_bytes = 11;
+  size_t fsync_every = 1;
+  uint64_t checkpoint_every = 0;
+};
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "crashkit: %s\n", msg.c_str());
+  std::exit(3);
+}
+
+void CheckOk(const Status& st, const char* what) {
+  if (!st.ok()) Die(std::string(what) + ": " + std::string(st.message()));
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+Options Parse(int argc, char** argv) {
+  if (argc < 2) Die("usage: crashkit child|verify --mode=... --dir=...");
+  Options o;
+  o.cmd = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (ParseFlag(arg, "mode", &o.mode)) continue;
+    if (ParseFlag(arg, "dir", &o.dir)) continue;
+    if (ParseFlag(arg, "crash-mode", &o.crash_mode)) continue;
+    if (ParseFlag(arg, "seed", &v)) { o.seed = std::strtoull(v.c_str(), nullptr, 10); continue; }
+    if (ParseFlag(arg, "ops", &v)) { o.ops = std::strtoull(v.c_str(), nullptr, 10); continue; }
+    if (ParseFlag(arg, "trigger", &v)) { o.trigger = std::strtoull(v.c_str(), nullptr, 10); continue; }
+    if (ParseFlag(arg, "torn-bytes", &v)) { o.torn_bytes = std::strtoull(v.c_str(), nullptr, 10); continue; }
+    if (ParseFlag(arg, "fsync-every", &v)) { o.fsync_every = std::strtoull(v.c_str(), nullptr, 10); continue; }
+    if (ParseFlag(arg, "checkpoint-every", &v)) { o.checkpoint_every = std::strtoull(v.c_str(), nullptr, 10); continue; }
+    Die("unknown flag: " + arg);
+  }
+  if (o.dir.empty()) Die("--dir is required");
+  return o;
+}
+
+wal::CrashFileBackend::Mode CrashModeOf(const std::string& name) {
+  if (name == "none") return wal::CrashFileBackend::Mode::kNone;
+  if (name == "before") return wal::CrashFileBackend::Mode::kBeforeWrite;
+  if (name == "after") return wal::CrashFileBackend::Mode::kAfterWrite;
+  if (name == "torn") return wal::CrashFileBackend::Mode::kTornWrite;
+  if (name == "droptail") return wal::CrashFileBackend::Mode::kDropTail;
+  if (name == "midsync") return wal::CrashFileBackend::Mode::kDropBeforeSync;
+  Die("unknown --crash-mode: " + name);
+}
+
+// ---- The shared workload definition ----
+// One op: draw a key, then an action (1-in-4 erase). The rng consumption
+// order here IS the protocol — child and verifier both call this.
+
+struct Op {
+  uint64_t key;
+  bool erase;
+};
+
+Op NextOp(Xorshift128Plus& rng) {
+  Op op;
+  op.key = rng.NextBounded(kKeySpace);
+  op.erase = rng.NextBounded(4) == 0;
+  return op;
+}
+
+std::vector<uint64_t> BaseKeys(uint64_t seed) {
+  auto keys = data::GenLognormal(kBaseKeys, seed);
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+std::string SnapPath(const Options& o) { return o.dir + "/base.snap"; }
+std::string WalPath(const Options& o) { return o.dir + "/log.wal"; }
+std::string ShardDir(const Options& o) { return o.dir + "/shards"; }
+std::string JournalPath(const Options& o) { return o.dir + "/journal"; }
+
+ShardedRmi::Config ShardedConfig() {
+  ShardedRmi::Config cfg;
+  cfg.num_shards = 3;
+  cfg.inner.base.num_leaf_models = 64;
+  // Rebalancing on, with thresholds low enough that a long child run
+  // crosses a split — crash points inside the cutover protocol are part
+  // of the matrix, not a special case.
+  cfg.rebalance.enabled = true;
+  cfg.rebalance.max_imbalance = 1.5;
+  cfg.rebalance.min_split_keys = 2'048;
+  cfg.rebalance.check_stride = 256;
+  return cfg;
+}
+
+// ---- child ----
+
+int RunChild(const Options& o) {
+  if (::mkdir(o.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    Die("mkdir " + o.dir + ": " + std::strerror(errno));
+  }
+  wal::CrashFileBackend::Plan plan;
+  plan.mode = CrashModeOf(o.crash_mode);
+  plan.trigger_at = o.trigger;
+  plan.torn_bytes = o.torn_bytes;
+  plan.kill_process = true;  // SIGKILL from inside the write path
+  wal::CrashFileBackend backend(plan);
+
+  wal::DurabilityConfig dcfg;
+  dcfg.fsync_every_n = o.fsync_every;
+  dcfg.backend = &backend;
+
+  const auto base = BaseKeys(o.seed);
+
+  DeltaRmi delta;
+  ConcRmi conc;
+  ShardedRmi sharded;
+  if (o.mode == "delta") {
+    DeltaRmi::Config cfg;
+    cfg.base.num_leaf_models = 64;
+    CheckOk(delta.Build(base, cfg), "build");
+    CheckOk(delta.WriteSnapshot(SnapPath(o)), "base snapshot");
+    dcfg.path = WalPath(o);
+    CheckOk(delta.EnableDurability(dcfg), "enable durability");
+  } else if (o.mode == "conc") {
+    ConcRmi::Config cfg;
+    cfg.base.num_leaf_models = 64;
+    CheckOk(conc.Build(base, cfg), "build");
+    CheckOk(conc.WriteSnapshot(SnapPath(o)), "base snapshot");
+    dcfg.path = WalPath(o);
+    CheckOk(conc.EnableDurability(dcfg), "enable durability");
+  } else if (o.mode == "sharded") {
+    CheckOk(sharded.Build(base, ShardedConfig()), "build");
+    dcfg.path = ShardDir(o);
+    CheckOk(sharded.EnableDurability(dcfg), "enable durability");
+  } else {
+    Die("unknown --mode: " + o.mode);
+  }
+
+  // The ack journal: one byte appended after each op returns. No fsync —
+  // the injected crashes never touch this fd, and the SIGKILL model
+  // keeps the page cache alive.
+  const int jfd = ::open(JournalPath(o).c_str(),
+                         O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (jfd < 0) Die("open journal: " + std::string(std::strerror(errno)));
+
+  Xorshift128Plus rng(o.seed * 7919 + 1);
+  for (uint64_t i = 0; i < o.ops; ++i) {
+    const Op op = NextOp(rng);
+    // The index call either returns (acknowledged — the WAL append
+    // succeeded) or never comes back (the backend killed us).
+    if (o.mode == "delta") {
+      op.erase ? delta.Erase(op.key) : delta.Insert(op.key);
+      CheckOk(delta.wal_status(), "wal_status");
+    } else if (o.mode == "conc") {
+      op.erase ? conc.Erase(op.key) : conc.Insert(op.key);
+      CheckOk(conc.wal_status(), "wal_status");
+    } else {
+      op.erase ? sharded.Erase(op.key) : sharded.Insert(op.key);
+      CheckOk(sharded.wal_status(), "wal_status");
+    }
+    if (::write(jfd, "a", 1) != 1) Die("journal append failed");
+    if (o.checkpoint_every != 0 && (i + 1) % o.checkpoint_every == 0) {
+      if (o.mode == "delta") {
+        CheckOk(delta.WriteSnapshot(SnapPath(o)), "checkpoint");
+      } else if (o.mode == "conc") {
+        CheckOk(conc.WriteSnapshot(SnapPath(o)), "checkpoint");
+      } else {
+        CheckOk(sharded.Checkpoint(), "checkpoint");
+      }
+    }
+  }
+  // Stream completed without the trigger firing; quiesce so the verify
+  // pass (or a rerun with a later trigger) sees a clean end state.
+  if (o.mode == "sharded") sharded.WaitForRebalances();
+  ::close(jfd);
+  return 0;
+}
+
+// ---- verify ----
+
+int64_t FileBytes(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<int64_t>(st.st_size)
+                                        : -1;
+}
+
+int Mismatch(const std::string& what, uint64_t m, size_t got,
+             size_t want_m, size_t want_m1) {
+  std::fprintf(stderr,
+               "crashkit: DIVERGENCE (%s): journal acked %llu ops, "
+               "recovered %zu live keys, oracle wants %zu (m) or %zu "
+               "(m+1)\n",
+               what.c_str(), static_cast<unsigned long long>(m), got,
+               want_m, want_m1);
+  return 2;
+}
+
+int RunVerify(const Options& o) {
+  const int64_t m_bytes = FileBytes(JournalPath(o));
+  if (m_bytes < 0) Die("no journal at " + JournalPath(o));
+  const uint64_t m = static_cast<uint64_t>(m_bytes);
+  if (m > o.ops) Die("journal acked more ops than the stream holds");
+
+  // Oracle after m ops, and the one-op lookahead (the in-flight op the
+  // crash may or may not have persisted past the ack point).
+  const auto base = BaseKeys(o.seed);
+  std::set<uint64_t> oracle(base.begin(), base.end());
+  Xorshift128Plus rng(o.seed * 7919 + 1);
+  for (uint64_t i = 0; i < m; ++i) {
+    const Op op = NextOp(rng);
+    op.erase ? (void)oracle.erase(op.key) : (void)oracle.insert(op.key);
+  }
+  const std::vector<uint64_t> want_m(oracle.begin(), oracle.end());
+  std::vector<uint64_t> want_m1 = want_m;
+  if (m < o.ops) {
+    const Op op = NextOp(rng);
+    op.erase ? (void)oracle.erase(op.key) : (void)oracle.insert(op.key);
+    want_m1.assign(oracle.begin(), oracle.end());
+  }
+
+  // Recover. Every Status must be clean: a torn tail is a normal
+  // outcome, never an error, never UB.
+  std::vector<uint64_t> got;
+  if (o.mode == "delta" || o.mode == "conc") {
+    wal::DurabilityConfig dcfg;
+    dcfg.path = WalPath(o);
+    dcfg.fsync_every_n = o.fsync_every;
+    if (o.mode == "delta") {
+      auto re = DeltaRmi::OpenSnapshot(SnapPath(o));
+      if (!re.ok()) Die("open snapshot: " + std::string(re.status().message()));
+      DeltaRmi rec = re.take();
+      CheckOk(rec.RecoverFromWal(dcfg), "recover");
+      got = rec.Scan(0, rec.size() + 16);
+    } else {
+      auto re = ConcRmi::OpenSnapshot(SnapPath(o));
+      if (!re.ok()) Die("open snapshot: " + std::string(re.status().message()));
+      ConcRmi rec = re.take();
+      CheckOk(rec.RecoverFromWal(dcfg), "recover");
+      got = rec.Scan(0, rec.size() + 16);
+    }
+  } else if (o.mode == "sharded") {
+    wal::DurabilityConfig dcfg;
+    dcfg.path = ShardDir(o);
+    dcfg.fsync_every_n = o.fsync_every;
+    auto re = ShardedRmi::RecoverDurable(dcfg);
+    if (!re.ok()) Die("recover: " + std::string(re.status().message()));
+    ShardedRmi rec = re.take();
+    got = rec.Scan(0, rec.size() + 16);
+  } else {
+    Die("unknown --mode: " + o.mode);
+  }
+
+  if (got != want_m && got != want_m1) {
+    // Pinpoint the first divergence for the bug report.
+    const std::vector<uint64_t>& close =
+        (got.size() == want_m1.size()) ? want_m1 : want_m;
+    for (size_t i = 0; i < std::min(got.size(), close.size()); ++i) {
+      if (got[i] != close[i]) {
+        std::fprintf(stderr,
+                     "crashkit: first divergence at rank %zu: got %llu "
+                     "want %llu\n",
+                     i, static_cast<unsigned long long>(got[i]),
+                     static_cast<unsigned long long>(close[i]));
+        break;
+      }
+    }
+    return Mismatch(o.mode, m, got.size(), want_m.size(), want_m1.size());
+  }
+  std::printf("crashkit: verified mode=%s m=%llu live=%zu (%s)\n",
+              o.mode.c_str(), static_cast<unsigned long long>(m),
+              got.size(), got == want_m ? "exact" : "one in flight");
+  return 0;
+}
+
+}  // namespace
+}  // namespace li
+
+int main(int argc, char** argv) {
+  const li::Options o = li::Parse(argc, argv);
+  if (o.cmd == "child") return li::RunChild(o);
+  if (o.cmd == "verify") return li::RunVerify(o);
+  li::Die("unknown subcommand: " + o.cmd);
+}
