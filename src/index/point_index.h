@@ -40,8 +40,9 @@
 //     Const-safe.
 //
 // Thread-safety baseline: const members are safe from many threads after
-// Build; there is no concurrent point-write path yet (the concurrent
-// subsystem covers the range/writable classes).
+// Build. The concurrent write path lives one contract over:
+// index::ConcurrentWritablePointIndex (concurrent_point_index.h) wraps
+// these same map families behind epoch-pinned copy-out reads.
 //
 // This is what lets the LIF synthesizer (§3.1) enumerate point-index
 // candidates uniformly (via AnyPointIndex), the §4 benches compare map

@@ -1,0 +1,424 @@
+// ThreadSanitizer-able stress suite for the concurrent point-index write
+// path: N writer + M reader threads drive ConcurrentPointIndex over every
+// base family against a mutex-guarded std::unordered_map oracle.
+//
+// The payload discipline makes lock-free reads verifiable mid-race: every
+// writer stores payload = PayloadOf(key), so whatever version a racing
+// reader lands on, a successful Find must return exactly that payload —
+// a torn read, a stale pointer into a retired version, or a half-folded
+// overlay entry shows up as a payload mismatch without any locking.
+//
+// Serialized phases apply each op to the index and the oracle under one
+// mutex, so the oracle's op order equals the index's writer-serialization
+// order and the Insert/Upsert/Erase liveness booleans must match
+// op-for-op. Unserialized phases race writers directly on disjoint
+// strided key ranges (contended writer mutex, freeze folds racing
+// appends, background rehashes mid-burst) and verify post-hoc. The
+// rehash-storm phase forces back-to-back full rebuilds — the chained
+// bases resize through their slots-per-record ratio, the cuckoo base
+// (seeded at load factor 0.99) re-runs its kick chains and placement
+// fallback — while readers hammer the epoch-protected publish path.
+//
+// Thread failures are recorded, never asserted off-thread (gtest asserts
+// are not thread-safe), and re-raised on the main thread. All seeds run
+// through tests/test_seed.h, so LI_TEST_SEED=<n> sweeps fresh schedules.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "concurrent/concurrent_point_index.h"
+#include "data/datasets.h"
+#include "hash/chained_hash_map.h"
+#include "hash/cuckoo_map.h"
+#include "hash/inplace_chained_map.h"
+#include "hash/record.h"
+#include "test_seed.h"
+
+namespace li {
+namespace {
+
+using ConcChained = concurrent::ConcurrentPointIndex<hash::ChainedHashMap>;
+using ConcInplace = concurrent::ConcurrentPointIndex<hash::InplaceChainedMap>;
+using ConcCuckoo =
+    concurrent::ConcurrentPointIndex<hash::CuckooMap<hash::Record>>;
+
+constexpr uint64_t kKeySpace = 400'000'000;
+
+/// The invariant payload: writers only ever store this, so any
+/// successful read can be checked against it without consulting an
+/// oracle (and therefore without locks).
+uint64_t PayloadOf(uint64_t key) { return key * 0x9E3779B97F4A7C15ULL + 1; }
+
+/// First failure observed by any thread; asserted on the main thread.
+class FailureLog {
+ public:
+  void Record(const std::string& msg) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (first_.empty()) first_ = msg;
+  }
+  bool ok() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return first_.empty();
+  }
+  std::string first() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string first_;
+};
+
+std::vector<hash::Record> SeedRecords(size_t n, uint64_t seed) {
+  const auto keys = data::GenUniform(n, seed, kKeySpace);
+  std::vector<hash::Record> records;
+  records.reserve(keys.size());
+  for (const uint64_t k : keys) records.push_back({k, PayloadOf(k), 0});
+  return records;
+}
+
+/// One writer's workload for one round: ops applied to index + oracle
+/// under the oracle mutex; liveness booleans cross-checked op-for-op.
+template <typename Idx>
+void WriterBody(Idx& idx, std::unordered_map<uint64_t, uint64_t>& oracle,
+                std::mutex& oracle_mu, FailureLog& log, uint64_t seed,
+                size_t ops) {
+  Xorshift128Plus rng(seed);
+  for (size_t i = 0; i < ops && log.ok(); ++i) {
+    const uint64_t k = rng.NextBounded(kKeySpace);
+    const uint64_t dice = rng.NextBounded(4);
+    std::lock_guard<std::mutex> lk(oracle_mu);
+    if (dice == 0) {
+      const bool got = idx.Erase(k);
+      const bool want = oracle.erase(k) > 0;
+      if (got != want) {
+        log.Record("Erase(" + std::to_string(k) + ") returned " +
+                   std::to_string(got) + ", oracle says " +
+                   std::to_string(want));
+        return;
+      }
+    } else if (dice == 1) {
+      // Upsert: true iff the key was absent; payload stays invariant.
+      const bool got = idx.Upsert({k, PayloadOf(k), 0});
+      const bool want = oracle.emplace(k, PayloadOf(k)).second;
+      if (got != want) {
+        log.Record("Upsert(" + std::to_string(k) + ") returned " +
+                   std::to_string(got) + ", oracle says " +
+                   std::to_string(want));
+        return;
+      }
+    } else {
+      const bool got = idx.Insert({k, PayloadOf(k), 0});
+      const bool want = oracle.emplace(k, PayloadOf(k)).second;
+      if (got != want) {
+        log.Record("Insert(" + std::to_string(k) + ") returned " +
+                   std::to_string(got) + ", oracle says " +
+                   std::to_string(want));
+        return;
+      }
+    }
+  }
+}
+
+/// Free-running reader: invariants that hold at any instant, even with
+/// writes and rehashes in flight — a found record carries exactly the
+/// probed key and its invariant payload, through Find and FindBatch.
+template <typename Idx>
+void ReaderBody(const Idx& idx, const std::atomic<bool>& stop,
+                FailureLog& log, uint64_t seed,
+                std::atomic<uint64_t>& ops_done) {
+  Xorshift128Plus rng(seed);
+  uint64_t local_ops = 0;
+  std::vector<uint64_t> batch(32);
+  std::vector<hash::Record> recs(32);
+  std::vector<uint8_t> found(32);
+  while (!stop.load(std::memory_order_relaxed) && log.ok()) {
+    const uint64_t q = rng.NextBounded(kKeySpace);
+    hash::Record rec{};
+    if (idx.Find(q, &rec)) {
+      if (rec.key != q || rec.payload != PayloadOf(q)) {
+        log.Record("Find(" + std::to_string(q) + ") returned key " +
+                   std::to_string(rec.key) + " payload " +
+                   std::to_string(rec.payload) + " — torn or stale read");
+        return;
+      }
+    }
+    if ((local_ops & 63) == 0) {
+      for (uint64_t& b : batch) b = rng.NextBounded(kKeySpace);
+      idx.FindBatch(batch, recs, found);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (found[i] != 0 && (recs[i].key != batch[i] ||
+                              recs[i].payload != PayloadOf(batch[i]))) {
+          log.Record("FindBatch slot " + std::to_string(i) +
+                     " violated the payload invariant");
+          return;
+        }
+      }
+    }
+    ++local_ops;
+  }
+  ops_done.fetch_add(local_ops, std::memory_order_relaxed);
+}
+
+/// Quiesced-writer snapshot check: exact equivalence with the oracle.
+/// Readers may still be running — reads must stay exact because no write
+/// is in flight, whatever the background rehasher is doing.
+template <typename Idx>
+void VerifySnapshot(const Idx& idx,
+                    const std::unordered_map<uint64_t, uint64_t>& oracle,
+                    uint64_t seed, int round) {
+  ASSERT_EQ(idx.num_records(), oracle.size()) << "round " << round;
+  Xorshift128Plus rng(seed);
+  std::vector<uint64_t> probes;
+  // Random probes (mostly absent) plus a slice of live oracle keys.
+  for (int p = 0; p < 400; ++p) probes.push_back(rng.NextBounded(kKeySpace));
+  size_t taken = 0;
+  for (const auto& [k, v] : oracle) {
+    probes.push_back(k);
+    if (++taken == 400) break;
+  }
+  std::vector<hash::Record> recs(probes.size());
+  std::vector<uint8_t> found(probes.size(), 2);
+  idx.FindBatch(probes, recs, found);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const uint64_t q = probes[i];
+    hash::Record rec{};
+    const bool hit = idx.Find(q, &rec);
+    const auto it = oracle.find(q);
+    ASSERT_EQ(hit, it != oracle.end()) << "round " << round << " probe " << q;
+    if (hit) {
+      ASSERT_EQ(rec.payload, it->second) << "round " << round << " q=" << q;
+    }
+    ASSERT_EQ(found[i] != 0, hit) << "round " << round << " batch q=" << q;
+    if (found[i] != 0) {
+      ASSERT_EQ(recs[i].payload, rec.payload)
+          << "round " << round << " batch q=" << q;
+    }
+  }
+}
+
+template <typename Idx>
+void RunStress(Idx& idx, const std::vector<hash::Record>& base,
+               size_t writers, size_t readers, size_t ops_per_writer,
+               int rounds, uint64_t seed) {
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  for (const hash::Record& r : base) oracle.emplace(r.key, r.payload);
+  std::mutex oracle_mu;
+  FailureLog log;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_ops{0};
+
+  std::vector<std::thread> reader_threads;
+  for (size_t r = 0; r < readers; ++r) {
+    reader_threads.emplace_back(
+        [&, r] { ReaderBody(idx, stop, log, seed * 977 + r, read_ops); });
+  }
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::thread> writer_threads;
+    for (size_t w = 0; w < writers; ++w) {
+      writer_threads.emplace_back([&, w, round] {
+        WriterBody(idx, oracle, oracle_mu, log,
+                   seed + static_cast<uint64_t>(round) * 131 + w * 17,
+                   ops_per_writer);
+      });
+    }
+    for (std::thread& t : writer_threads) t.join();
+    ASSERT_TRUE(log.ok()) << log.first();
+    // Periodic linearizable snapshot check, readers still hammering.
+    VerifySnapshot(idx, oracle, seed ^ (round + 1), round);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  stop.store(true);
+  for (std::thread& t : reader_threads) t.join();
+  ASSERT_TRUE(log.ok()) << log.first();
+  // Final quiesce: drain rehashes, re-verify, and check the gauges.
+  idx.WaitForRebuilds();
+  ASSERT_TRUE(idx.last_rebuild_status().ok())
+      << idx.last_rebuild_status().message();
+  VerifySnapshot(idx, oracle, seed ^ 0xabcd, rounds);
+  EXPECT_GT(read_ops.load(), 0u);
+}
+
+TEST(ConcurrentPointStressTest, ChainedUnderWriteStorm) {
+  const auto base = SeedRecords(20'000, testing::TestSeed(8101));
+  ConcChained::Config cfg;
+  cfg.base.num_slots = base.size() / 2;  // undersized: chains + resizes
+  cfg.base.hash.seed = 11;
+  cfg.log_cap = 128;           // frequent freezes
+  cfg.rebuild_entries = 1024;  // frequent background rehashes
+  ConcChained idx;
+  ASSERT_TRUE(idx.Build(base, cfg).ok());
+  RunStress(idx, base, /*writers=*/3, /*readers=*/2,
+            /*ops_per_writer=*/2'000, /*rounds=*/3,
+            testing::TestSeed(1001));
+  const auto cs = idx.ConcurrentStats();
+  EXPECT_GT(cs.freezes, 0u);
+  EXPECT_GT(cs.background_merges, 0u);
+  EXPECT_EQ(cs.states_retired, cs.states_published);
+}
+
+TEST(ConcurrentPointStressTest, InplaceChainedUnderWriteStorm) {
+  const auto base = SeedRecords(20'000, testing::TestSeed(8103));
+  ConcInplace::Config cfg;
+  cfg.base.hash.seed = 13;
+  cfg.log_cap = 128;
+  cfg.rebuild_entries = 1024;
+  ConcInplace idx;
+  ASSERT_TRUE(idx.Build(base, cfg).ok());
+  RunStress(idx, base, /*writers=*/3, /*readers=*/2,
+            /*ops_per_writer=*/2'000, /*rounds=*/3,
+            testing::TestSeed(2002));
+  EXPECT_GT(idx.ConcurrentStats().background_merges, 0u);
+}
+
+TEST(ConcurrentPointStressTest, CuckooKickChainsUnderWriteStorm) {
+  const auto base = SeedRecords(20'000, testing::TestSeed(8107));
+  ConcCuckoo::Config cfg;
+  cfg.base.load_factor = 0.99;  // deep kick chains; fallback on failure
+  cfg.log_cap = 128;
+  cfg.rebuild_entries = 1024;
+  ConcCuckoo idx;
+  ASSERT_TRUE(idx.Build(base, cfg).ok());
+  RunStress(idx, base, /*writers=*/3, /*readers=*/2,
+            /*ops_per_writer=*/2'000, /*rounds=*/3,
+            testing::TestSeed(3003));
+  EXPECT_GT(idx.ConcurrentStats().background_merges, 0u);
+}
+
+/// Writers with NO external serialization — Insert/Upsert/Erase race each
+/// other directly on disjoint strided key ranges, so returns must be
+/// exact even under contention and the final state is verifiable post-hoc
+/// without any locking during the run.
+template <typename Idx>
+void RunUnserializedWriters(Idx& idx, const std::vector<hash::Record>& base,
+                            uint64_t seed) {
+  constexpr size_t kWriters = 4;
+  constexpr size_t kPerWriter = 4'000;
+  const uint64_t lo = kKeySpace + 1;  // own range: never collides with base
+  FailureLog log;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_ops{0};
+  std::vector<std::thread> pool;
+  for (uint64_t r = 0; r < 2; ++r) {
+    pool.emplace_back(
+        [&, r] { ReaderBody(idx, stop, log, seed * 31 + r, read_ops); });
+  }
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Insert the strided range, then erase every third own key.
+      for (size_t i = 0; i < kPerWriter; ++i) {
+        const uint64_t k = lo + w + kWriters * i;
+        if (!idx.Insert({k, PayloadOf(k), 0})) {
+          log.Record("Insert of owned key returned false");
+          return;
+        }
+      }
+      for (size_t i = 0; i < kPerWriter; i += 3) {
+        const uint64_t k = lo + w + kWriters * i;
+        if (!idx.Erase(k)) {
+          log.Record("Erase of owned live key returned false");
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  for (std::thread& t : pool) t.join();
+  ASSERT_TRUE(log.ok()) << log.first();
+  idx.WaitForRebuilds();
+  // Post-hoc oracle: base plus every owned key that survived its erase.
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  for (const hash::Record& r : base) oracle.emplace(r.key, r.payload);
+  for (size_t w = 0; w < kWriters; ++w) {
+    for (size_t i = 0; i < kPerWriter; ++i) {
+      if (i % 3 != 0) {
+        const uint64_t k = lo + w + kWriters * i;
+        oracle.emplace(k, PayloadOf(k));
+      }
+    }
+  }
+  VerifySnapshot(idx, oracle, seed ^ 0xfeed, 0);
+}
+
+TEST(ConcurrentPointStressTest, UnserializedWritersRaceChained) {
+  const auto base = SeedRecords(10'000, testing::TestSeed(8111));
+  ConcChained::Config cfg;
+  cfg.base.num_slots = base.size();
+  cfg.base.hash.seed = 17;
+  cfg.log_cap = 128;
+  cfg.rebuild_entries = 2048;
+  ConcChained idx;
+  ASSERT_TRUE(idx.Build(base, cfg).ok());
+  RunUnserializedWriters(idx, base, testing::TestSeed(4004));
+  EXPECT_GT(idx.ConcurrentStats().writer_contended +
+                idx.ConcurrentStats().freezes,
+            0u);
+}
+
+TEST(ConcurrentPointStressTest, UnserializedWritersRaceCuckoo) {
+  const auto base = SeedRecords(10'000, testing::TestSeed(8117));
+  ConcCuckoo::Config cfg;
+  cfg.base.load_factor = 0.99;
+  cfg.log_cap = 128;
+  cfg.rebuild_entries = 2048;
+  ConcCuckoo idx;
+  ASSERT_TRUE(idx.Build(base, cfg).ok());
+  RunUnserializedWriters(idx, base, testing::TestSeed(5005));
+}
+
+TEST(ConcurrentPointStressTest, ReadersSurviveARehashStorm) {
+  // Rehashes forced back-to-back while readers run: exercises the
+  // rotate/build/publish pipeline and epoch reclamation under constant
+  // version churn — the race S4's SIMD legs probe from the kernel side.
+  const auto base = SeedRecords(30'000, testing::TestSeed(8123));
+  ConcChained::Config cfg;
+  cfg.base.num_slots = base.size();
+  cfg.base.hash.seed = 19;
+  cfg.log_cap = 256;
+  cfg.rebuild_entries = 0;  // manual trigger only
+  ConcChained idx;
+  ASSERT_TRUE(idx.Build(base, cfg).ok());
+
+  FailureLog log;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> read_ops{0};
+  const uint64_t seed = testing::TestSeed(6006);
+  std::vector<std::thread> readers;
+  for (uint64_t r = 0; r < 2; ++r) {
+    readers.emplace_back(
+        [&, r] { ReaderBody(idx, stop, log, seed * 13 + r, read_ops); });
+  }
+  Xorshift128Plus rng(seed ^ 0x771);
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  for (const hash::Record& r : base) oracle.emplace(r.key, r.payload);
+  for (int storm = 0; storm < 25; ++storm) {
+    for (int i = 0; i < 400; ++i) {
+      const uint64_t k = rng.NextBounded(kKeySpace);
+      ASSERT_EQ(idx.Insert({k, PayloadOf(k), 0}),
+                oracle.emplace(k, PayloadOf(k)).second);
+    }
+    ASSERT_TRUE(idx.Rebuild().ok());
+    ASSERT_EQ(idx.ConcurrentStats().delta_entries, 0u);
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  ASSERT_TRUE(log.ok()) << log.first();
+  VerifySnapshot(idx, oracle, seed ^ 0xbeef, 0);
+  const auto cs = idx.ConcurrentStats();
+  EXPECT_GE(cs.merges, 25u);
+  EXPECT_GT(cs.states_reclaimed, 0u);
+}
+
+}  // namespace
+}  // namespace li

@@ -32,6 +32,7 @@
 #include "data/datasets.h"
 #include "lif/measure.h"
 #include "rmi/rmi.h"
+#include "test_seed.h"
 
 namespace li {
 namespace {
@@ -224,13 +225,13 @@ void RunSkewedStress(ShardedRmi& idx, const std::vector<uint64_t>& base,
 TEST(ShardRebalanceTest, AppendHotspotSplitsAndBoundsImbalance) {
   // Pure append beyond the max build key: every insert lands in the
   // rightmost shard — the unbounded-head-shard case.
-  const auto keys = SeedKeys(16'000, 71);
+  const auto keys = SeedKeys(16'000, testing::TestSeed(71));
   auto cfg = RebalancingConfig(4, 2.0);
   ShardedRmi idx;
   ASSERT_TRUE(idx.Build(keys, cfg).ok());
   std::set<uint64_t> oracle(keys.begin(), keys.end());
   uint64_t next = keys.back() + 1;
-  Xorshift128Plus rng(711);
+  Xorshift128Plus rng(testing::TestSeed(711));
   for (int i = 0; i < 16'000; ++i) {
     const uint64_t k = next;
     next += 1 + rng.NextBounded(16);
@@ -246,7 +247,7 @@ TEST(ShardRebalanceTest, AppendHotspotSplitsAndBoundsImbalance) {
 }
 
 TEST(ShardRebalanceTest, EraseDrainedShardsCoalesce) {
-  const auto keys = SeedKeys(24'000, 73);
+  const auto keys = SeedKeys(24'000, testing::TestSeed(73));
   auto cfg = RebalancingConfig(8, 2.0);
   ShardedRmi idx;
   ASSERT_TRUE(idx.Build(keys, cfg).ok());
@@ -268,7 +269,7 @@ TEST(ShardRebalanceTest, EraseDrainedShardsCoalesce) {
 }
 
 TEST(ShardRebalanceTest, DisabledRebalanceKeepsBoundariesFixed) {
-  const auto keys = SeedKeys(8'000, 79);
+  const auto keys = SeedKeys(8'000, testing::TestSeed(79));
   auto cfg = RebalancingConfig(4, 2.0);
   cfg.rebalance.enabled = false;
   ShardedRmi idx;
@@ -286,7 +287,7 @@ TEST(ShardRebalanceTest, DisabledRebalanceKeepsBoundariesFixed) {
 }
 
 TEST(ShardRebalanceTest, ZipfInsertStressAgainstOracle) {
-  const auto keys = SeedKeys(16'000, 83);
+  const auto keys = SeedKeys(16'000, testing::TestSeed(83));
   lif::InsertSkew skew;
   skew.kind = lif::InsertSkew::Kind::kZipf;
   skew.zipf_s = 1.2;
@@ -295,12 +296,13 @@ TEST(ShardRebalanceTest, ZipfInsertStressAgainstOracle) {
   ShardedRmi idx;
   ASSERT_TRUE(idx.Build(w.base, RebalancingConfig(4, 2.0)).ok());
   RunSkewedStress(idx, w.base, w.inserts, /*writers=*/3,
-                  /*key_space=*/keys.back() + 200'000, /*seed=*/3003);
+                  /*key_space=*/keys.back() + 200'000,
+                  /*seed=*/testing::TestSeed(3003));
   EXPECT_GT(idx.ConcurrentStats().shard_splits, 0u);
 }
 
 TEST(ShardRebalanceTest, MovingHotspotStressAgainstOracle) {
-  const auto keys = SeedKeys(16'000, 89);
+  const auto keys = SeedKeys(16'000, testing::TestSeed(89));
   lif::InsertSkew skew;
   skew.kind = lif::InsertSkew::Kind::kMovingHotspot;
   skew.hotspot_fraction = 0.05;
@@ -309,11 +311,12 @@ TEST(ShardRebalanceTest, MovingHotspotStressAgainstOracle) {
   ShardedRmi idx;
   ASSERT_TRUE(idx.Build(w.base, RebalancingConfig(4, 2.0)).ok());
   RunSkewedStress(idx, w.base, w.inserts, /*writers=*/3,
-                  /*key_space=*/keys.back() + 200'000, /*seed=*/4004);
+                  /*key_space=*/keys.back() + 200'000,
+                  /*seed=*/testing::TestSeed(4004));
 }
 
 TEST(ShardRebalanceTest, ManualRequestWorksWithAutoTriggerOff) {
-  const auto keys = SeedKeys(12'000, 97);
+  const auto keys = SeedKeys(12'000, testing::TestSeed(97));
   auto cfg = RebalancingConfig(2, 1.4);
   cfg.rebalance.enabled = false;  // no writer-side trigger...
   ShardedRmi idx;

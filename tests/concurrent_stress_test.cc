@@ -15,7 +15,9 @@
 // verification time.
 //
 // Thread failures are recorded, never asserted off-thread (gtest asserts
-// are not thread-safe), and re-raised on the main thread.
+// are not thread-safe), and re-raised on the main thread. Dataset and
+// schedule seeds run through tests/test_seed.h, so LI_TEST_SEED=<n>
+// sweeps fresh interleavings while failures stay reproducible.
 
 #include <gtest/gtest.h>
 
@@ -34,6 +36,7 @@
 #include "data/datasets.h"
 #include "dynamic/merge_policy.h"
 #include "rmi/rmi.h"
+#include "test_seed.h"
 
 namespace li {
 namespace {
@@ -202,7 +205,7 @@ void RunStress(Idx& idx, std::vector<uint64_t> base_keys, size_t writers,
 }
 
 TEST(ConcurrentStressTest, SingleFrontEndUnderWriteStorm) {
-  auto keys = SeedKeys(20'000, 51);
+  auto keys = SeedKeys(20'000, testing::TestSeed(51));
   ConcRmi::Config cfg;
   cfg.base.num_leaf_models = 256;
   cfg.policy.min_delta_entries = 256;   // frequent background merges
@@ -211,7 +214,8 @@ TEST(ConcurrentStressTest, SingleFrontEndUnderWriteStorm) {
   ConcRmi idx;
   ASSERT_TRUE(idx.Build(keys, cfg).ok());
   RunStress(idx, std::move(keys), /*writers=*/3, /*readers=*/2,
-            /*ops_per_writer=*/2'000, /*rounds=*/3, /*seed=*/1001);
+            /*ops_per_writer=*/2'000, /*rounds=*/3,
+            /*seed=*/testing::TestSeed(1001));
   const auto cs = idx.ConcurrentStats();
   EXPECT_GT(cs.merges, 0u);
   EXPECT_GT(cs.freezes, 0u);
@@ -219,7 +223,7 @@ TEST(ConcurrentStressTest, SingleFrontEndUnderWriteStorm) {
 }
 
 TEST(ConcurrentStressTest, ShardedFrontEndUnderWriteStorm) {
-  auto keys = SeedKeys(20'000, 53);
+  auto keys = SeedKeys(20'000, testing::TestSeed(53));
   ShardedRmi::Config cfg;
   cfg.inner.base.num_leaf_models = 128;
   cfg.inner.policy.min_delta_entries = 256;
@@ -229,7 +233,8 @@ TEST(ConcurrentStressTest, ShardedFrontEndUnderWriteStorm) {
   ShardedRmi idx;
   ASSERT_TRUE(idx.Build(keys, cfg).ok());
   RunStress(idx, std::move(keys), /*writers=*/3, /*readers=*/2,
-            /*ops_per_writer=*/2'000, /*rounds=*/3, /*seed=*/2002);
+            /*ops_per_writer=*/2'000, /*rounds=*/3,
+            /*seed=*/testing::TestSeed(2002));
   const auto cs = idx.ConcurrentStats();
   EXPECT_EQ(cs.shards, 4u);
   EXPECT_GT(cs.merges, 0u);
@@ -295,7 +300,7 @@ void RunUnserializedWriters(Idx& idx, const std::vector<uint64_t>& base) {
 }
 
 TEST(ConcurrentStressTest, UnserializedWritersRaceSingleFrontEnd) {
-  auto keys = SeedKeys(10'000, 59);
+  auto keys = SeedKeys(10'000, testing::TestSeed(59));
   ConcRmi::Config cfg;
   cfg.base.num_leaf_models = 128;
   cfg.policy.min_delta_entries = 512;
@@ -308,7 +313,7 @@ TEST(ConcurrentStressTest, UnserializedWritersRaceSingleFrontEnd) {
 }
 
 TEST(ConcurrentStressTest, UnserializedWritersRaceShardedFrontEnd) {
-  auto keys = SeedKeys(10'000, 61);
+  auto keys = SeedKeys(10'000, testing::TestSeed(61));
   ShardedRmi::Config cfg;
   cfg.inner.base.num_leaf_models = 64;
   cfg.inner.policy.min_delta_entries = 256;
@@ -324,7 +329,7 @@ TEST(ConcurrentStressTest, ReadersSurviveAMergeStorm) {
   // Merges forced back-to-back while readers run: exercises the
   // rotate/build/publish pipeline and epoch reclamation under constant
   // version churn.
-  auto keys = SeedKeys(30'000, 57);
+  auto keys = SeedKeys(30'000, testing::TestSeed(57));
   ConcRmi::Config cfg;
   cfg.base.num_leaf_models = 256;
   cfg.policy.trigger = dynamic::MergeTrigger::kManual;
@@ -342,7 +347,7 @@ TEST(ConcurrentStressTest, ReadersSurviveAMergeStorm) {
       ReaderBody(idx, stop, log, 7'000 + r, max_live, read_ops);
     });
   }
-  Xorshift128Plus rng(771);
+  Xorshift128Plus rng(testing::TestSeed(771));
   std::set<uint64_t> oracle(keys.begin(), keys.end());
   for (int storm = 0; storm < 25; ++storm) {
     for (int i = 0; i < 400; ++i) {

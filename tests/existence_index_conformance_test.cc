@@ -6,6 +6,12 @@
 // inserted key, MeasuredFpr consistent with a manual probe count and
 // bounded for a calibrated filter, and the type-erased AnyExistenceIndex
 // answering exactly like the concrete filter it wraps.
+//
+// The same CheckContract core drives concurrent::RebuildableExistence —
+// the insertable wrapper must pass the read-only matrix verbatim, keep
+// inserted keys visible through background filter rebuilds (the
+// no-false-negative invariant extends to the side set), and answer
+// identically through the AnyConcurrentExistenceIndex erasure.
 
 #include <gtest/gtest.h>
 
@@ -16,7 +22,9 @@
 #include "bloom/learned_bloom.h"
 #include "bloom/model_hash_bloom.h"
 #include "classifier/ngram_logistic.h"
+#include "concurrent/rebuildable_existence.h"
 #include "data/strings.h"
+#include "index/concurrent_existence_index.h"
 #include "index/existence_index.h"
 
 namespace li {
@@ -31,6 +39,15 @@ static_assert(index::ExistenceIndex<
 // The erased handle itself satisfies the concept, so erased filters can
 // be re-erased / stored wherever a concrete filter is expected.
 static_assert(index::ExistenceIndex<index::AnyExistenceIndex>);
+// The insertable wrapper satisfies both the read-only and the concurrent
+// contract, as does its erasure.
+static_assert(index::ExistenceIndex<
+              concurrent::RebuildableExistence<bloom::BloomFilter>>);
+static_assert(index::ConcurrentExistenceIndex<
+              concurrent::RebuildableExistence<bloom::BloomFilter>>);
+static_assert(index::ExistenceIndex<index::AnyConcurrentExistenceIndex>);
+static_assert(
+    index::ConcurrentExistenceIndex<index::AnyConcurrentExistenceIndex>);
 
 class ExistenceConformanceTest : public ::testing::Test {
  protected:
@@ -129,6 +146,113 @@ TEST_F(ExistenceConformanceTest, ModelHashBloomSatisfiesContract) {
 
   const index::AnyExistenceIndex erased(std::move(filter));
   CheckContract(erased, 0.05);
+}
+
+// ---- The concurrent wrapper through the same matrix ----
+
+TEST_F(ExistenceConformanceTest, RebuildableBloomSatisfiesContract) {
+  concurrent::RebuildableExistence<bloom::BloomFilter> filter;
+  concurrent::RebuildableExistence<bloom::BloomFilter>::Config config;
+  config.rebuild = concurrent::PlainBloomRebuilder(0.01);
+  config.staleness = 0;  // rebuilds only when the test asks
+  ASSERT_TRUE(filter.Build(corpus_->keys, config).ok());
+  EXPECT_EQ(filter.num_keys(), corpus_->keys.size());
+  CheckContract(filter, 0.03);
+}
+
+TEST_F(ExistenceConformanceTest, RebuildableBloomInsertsSurviveRebuilds) {
+  concurrent::RebuildableExistence<bloom::BloomFilter> filter;
+  concurrent::RebuildableExistence<bloom::BloomFilter>::Config config;
+  config.rebuild = concurrent::PlainBloomRebuilder(0.01);
+  config.staleness = 0;
+  config.log_cap = 64;  // force side-log freezes during the churn
+  ASSERT_TRUE(filter.Build(corpus_->keys, config).ok());
+
+  // Exact-membership semantics: a corpus key is already present, a fresh
+  // key inserts exactly once.
+  ASSERT_FALSE(filter.Insert(corpus_->keys.front()));
+  std::vector<std::string> fresh;
+  for (int i = 0; i < 1'000; ++i) {
+    fresh.push_back("http://inserted.example/" + std::to_string(i));
+  }
+  for (const std::string& k : fresh) {
+    ASSERT_TRUE(filter.Insert(k)) << k;
+    ASSERT_FALSE(filter.Insert(k)) << k;  // duplicate is a no-op
+    ASSERT_TRUE(filter.MightContain(k)) << k;  // immediately visible
+  }
+  EXPECT_EQ(filter.num_keys(), corpus_->keys.size() + fresh.size());
+
+  // A background rebuild folds the side set into a fresh filter; the
+  // no-false-negative invariant must hold before, across, and after.
+  filter.RequestRebuild();
+  filter.WaitForRebuilds();
+  ASSERT_TRUE(filter.last_rebuild_status().ok())
+      << filter.last_rebuild_status().message();
+  EXPECT_GT(filter.ConcurrentStats().background_merges, 0u);
+  for (const std::string& k : fresh) {
+    ASSERT_TRUE(filter.MightContain(k)) << k << " lost by rebuild";
+  }
+  CheckContract(filter, 0.03);
+  EXPECT_EQ(filter.num_keys(), corpus_->keys.size() + fresh.size());
+
+  // Inserts keep landing after a rebuild cycle.
+  ASSERT_TRUE(filter.Insert("http://post.rebuild/0"));
+  EXPECT_TRUE(filter.MightContain("http://post.rebuild/0"));
+}
+
+TEST_F(ExistenceConformanceTest, RebuildableBloomAutoRebuildsAtStaleness) {
+  concurrent::RebuildableExistence<bloom::BloomFilter> filter;
+  concurrent::RebuildableExistence<bloom::BloomFilter>::Config config;
+  config.rebuild = concurrent::PlainBloomRebuilder(0.01);
+  config.staleness = 0.02;  // 2% of 15k keys = 300 side keys arm it
+  config.min_side_keys = 256;
+  ASSERT_TRUE(filter.Build(corpus_->keys, config).ok());
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(filter.Insert("http://stale.example/" + std::to_string(i)));
+  }
+  filter.WaitForRebuilds();
+  ASSERT_TRUE(filter.last_rebuild_status().ok());
+  EXPECT_GT(filter.ConcurrentStats().background_merges, 0u);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(filter.MightContain("http://stale.example/" +
+                                    std::to_string(i)));
+  }
+  CheckContract(filter, 0.03);
+}
+
+TEST_F(ExistenceConformanceTest, ErasedConcurrentHandleForwardsEverything) {
+  concurrent::RebuildableExistence<bloom::BloomFilter> filter;
+  concurrent::RebuildableExistence<bloom::BloomFilter>::Config config;
+  config.rebuild = concurrent::PlainBloomRebuilder(0.01);
+  config.staleness = 0;
+  ASSERT_TRUE(filter.Build(corpus_->keys, config).ok());
+  index::AnyConcurrentExistenceIndex erased(std::move(filter));
+  EXPECT_FALSE(erased.empty());
+  EXPECT_EQ(erased.num_keys(), corpus_->keys.size());
+  CheckContract(erased, 0.03);
+  ASSERT_TRUE(erased.Insert("http://erased.example/0"));
+  EXPECT_TRUE(erased.MightContain("http://erased.example/0"));
+  erased.RequestRebuild();
+  erased.WaitForRebuilds();
+  EXPECT_TRUE(erased.MightContain("http://erased.example/0"));
+  EXPECT_GT(erased.ConcurrentStats().inserts, 0u);
+}
+
+TEST_F(ExistenceConformanceTest, EmptyConcurrentHandlesDropEverything) {
+  index::AnyConcurrentExistenceIndex empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.MightContain("anything"));
+  EXPECT_FALSE(empty.Insert("anything"));
+  EXPECT_EQ(empty.num_keys(), 0u);
+  EXPECT_EQ(empty.SizeBytes(), 0u);
+  empty.RequestRebuild();
+  empty.WaitForRebuilds();
+
+  // A never-built RebuildableExistence behaves the same way.
+  concurrent::RebuildableExistence<bloom::BloomFilter> unbuilt;
+  EXPECT_FALSE(unbuilt.MightContain("anything"));
+  EXPECT_FALSE(unbuilt.Insert("anything"));
+  EXPECT_EQ(unbuilt.num_keys(), 0u);
 }
 
 TEST_F(ExistenceConformanceTest, EmptyHandleIsTheEmptySet) {

@@ -22,6 +22,7 @@
 #include "rmi/multistage.h"
 #include "rmi/quantized_rmi.h"
 #include "rmi/rmi.h"
+#include "test_seed.h"
 
 namespace li {
 namespace {
@@ -32,7 +33,7 @@ class RangeIndexDifferentialTest : public ::testing::TestWithParam<uint64_t> {
 };
 
 TEST_P(RangeIndexDifferentialTest, SixImplementationsAgree) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   Xorshift128Plus rng(seed);
   const auto kind = static_cast<data::DatasetKind>(rng.NextBounded(3));
   const size_t n = 10'000 + rng.NextBounded(40'000);
@@ -82,7 +83,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RangeIndexDifferentialTest,
 class HashMapDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(HashMapDifferentialTest, ThreeImplementationsAgree) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = testing::TestSeed(GetParam());
   const auto keys = data::GenUniform(30'000, seed, uint64_t{1} << 44);
   std::vector<hash::Record> records;
   std::unordered_map<uint64_t, uint64_t> oracle;

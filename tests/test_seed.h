@@ -1,0 +1,57 @@
+// Shared seed plumbing for randomized tests.
+//
+// Every randomized suite (stress, rebalance, crash-recovery, property)
+// funnels its seeds through TestSeed(default_seed). By default a test is
+// fully deterministic: it gets exactly the seed written at the call
+// site. Setting LI_TEST_SEED=<n> perturbs every call site with one knob
+// — each site's default is mixed with the override so distinct sites
+// still draw distinct streams — which lets CI sweep fresh schedules
+// nightly while a failure stays reproducible by exporting the same
+// value. The chosen seed is logged to stderr so the reproduction recipe
+// is always in the failing log.
+
+#ifndef LI_TESTS_TEST_SEED_H_
+#define LI_TESTS_TEST_SEED_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace li::testing {
+
+/// Parsed LI_TEST_SEED, or 0 when unset/empty (0 means "no override":
+/// setting LI_TEST_SEED=0 is the same as not setting it).
+inline uint64_t SeedOverride() {
+  static const uint64_t value = [] {
+    const char* env = std::getenv("LI_TEST_SEED");
+    if (env == nullptr || *env == '\0') return uint64_t{0};
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 0));
+  }();
+  return value;
+}
+
+/// The seed a randomized test should use: `default_seed` verbatim when
+/// LI_TEST_SEED is unset, otherwise a splitmix of (override, default) so
+/// one env knob re-seeds every call site without collapsing distinct
+/// sites onto one stream. Logs the decision once per call.
+inline uint64_t TestSeed(uint64_t default_seed) {
+  const uint64_t over = SeedOverride();
+  uint64_t seed = default_seed;
+  if (over != 0) {
+    uint64_t z = over ^ (default_seed * 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    seed = z ^ (z >> 31);
+    if (seed == 0) seed = 1;  // keep xorshift-style generators seedable
+  }
+  std::fprintf(stderr,
+               "[test-seed] default=%" PRIu64 " chosen=%" PRIu64
+               "%s (set LI_TEST_SEED to sweep)\n",
+               default_seed, seed, over != 0 ? " [LI_TEST_SEED]" : "");
+  return seed;
+}
+
+}  // namespace li::testing
+
+#endif  // LI_TESTS_TEST_SEED_H_
