@@ -132,6 +132,10 @@ class BloomFilter {
     }
   }
   bool TestHash(uint64_t h) const {
+    // A never-built filter is the empty set. Without this guard the
+    // probe loop below runs zero iterations (num_hashes_ == 0) and
+    // falls through to `true` — "contains everything".
+    if (num_bits_ == 0) return false;
     const uint64_t h1 = h;
     const uint64_t h2 = (h >> 33) | (h << 31) | 1;
     for (int i = 0; i < num_hashes_; ++i) {

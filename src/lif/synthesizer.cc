@@ -23,6 +23,9 @@
 #include "hash/cuckoo_map.h"
 #include "hash/inplace_chained_map.h"
 #include "lif/measure.h"
+#include "rangefilter/interval_bitmap_filter.h"
+#include "rangefilter/learned_range_filter.h"
+#include "rangefilter/workload.h"
 
 namespace li::lif {
 
@@ -707,6 +710,112 @@ Status SynthesizedExistenceIndex::Synthesize(
   if (!found) {
     return Status::NotFound(
         "SynthesizeExistence: no candidate meets the FPR target within "
+        "the size budget");
+  }
+  return Status::OK();
+}
+
+Status SynthesizedExistenceIndex::SynthesizeRange(
+    std::span<const uint64_t> keys, const RangeFilterSynthesisSpec& spec) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("SynthesizeRange: empty key set");
+  }
+  if (spec.target_range_fpr <= 0.0 || spec.target_range_fpr >= 1.0) {
+    return Status::InvalidArgument("SynthesizeRange: bad target range-FPR");
+  }
+  range_reports_.clear();
+
+  std::vector<uint64_t> sorted(keys.begin(), keys.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  // Validation / eval empty-range splits from disjoint seeds, so the
+  // qualification gate and the reported FPR never share queries, plus
+  // the witness set every candidate must answer true on (zero false
+  // negatives is a contract, not a metric).
+  rangefilter::EmptyQueryConfig qcfg;
+  qcfg.max_width = spec.max_query_width;
+  qcfg.correlated_fraction = spec.correlated_fraction;
+  qcfg.count = spec.valid_queries;
+  const std::vector<index::RangeQuery> valid_queries =
+      rangefilter::GenEmptyRanges(sorted, spec.seed * 3 + 1, qcfg);
+  qcfg.count = spec.eval_queries;
+  const std::vector<index::RangeQuery> eval_queries =
+      rangefilter::GenEmptyRanges(sorted, spec.seed * 3 + 2, qcfg);
+  const std::vector<index::RangeQuery> witnesses =
+      rangefilter::GenWitnessRanges(sorted, spec.seed * 3 + 3,
+                                    spec.witness_queries,
+                                    spec.max_query_width);
+  if (valid_queries.empty() || eval_queries.empty()) {
+    return Status::InvalidArgument(
+        "SynthesizeRange: key set has no gaps to generate empty ranges "
+        "from");
+  }
+
+  const double fpr_cap = spec.target_range_fpr * spec.fpr_slack;
+  size_t best_bytes = std::numeric_limits<size_t>::max();
+  bool found = false;
+
+  // Same shape as the point-probe sweep above: measure fills the report,
+  // consider applies the oracle + qualification gates and keeps the
+  // smallest qualifying candidate.
+  auto consider = [&](auto&& filter,
+                      CandidateReport report) -> Status {
+    for (const index::RangeQuery& w : witnesses) {
+      if (!filter.MightContainRange(w.lo, w.hi)) {
+        return Status::Internal("SynthesizeRange oracle: false negative (" +
+                                report.description + ")");
+      }
+    }
+    report.size_bytes = filter.SizeBytes();
+    report.valid_fpr = filter.MeasuredRangeFpr(valid_queries);
+    report.fpr = filter.MeasuredRangeFpr(eval_queries);
+    report.lookup_ns =
+        MeasureNsPerOp(eval_queries, 1, [&](const index::RangeQuery& q) {
+          return filter.MightContainRange(q.lo, q.hi);
+        });
+    report.within_budget = report.size_bytes <= spec.size_budget_bytes;
+    range_reports_.push_back(report);
+    if (report.within_budget && report.valid_fpr <= fpr_cap &&
+        report.size_bytes < best_bytes) {
+      best_bytes = report.size_bytes;
+      range_winner_ = index::AnyRangeFilter(std::move(filter));
+      range_description_ = report.description;
+      found = true;
+    }
+    return Status::OK();
+  };
+
+  for (const double bpk : spec.bits_per_key) {
+    if (spec.try_learned) {
+      for (const size_t kps : spec.keys_per_segment) {
+        rangefilter::LearnedRangeFilterConfig cfg;
+        cfg.bits_per_key = bpk;
+        cfg.keys_per_segment = kps;
+        rangefilter::LearnedRangeFilter f;
+        if (!f.Build(sorted, cfg).ok()) continue;
+        CandidateReport report;
+        report.description = "learned-segmented bpk=" + std::to_string(bpk) +
+                             " kps=" + std::to_string(kps);
+        report.stage2 = f.num_segments();
+        LI_RETURN_IF_ERROR(consider(std::move(f), std::move(report)));
+      }
+    }
+    if (spec.try_interval) {
+      rangefilter::IntervalBitmapFilterConfig cfg;
+      cfg.bits_per_key = bpk;
+      rangefilter::IntervalBitmapFilter f;
+      if (!f.Build(sorted, cfg).ok()) continue;
+      CandidateReport report;
+      report.description = "interval-bitmap bpk=" + std::to_string(bpk);
+      report.stage2 = 1;
+      LI_RETURN_IF_ERROR(consider(std::move(f), std::move(report)));
+    }
+  }
+
+  if (!found) {
+    return Status::NotFound(
+        "SynthesizeRange: no candidate meets the range-FPR target within "
         "the size budget");
   }
   return Status::OK();

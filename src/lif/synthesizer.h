@@ -43,6 +43,7 @@
 #include "index/any_range_index.h"
 #include "index/existence_index.h"
 #include "index/point_index.h"
+#include "index/range_filter.h"
 #include "index/writable_range_index.h"
 #include "rmi/rmi.h"
 
@@ -219,10 +220,47 @@ struct ExistenceSynthesisSpec {
   uint64_t seed = 99;
 };
 
+/// Range-query axis of the existence sweep: grid over the two range-filter
+/// constructions (src/rangefilter/) at several bitmap budgets, qualified on
+/// measured range-FPR over generated guaranteed-empty ranges — the same
+/// smallest-qualifying-bytes objective as the point-probe sweep, with
+/// MightContain the degenerate [k, k+1) case.
+struct RangeFilterSynthesisSpec {
+  double target_range_fpr = 0.05;
+  /// Qualification gate: validation-split range-FPR must be at most
+  /// target_range_fpr * fpr_slack.
+  double fpr_slack = 2.0;
+  /// Bitmap budget sweep, in block bits per distinct key.
+  std::vector<double> bits_per_key = {8.0, 16.0, 32.0};
+  /// Segment-granularity sweep for the learned construction.
+  std::vector<size_t> keys_per_segment = {128, 256};
+  bool try_learned = true;
+  bool try_interval = true;
+  size_t size_budget_bytes = std::numeric_limits<size_t>::max();
+  /// Empty-query splits generated per candidate set: validation (the
+  /// qualification gate) and eval (the unbiased reported FPR), plus the
+  /// present-range witness set every candidate must answer true on.
+  size_t valid_queries = 8'000;
+  size_t eval_queries = 8'000;
+  size_t witness_queries = 4'000;
+  /// Correlated (adjacent-gap) fraction of the generated empty queries;
+  /// the rest are uniform over the domain. See rangefilter/workload.h.
+  double correlated_fraction = 0.5;
+  uint64_t max_query_width = 1024;
+  uint64_t seed = 99;
+};
+
 /// The synthesized existence index: the *smallest* qualifying candidate
 /// (the paper's §5 metric is memory at a fixed FPR, not latency), erased
 /// into index::AnyExistenceIndex. Classifier ownership is folded into the
 /// erased winner, so the handle is self-contained.
+///
+/// The class also carries the range-query axis: SynthesizeRange sweeps
+/// the src/rangefilter/ constructions over an integer key set and erases
+/// the smallest qualifying filter into an index::AnyRangeFilter, served
+/// through MightContainRange. The two sweeps are independent — an LSM
+/// table typically wants both a point filter over string keys and a
+/// range filter over its integer key column.
 class SynthesizedExistenceIndex {
  public:
   SynthesizedExistenceIndex() = default;
@@ -247,10 +285,38 @@ class SynthesizedExistenceIndex {
                     std::span<const std::string> eval_non_keys,
                     const ExistenceSynthesisSpec& spec);
 
+  // ---- Range-query axis ----
+
+  /// Half-open [lo, hi) over the synthesized range winner. False until a
+  /// successful SynthesizeRange (no winner = empty set).
+  bool MightContainRange(uint64_t lo, uint64_t hi) const {
+    return range_winner_.MightContainRange(lo, hi);
+  }
+  double MeasuredRangeFpr(
+      std::span<const index::RangeQuery> empty_queries) const {
+    return range_winner_.MeasuredRangeFpr(empty_queries);
+  }
+  size_t RangeSizeBytes() const { return range_winner_.SizeBytes(); }
+  const std::string& range_description() const { return range_description_; }
+  const std::vector<CandidateReport>& range_reports() const {
+    return range_reports_;
+  }
+
+  /// Sweeps the range-filter grid over `keys` (any order, duplicates
+  /// collapse; caller owns the data during the call only). Queries are
+  /// generated internally from the key set's gap structure (validation /
+  /// eval empty-range splits plus a present-range witness set); a false
+  /// negative on any witness range fails the whole sweep with Internal.
+  Status SynthesizeRange(std::span<const uint64_t> keys,
+                         const RangeFilterSynthesisSpec& spec);
+
  private:
   index::AnyExistenceIndex winner_;
   std::string description_;
   std::vector<CandidateReport> reports_;
+  index::AnyRangeFilter range_winner_;
+  std::string range_description_;
+  std::vector<CandidateReport> range_reports_;
 };
 
 /// Mixed read/write synthesis (the Appendix-D.1 workload class): which

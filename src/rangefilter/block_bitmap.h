@@ -1,0 +1,45 @@
+// Shared block-bitmap primitives for the range filters: one bit per
+// key-space block, set iff any built key falls in the block. Both filter
+// constructions (learned segmented, fixed-width interval) reduce a range
+// query to "is any bit set in the inclusive bit range [lo, hi]?", so the
+// scan lives here once, word-at-a-time.
+
+#ifndef LI_RANGEFILTER_BLOCK_BITMAP_H_
+#define LI_RANGEFILTER_BLOCK_BITMAP_H_
+
+#include <cstdint>
+#include <span>
+
+namespace li::rangefilter {
+
+inline void SetBit(std::span<uint64_t> words, uint64_t bit) {
+  words[bit >> 6] |= uint64_t{1} << (bit & 63);
+}
+
+inline bool TestBit(std::span<const uint64_t> words, uint64_t bit) {
+  return (words[bit >> 6] >> (bit & 63)) & 1;
+}
+
+/// Any bit set in the inclusive range [lo_bit, hi_bit]? Masks the two
+/// boundary words and scans whole words between them; the common query
+/// (a narrow range inside one segment) touches one or two words.
+inline bool AnyBitInRange(std::span<const uint64_t> words, uint64_t lo_bit,
+                          uint64_t hi_bit) {
+  if (hi_bit < lo_bit) return false;
+  const uint64_t lo_word = lo_bit >> 6;
+  const uint64_t hi_word = hi_bit >> 6;
+  const uint64_t lo_mask = ~uint64_t{0} << (lo_bit & 63);
+  const uint64_t hi_mask =
+      (hi_bit & 63) == 63 ? ~uint64_t{0}
+                          : ((uint64_t{1} << ((hi_bit & 63) + 1)) - 1);
+  if (lo_word == hi_word) return (words[lo_word] & lo_mask & hi_mask) != 0;
+  if ((words[lo_word] & lo_mask) != 0) return true;
+  for (uint64_t w = lo_word + 1; w < hi_word; ++w) {
+    if (words[w] != 0) return true;
+  }
+  return (words[hi_word] & hi_mask) != 0;
+}
+
+}  // namespace li::rangefilter
+
+#endif  // LI_RANGEFILTER_BLOCK_BITMAP_H_

@@ -1,0 +1,44 @@
+// The shared snapshot-meta POD for range filters. Both constructions
+// persist one section of kind SectionKind::kRangeFilterMeta holding this
+// struct, so tooling (tools/snapshot_inspect) can summarize any range
+// filter found in a snapshot — segment count, bitmap bits, bits per key —
+// without knowing which construction wrote it.
+
+#ifndef LI_RANGEFILTER_FILTER_META_H_
+#define LI_RANGEFILTER_FILTER_META_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace li::rangefilter {
+
+/// Which construction a kRangeFilterMeta section describes.
+enum class FilterKind : uint64_t {
+  kLearnedSegmented = 1,  // per-segment CDF models + shared bitmap
+  kIntervalBitmap = 2,    // fixed-width blocks over [domain_lo, domain_hi]
+};
+
+inline const char* FilterKindName(FilterKind k) {
+  switch (k) {
+    case FilterKind::kLearnedSegmented: return "learned-segmented";
+    case FilterKind::kIntervalBitmap: return "interval-bitmap";
+  }
+  return "unknown";
+}
+
+struct RangeFilterSnapshotMeta {
+  uint64_t filter_kind = 0;  // FilterKind
+  uint64_t num_keys = 0;     // distinct built keys
+  uint64_t bitmap_bits = 0;  // total block bits (excl. metadata)
+  uint64_t num_segments = 0; // 1 for the interval construction
+  uint64_t domain_lo = 0;    // smallest built key
+  uint64_t domain_hi = 0;    // largest built key
+  uint64_t block_width = 0;  // interval construction only; 0 for learned
+  double bits_per_key = 0.0; // configured bitmap bits per key
+};
+static_assert(sizeof(RangeFilterSnapshotMeta) == 64);
+static_assert(std::is_trivially_copyable_v<RangeFilterSnapshotMeta>);
+
+}  // namespace li::rangefilter
+
+#endif  // LI_RANGEFILTER_FILTER_META_H_

@@ -53,6 +53,8 @@ enum class SectionKind : uint32_t {
   kSlots = 5,     // hash-map slot/overflow arrays
   kDelta = 6,     // packed delta-buffer entries
   kManifest = 7,  // composite-index manifest (shards, versions)
+  kSegments = 8,  // range-filter segment table (per-segment CDF models)
+  kRangeFilterMeta = 9,  // range-filter geometry meta (rangefilter/filter_meta.h)
 };
 
 inline const char* SectionKindName(SectionKind k) {
@@ -65,6 +67,8 @@ inline const char* SectionKindName(SectionKind k) {
     case SectionKind::kSlots: return "slots";
     case SectionKind::kDelta: return "delta";
     case SectionKind::kManifest: return "manifest";
+    case SectionKind::kSegments: return "segments";
+    case SectionKind::kRangeFilterMeta: return "rf-meta";
   }
   return "unknown";
 }

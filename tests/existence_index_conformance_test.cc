@@ -12,9 +12,16 @@
 // inserted keys visible through background filter rebuilds (the
 // no-false-negative invariant extends to the side set), and answer
 // identically through the AnyConcurrentExistenceIndex erasure.
+//
+// The family edges ride at the bottom: never-built and empty-built
+// filters answer as the empty set (a leg the suite long lacked — it hid
+// a plain-Bloom "contains everything" bug), out-of-domain probes stay
+// at the filter's FPR, and the range filters' degenerate point path
+// (src/rangefilter/) passes the same matrix through a typed suite.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,10 +29,14 @@
 #include "bloom/learned_bloom.h"
 #include "bloom/model_hash_bloom.h"
 #include "classifier/ngram_logistic.h"
+#include "common/random.h"
 #include "concurrent/rebuildable_existence.h"
 #include "data/strings.h"
 #include "index/concurrent_existence_index.h"
 #include "index/existence_index.h"
+#include "rangefilter/interval_bitmap_filter.h"
+#include "rangefilter/learned_range_filter.h"
+#include "rangefilter/workload.h"
 
 namespace li {
 namespace {
@@ -270,6 +281,130 @@ TEST_F(ExistenceConformanceTest, NeverBuiltFiltersAnswerEmptySet) {
   EXPECT_FALSE(learned.MightContain("x"));
   bloom::ModelHashBloomFilter<classifier::NgramLogistic> model_hash;
   EXPECT_FALSE(model_hash.MightContain("x"));
+  // The plain Bloom filter used to FAIL this leg: with num_hashes_ == 0
+  // its probe loop ran zero iterations and answered "contains
+  // everything" — the exact opposite of the empty set.
+  bloom::BloomFilter plain;
+  EXPECT_FALSE(plain.MightContain("x"));
+  EXPECT_FALSE(plain.MightContain(uint64_t{42}));
+  std::vector<std::string> probes = {"a", "b", "c"};
+  EXPECT_DOUBLE_EQ(plain.MeasuredFpr(probes), 0.0);
+}
+
+TEST_F(ExistenceConformanceTest, EmptyBuiltFiltersAnswerEmptySet) {
+  // A filter *built over zero keys* (Init'ed but nothing added) is a
+  // distinct edge from never-built: sized state exists, yet every probe
+  // must still miss with overwhelming probability — and the no-FN
+  // contract is vacuous, so a strict empty-set answer is required of
+  // the probe math, not just permitted.
+  bloom::BloomFilter plain;
+  ASSERT_TRUE(plain.Init(1, 0.01).ok());  // minimal sizing, zero Adds
+  size_t hits = 0;
+  for (const auto& s : *test_neg_) hits += plain.MightContain(s);
+  EXPECT_EQ(hits, 0u) << "empty-built bloom answered true";
+
+  const std::vector<std::string> no_keys;
+  bloom::LearnedBloomFilter<classifier::NgramLogistic> learned;
+  // Building over an empty key set may legitimately refuse; if it
+  // builds, it must answer like the empty set at the overflow stage
+  // (the classifier can still false-positive — that is its FPR budget,
+  // bounded like any other candidate's).
+  if (learned.Build(model_, no_keys, *valid_neg_, 0.01).ok()) {
+    EXPECT_LE(learned.MeasuredFpr(*test_neg_), 0.05);
+  }
+}
+
+TEST_F(ExistenceConformanceTest, OutOfDomainProbesStayBounded) {
+  // Keys far outside the build corpus's shape (different scheme, length,
+  // alphabet) must miss at the filter's FPR, not systematically hit —
+  // the suite previously only probed lookalike negatives. The probes
+  // must be *diverse*: a shared prefix would feed every probe the same
+  // n-grams and make the classifier's 2000 verdicts one correlated coin
+  // flip, which no statistical bound survives.
+  Xorshift128Plus rng(0xA11E17);
+  std::vector<std::string> alien;
+  for (int i = 0; i < 2'000; ++i) {
+    std::string s;
+    const size_t len = 8 + rng.NextBounded(56);
+    switch (i % 4) {
+      case 0:  // uppercase words with spaces — no URL corpus has either
+        for (size_t j = 0; j < len; ++j)
+          s.push_back(j % 7 == 6 ? ' '
+                                 : static_cast<char>('A' + rng.NextBounded(26)));
+        break;
+      case 1:  // long digit runs
+        for (size_t j = 0; j < len; ++j)
+          s.push_back(static_cast<char>('0' + rng.NextBounded(10)));
+        break;
+      case 2:  // full printable-ASCII noise
+        for (size_t j = 0; j < len; ++j)
+          s.push_back(static_cast<char>(0x20 + rng.NextBounded(95)));
+        break;
+      default:  // high-bit / control bytes, never URL-legal
+        for (size_t j = 0; j < len; ++j)
+          s.push_back(static_cast<char>(rng.NextBounded(0x1F) + 0x80));
+        break;
+    }
+    alien.push_back(std::move(s));
+  }
+
+  bloom::BloomFilter plain;
+  ASSERT_TRUE(plain.Init(corpus_->keys.size(), 0.01).ok());
+  for (const auto& k : corpus_->keys) plain.Add(std::string_view(k));
+  EXPECT_LE(plain.MeasuredFpr(alien), 0.03);
+
+  bloom::LearnedBloomFilter<classifier::NgramLogistic> learned;
+  ASSERT_TRUE(learned.Build(model_, corpus_->keys, *valid_neg_, 0.01).ok());
+  // The classifier never saw this distribution; the §5.2 caveat is that
+  // out-of-distribution FPR blows past the calibrated target (measured
+  // ~0.8 here — every seed above is fixed, so the number is stable).
+  // The two bounds below pin the caveat from both sides: the learned
+  // filter degrades measurably worse than the hash-only baseline on
+  // alien shapes, yet stays a filter rather than a yes-machine.
+  const double learned_ood = learned.MeasuredFpr(alien);
+  EXPECT_GT(learned_ood, plain.MeasuredFpr(alien));
+  EXPECT_LE(learned_ood, 0.95);
+}
+
+// ---- The range filters' point path through the same family matrix ----
+// MightContain(k) on a range filter is the degenerate [k, k+1) range;
+// the existence-family edges (never-built / empty-built / out-of-domain)
+// must hold for them exactly as for the string filters above.
+
+template <typename F>
+class RangeFilterPointPathTest : public ::testing::Test {};
+
+using RangeFilterTypes = ::testing::Types<rangefilter::LearnedRangeFilter,
+                                          rangefilter::IntervalBitmapFilter>;
+TYPED_TEST_SUITE(RangeFilterPointPathTest, RangeFilterTypes);
+
+TYPED_TEST(RangeFilterPointPathTest, PointPathMatchesExistenceContract) {
+  // Never-built and empty-built both answer as the empty set.
+  TypeParam unbuilt;
+  EXPECT_FALSE(unbuilt.MightContain(0));
+  EXPECT_FALSE(unbuilt.MightContain(~uint64_t{0}));
+  TypeParam empty;
+  ASSERT_TRUE(empty.Build({}).ok());
+  EXPECT_FALSE(empty.MightContain(12345));
+
+  // Built: zero false negatives on every key; probes outside the
+  // covered domain [min, max] are definitively false for a filter whose
+  // bitmap only spans the domain.
+  const std::vector<uint64_t> keys =
+      rangefilter::GenUniformKeys(10'000, 77, uint64_t{1} << 32);
+  TypeParam filter;
+  ASSERT_TRUE(filter.Build(keys).ok());
+  for (size_t i = 0; i < keys.size(); i += 3) {
+    ASSERT_TRUE(filter.MightContain(keys[i])) << keys[i];
+  }
+  Xorshift128Plus rng(78);
+  for (int i = 0; i < 2'000; ++i) {
+    const uint64_t below = rng.NextBounded(keys.front());
+    EXPECT_FALSE(filter.MightContain(below)) << below;
+    const uint64_t above = keys.back() + 1 + rng.NextBounded(uint64_t{1}
+                                                             << 40);
+    EXPECT_FALSE(filter.MightContain(above)) << above;
+  }
 }
 
 }  // namespace

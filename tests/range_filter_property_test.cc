@@ -1,0 +1,196 @@
+// Randomized property leg for the RangeFilter contract: where the
+// conformance suite checks hand-picked edges, this one drives thousands
+// of seeded random (build set, query range) cases per filter config
+// against a std::set brute-force oracle and asserts the two properties
+// that define the contract:
+//
+//   * soundness — a range the oracle says is non-empty is NEVER denied
+//     (zero false negatives, the hard invariant);
+//   * point/range agreement — MightContain(k) == MightContainRange(k,
+//     k+1) for every probed key.
+//
+// Seeds funnel through tests/test_seed.h: deterministic by default, one
+// LI_TEST_SEED knob re-seeds every case for nightly sweeps with the
+// failing seed always printed in the log.
+//
+// The snapshot round-trip property rides along: a filter written to disk
+// and reopened (zero-copy mapped) must answer bit-identically to the
+// original on every probe — equality of behavior, not just of metadata.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/range_filter.h"
+#include "rangefilter/interval_bitmap_filter.h"
+#include "rangefilter/learned_range_filter.h"
+#include "rangefilter/workload.h"
+#include "test_seed.h"
+
+namespace li {
+namespace {
+
+Status BuildFilter(rangefilter::LearnedRangeFilter& f,
+                   std::span<const uint64_t> keys, double bits_per_key,
+                   size_t keys_per_segment) {
+  rangefilter::LearnedRangeFilterConfig cfg;
+  cfg.bits_per_key = bits_per_key;
+  cfg.keys_per_segment = keys_per_segment;
+  return f.Build(keys, cfg);
+}
+Status BuildFilter(rangefilter::IntervalBitmapFilter& f,
+                   std::span<const uint64_t> keys, double bits_per_key,
+                   size_t /*keys_per_segment*/) {
+  rangefilter::IntervalBitmapFilterConfig cfg;
+  cfg.bits_per_key = bits_per_key;
+  return f.Build(keys, cfg);
+}
+
+bool OracleNonEmpty(const std::set<uint64_t>& keys, uint64_t lo,
+                    uint64_t hi) {
+  if (hi <= lo) return false;
+  const auto it = keys.lower_bound(lo);
+  return it != keys.end() && *it < hi;
+}
+
+/// One random case: a fresh key set (one of the four shapes, rotated by
+/// case index) and a burst of random ranges + point probes, all held
+/// against the oracle.
+template <typename F>
+void RunCase(uint64_t seed, double bits_per_key, size_t keys_per_segment,
+             int shape, size_t ranges_per_case) {
+  Xorshift128Plus rng(seed);
+  const size_t n = 64 + rng.NextBounded(2'000);
+  std::vector<uint64_t> keys;
+  switch (shape) {
+    case 0: keys = rangefilter::GenUniformKeys(n, seed); break;
+    case 1: keys = rangefilter::GenZipfKeys(n, seed); break;
+    case 2: keys = rangefilter::GenDuplicateHeavyKeys(n, seed); break;
+    default:
+      keys = rangefilter::GenAdversarialGapKeys(n, seed, 64);
+      break;
+  }
+  F filter;
+  ASSERT_TRUE(BuildFilter(filter, keys, bits_per_key, keys_per_segment).ok());
+  const std::set<uint64_t> oracle(keys.begin(), keys.end());
+  const uint64_t lo_key = *oracle.begin();
+  const uint64_t hi_key = *oracle.rbegin();
+  const uint64_t spread = hi_key - lo_key + 1024;
+
+  for (size_t i = 0; i < ranges_per_case; ++i) {
+    // Bias lo near the covered domain (where false negatives could
+    // hide), with occasional fully wild endpoints.
+    const uint64_t lo = (rng.Next() & 7) == 0
+                            ? rng.Next()
+                            : lo_key + rng.NextBounded(spread);
+    const uint64_t width = rng.NextBounded(uint64_t{1} << (rng.Next() % 20));
+    const uint64_t hi = lo + width < lo ? ~uint64_t{0} : lo + width;
+    if (OracleNonEmpty(oracle, lo, hi)) {
+      ASSERT_TRUE(filter.MightContainRange(lo, hi))
+          << "false negative on [" << lo << ", " << hi << ") seed=" << seed;
+    }
+    if (lo < ~uint64_t{0}) {
+      ASSERT_EQ(filter.MightContain(lo), filter.MightContainRange(lo, lo + 1))
+          << "point/range disagreement at " << lo << " seed=" << seed;
+    }
+  }
+  // Every built key must be found, always.
+  for (const uint64_t k : keys) {
+    ASSERT_TRUE(filter.MightContain(k))
+        << "false negative on built key " << k << " seed=" << seed;
+  }
+}
+
+/// The config grid: 2 budgets x 2 segmentations x 4 dataset shapes, with
+/// enough cases per grid point that each filter config sees > 10^3
+/// randomized (build set, query) cases per run.
+template <typename F>
+void RunGrid(uint64_t base_seed) {
+  const double budgets[] = {4.0, 8.0};
+  const size_t segmentations[] = {64, 256};
+  constexpr int kCasesPerPoint = 18;
+  constexpr size_t kRangesPerCase = 400;
+  int case_id = 0;
+  for (const double bpk : budgets) {
+    for (const size_t kps : segmentations) {
+      for (int shape = 0; shape < 4; ++shape) {
+        for (int c = 0; c < kCasesPerPoint; ++c) {
+          RunCase<F>(base_seed + 1'000'003 * ++case_id, bpk, kps, shape,
+                     kRangesPerCase);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(RangeFilterPropertyTest, LearnedFilterNeverFalseNegative) {
+  RunGrid<rangefilter::LearnedRangeFilter>(testing::TestSeed(0xF17E1));
+}
+
+TEST(RangeFilterPropertyTest, IntervalFilterNeverFalseNegative) {
+  RunGrid<rangefilter::IntervalBitmapFilter>(testing::TestSeed(0xF17E2));
+}
+
+// ---- Snapshot round-trip property ----
+
+std::string SnapshotPath(const char* name) {
+  return ::testing::TempDir() + "li_range_filter_prop_" + name;
+}
+
+/// Reopened filters must answer bit-identically on random probes — the
+/// mapped-view query path is the same code as the owned path, and this
+/// pins that equivalence behaviorally.
+template <typename F>
+void CheckSnapshotRoundTrip(const char* tag, uint64_t seed) {
+  const std::vector<uint64_t> keys =
+      rangefilter::GenAdversarialGapKeys(4'000, seed, 128);
+  F original;
+  ASSERT_TRUE(BuildFilter(original, keys, 8.0, 128).ok());
+  const std::string path = SnapshotPath(tag);
+  ASSERT_TRUE(original.WriteSnapshot(path).ok());
+  auto reopened = F::OpenSnapshot(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(reopened.value().SizeBytes(), original.SizeBytes());
+
+  Xorshift128Plus rng(seed + 1);
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t lo = rng.NextBounded(keys.back() + 4'096);
+    const uint64_t hi = lo + rng.NextBounded(uint64_t{1} << 16);
+    ASSERT_EQ(original.MightContainRange(lo, hi),
+              reopened.value().MightContainRange(lo, hi))
+        << "[" << lo << ", " << hi << ") seed=" << seed;
+    ASSERT_EQ(original.MightContain(lo), reopened.value().MightContain(lo))
+        << lo << " seed=" << seed;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RangeFilterPropertyTest, LearnedSnapshotRoundTripIsBitIdentical) {
+  CheckSnapshotRoundTrip<rangefilter::LearnedRangeFilter>(
+      "learned", testing::TestSeed(0xF17E3));
+}
+
+TEST(RangeFilterPropertyTest, IntervalSnapshotRoundTripIsBitIdentical) {
+  CheckSnapshotRoundTrip<rangefilter::IntervalBitmapFilter>(
+      "interval", testing::TestSeed(0xF17E4));
+}
+
+TEST(RangeFilterPropertyTest, EmptyFilterSnapshotRoundTrips) {
+  rangefilter::LearnedRangeFilter empty;
+  ASSERT_TRUE(empty.Build({}).ok());
+  const std::string path = SnapshotPath("empty");
+  ASSERT_TRUE(empty.WriteSnapshot(path).ok());
+  auto reopened = rangefilter::LearnedRangeFilter::OpenSnapshot(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_FALSE(reopened.value().MightContainRange(0, ~uint64_t{0}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace li

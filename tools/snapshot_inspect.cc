@@ -17,6 +17,7 @@
 #include <cstring>
 #include <string>
 
+#include "rangefilter/filter_meta.h"
 #include "snapshot/format.h"
 #include "snapshot/snapshot.h"
 #include "wal/wal.h"
@@ -104,6 +105,41 @@ int Inspect(const char* path, bool verify) {
                 snapshot::SectionKindName(
                     static_cast<snapshot::SectionKind>(e.kind)),
                 e.offset, e.size, e.crc);
+  }
+
+  // Range-filter summaries: every kRangeFilterMeta section is a
+  // construction-tagged geometry POD (rangefilter/filter_meta.h), so the
+  // tool can say what kind of filter lives in the file and how its bits
+  // are spent without loading the filter itself.
+  for (const snapshot::SectionEntry& e : reader.value().sections()) {
+    if (static_cast<snapshot::SectionKind>(e.kind) !=
+        snapshot::SectionKind::kRangeFilterMeta) {
+      continue;
+    }
+    rangefilter::RangeFilterSnapshotMeta meta;
+    if (const Status st = reader.value().GetPod(e.name, &meta); !st.ok()) {
+      std::fprintf(stderr, "  %s: unreadable range-filter meta: %s\n",
+                   e.name, st.message().c_str());
+      return 1;
+    }
+    std::printf("\n  range filter %s\n", e.name);
+    std::printf("    kind        %s\n",
+                rangefilter::FilterKindName(
+                    static_cast<rangefilter::FilterKind>(meta.filter_kind)));
+    std::printf("    keys        %" PRIu64 "\n", meta.num_keys);
+    std::printf("    segments    %" PRIu64 "\n", meta.num_segments);
+    std::printf("    bitmap_bits %" PRIu64 "\n", meta.bitmap_bits);
+    std::printf("    domain      [%" PRIu64 ", %" PRIu64 "]\n",
+                meta.domain_lo, meta.domain_hi);
+    if (meta.block_width != 0) {
+      std::printf("    block_width %" PRIu64 "\n", meta.block_width);
+    }
+    std::printf("    bits/key    %.2f configured, %.2f actual\n",
+                meta.bits_per_key,
+                meta.num_keys == 0
+                    ? 0.0
+                    : static_cast<double>(meta.bitmap_bits) /
+                          static_cast<double>(meta.num_keys));
   }
   if (!verify) return 0;
 
